@@ -1,0 +1,73 @@
+// Figure 2: time breakdown of different IPC primitives (1-byte argument)
+// into the paper's blocks: (1) user code, (2) syscall+2*swapgs+sysret,
+// (3) syscall dispatch trampoline, (4) kernel/privileged code,
+// (5) schedule/context switch, (6) page table switch, (7) idle/IO wait.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "micro_harness.h"
+
+namespace {
+
+using dipc::bench::MeasureL4;
+using dipc::bench::MeasureLocalRpc;
+using dipc::bench::MeasurePipe;
+using dipc::bench::MeasureSemaphore;
+using dipc::bench::MicroConfig;
+using dipc::bench::MicroResult;
+using dipc::os::TimeCat;
+
+void PrintRow(const char* name, const MicroResult& r) {
+  std::printf("%-20s %8.0f | %6.0f %6.0f %6.0f %6.0f %6.0f %6.0f %6.0f\n", name, r.roundtrip_ns,
+              r.breakdown[TimeCat::kUser].nanos(), r.breakdown[TimeCat::kSyscallCrossing].nanos(),
+              r.breakdown[TimeCat::kSyscallDispatch].nanos(), r.breakdown[TimeCat::kKernel].nanos(),
+              r.breakdown[TimeCat::kSchedule].nanos(),
+              r.breakdown[TimeCat::kPageTableSwitch].nanos(),
+              r.breakdown[TimeCat::kIdle].nanos());
+}
+
+void PrintFig2() {
+  std::printf("=== Figure 2: IPC primitive time breakdown [ns per round trip] ===\n");
+  std::printf("%-20s %8s | %6s %6s %6s %6s %6s %6s %6s\n", "primitive", "total", "(1)usr",
+              "(2)sys", "(3)dsp", "(4)krn", "(5)sch", "(6)pgt", "(7)idl");
+  MicroConfig same{.arg_bytes = 1, .rounds = 400, .cross_cpu = false};
+  MicroConfig cross{.arg_bytes = 1, .rounds = 400, .cross_cpu = true};
+  PrintRow("Sem. (=CPU)", MeasureSemaphore(same));
+  PrintRow("Sem. (!=CPU)", MeasureSemaphore(cross));
+  PrintRow("L4 (=CPU)", MeasureL4(same));
+  PrintRow("L4 (!=CPU)", MeasureL4(cross));
+  PrintRow("Local RPC (=CPU)", MeasureLocalRpc(same));
+  PrintRow("Local RPC (!=CPU)", MeasureLocalRpc(cross));
+  std::printf("(reference: function call ~2 ns, empty syscall ~34 ns)\n\n");
+}
+
+void BM_SemBreakdown(benchmark::State& state) {
+  MicroResult r = MeasureSemaphore({.arg_bytes = 1, .rounds = 300,
+                                    .cross_cpu = state.range(0) != 0});
+  for (auto _ : state) {
+    state.SetIterationTime(r.roundtrip_ns * 1e-9);
+  }
+  state.counters["kernel_ns"] = r.breakdown[TimeCat::kKernel].nanos();
+  state.counters["sched_ns"] = r.breakdown[TimeCat::kSchedule].nanos();
+}
+BENCHMARK(BM_SemBreakdown)->Arg(0)->Arg(1)->UseManualTime()->Iterations(1);
+
+void BM_RpcBreakdown(benchmark::State& state) {
+  MicroResult r = MeasureLocalRpc({.arg_bytes = 1, .rounds = 300,
+                                   .cross_cpu = state.range(0) != 0});
+  for (auto _ : state) {
+    state.SetIterationTime(r.roundtrip_ns * 1e-9);
+  }
+  state.counters["user_ns"] = r.breakdown[TimeCat::kUser].nanos();
+}
+BENCHMARK(BM_RpcBreakdown)->Arg(0)->Arg(1)->UseManualTime()->Iterations(1);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintFig2();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

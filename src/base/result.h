@@ -1,0 +1,112 @@
+// Lightweight status / result types used across the library.
+//
+// The simulated kernel and the dIPC runtime report failures the way a kernel
+// does: with error codes, not exceptions. Result<T> is a minimal expected-like
+// wrapper (std::expected is C++23; we target C++20).
+#ifndef DIPC_BASE_RESULT_H_
+#define DIPC_BASE_RESULT_H_
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+#include <utility>
+
+namespace dipc::base {
+
+// Error codes roughly follow kernel errno semantics plus dIPC-specific ones.
+enum class ErrorCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument,     // EINVAL
+  kPermissionDenied,    // EPERM / EACCES
+  kNotFound,            // ENOENT
+  kAlreadyExists,       // EEXIST
+  kBadHandle,           // EBADF
+  kWouldBlock,          // EAGAIN
+  kInterrupted,         // EINTR
+  kTimedOut,            // ETIMEDOUT
+  kResourceExhausted,   // ENOMEM / EMFILE
+  kBrokenChannel,       // EPIPE / ECONNRESET
+  kFault,               // protection fault (CODOMs check failed, revoked cap...)
+  kSignatureMismatch,   // dIPC P4: entry point signatures disagree
+  kCalleeFailed,        // dIPC P3: callee crashed / was killed; KCS unwound here
+  kNotSupported,        // operation valid but not available in this configuration
+};
+
+constexpr std::string_view ErrorCodeName(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk: return "kOk";
+    case ErrorCode::kInvalidArgument: return "kInvalidArgument";
+    case ErrorCode::kPermissionDenied: return "kPermissionDenied";
+    case ErrorCode::kNotFound: return "kNotFound";
+    case ErrorCode::kAlreadyExists: return "kAlreadyExists";
+    case ErrorCode::kBadHandle: return "kBadHandle";
+    case ErrorCode::kWouldBlock: return "kWouldBlock";
+    case ErrorCode::kInterrupted: return "kInterrupted";
+    case ErrorCode::kTimedOut: return "kTimedOut";
+    case ErrorCode::kResourceExhausted: return "kResourceExhausted";
+    case ErrorCode::kBrokenChannel: return "kBrokenChannel";
+    case ErrorCode::kFault: return "kFault";
+    case ErrorCode::kSignatureMismatch: return "kSignatureMismatch";
+    case ErrorCode::kCalleeFailed: return "kCalleeFailed";
+    case ErrorCode::kNotSupported: return "kNotSupported";
+  }
+  return "kUnknown";
+}
+
+// Status: success or an error code.
+class [[nodiscard]] Status {
+ public:
+  constexpr Status() : code_(ErrorCode::kOk) {}
+  constexpr Status(ErrorCode code) : code_(code) {}  // NOLINT: implicit by design
+
+  static constexpr Status Ok() { return Status(); }
+
+  constexpr bool ok() const { return code_ == ErrorCode::kOk; }
+  constexpr ErrorCode code() const { return code_; }
+  constexpr std::string_view name() const { return ErrorCodeName(code_); }
+
+  constexpr bool operator==(const Status& other) const = default;
+
+ private:
+  ErrorCode code_;
+};
+
+// Result<T>: a value or an error code. T must be movable.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : value_(std::move(value)), code_(ErrorCode::kOk) {}  // NOLINT
+  Result(ErrorCode code) : code_(code) {}                               // NOLINT
+  Result(Status status) : code_(status.code()) {}                       // NOLINT
+
+  bool ok() const { return code_ == ErrorCode::kOk; }
+  ErrorCode code() const { return code_; }
+  Status status() const { return Status(code_); }
+
+  // Precondition: ok(). (Checked in debug builds via the optional.)
+  T& value() & { return *value_; }
+  const T& value() const& { return *value_; }
+  T&& value() && { return *std::move(value_); }
+
+  T value_or(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+  T& operator*() & { return *value_; }
+  const T& operator*() const& { return *value_; }
+  T* operator->() { return &*value_; }
+  const T* operator->() const { return &*value_; }
+
+ private:
+  std::optional<T> value_;
+  ErrorCode code_;
+};
+
+}  // namespace dipc::base
+
+// Propagates an error from an expression returning Status/Result.
+#define DIPC_RETURN_IF_ERROR(expr)                  \
+  do {                                              \
+    auto dipc_status_ = (expr);                     \
+    if (!dipc_status_.ok()) return dipc_status_.code(); \
+  } while (0)
+
+#endif  // DIPC_BASE_RESULT_H_

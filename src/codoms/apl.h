@@ -1,0 +1,83 @@
+// Access Protection Lists (§4.1).
+//
+// Every domain tag T has an APL: the list of tags in the same address space
+// that code pages tagged T can access, with a permission each. The APL table
+// is privileged software-managed state; the per-hardware-thread APL cache
+// (apl_cache.h) makes lookups fast.
+#ifndef DIPC_CODOMS_APL_H_
+#define DIPC_CODOMS_APL_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "codoms/perm.h"
+#include "hw/types.h"
+
+namespace dipc::codoms {
+
+using hw::DomainTag;
+
+// One domain's access list. A domain always has implicit Write access to its
+// own tag (its private code/data), subject to per-page protection bits.
+class Apl {
+ public:
+  Perm PermFor(DomainTag target) const {
+    auto it = grants_.find(target);
+    return it == grants_.end() ? Perm::kNone : it->second;
+  }
+
+  void Set(DomainTag target, Perm perm) {
+    if (perm == Perm::kNone) {
+      grants_.erase(target);
+    } else {
+      grants_[target] = perm;
+    }
+  }
+
+  size_t size() const { return grants_.size(); }
+  uint64_t version() const { return version_; }
+  void BumpVersion() { ++version_; }
+
+  auto begin() const { return grants_.begin(); }
+  auto end() const { return grants_.end(); }
+
+ private:
+  std::unordered_map<DomainTag, Perm> grants_;
+  uint64_t version_ = 0;  // incremented on every change; invalidates caches
+};
+
+// All domains' APLs plus tag allocation. This stands in for the privileged
+// in-memory protection structures the OS kernel maintains.
+class AplTable {
+ public:
+  DomainTag AllocateTag() { return next_tag_++; }
+
+  Apl& For(DomainTag tag) { return apls_[tag]; }
+
+  const Apl* Find(DomainTag tag) const {
+    auto it = apls_.find(tag);
+    return it == apls_.end() ? nullptr : &it->second;
+  }
+
+  // Sets src's permission over dst and bumps src's APL version so stale APL
+  // cache entries get refreshed.
+  void Grant(DomainTag src, DomainTag dst, Perm perm) {
+    Apl& apl = apls_[src];
+    apl.Set(dst, perm);
+    apl.BumpVersion();
+  }
+
+  void Revoke(DomainTag src, DomainTag dst) { Grant(src, dst, Perm::kNone); }
+
+  void Free(DomainTag tag) { apls_.erase(tag); }
+
+  size_t domain_count() const { return apls_.size(); }
+
+ private:
+  std::unordered_map<DomainTag, Apl> apls_;
+  DomainTag next_tag_ = 1;  // tag 0 is kInvalidDomainTag
+};
+
+}  // namespace dipc::codoms
+
+#endif  // DIPC_CODOMS_APL_H_

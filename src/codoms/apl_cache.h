@@ -1,0 +1,112 @@
+// Per-hardware-thread software-managed APL cache (§4.1, §4.3).
+//
+// The cache holds the access-grant information of recently executed domains.
+// Each entry maps a domain tag to (1) a snapshot of that domain's APL and
+// (2) a small hardware domain tag — the entry's slot index — used internally
+// for access checks. The dIPC extension (§4.3) adds a privileged instruction
+// that retrieves the hardware tag of any cached domain; dIPC's
+// track_process_call fast path indexes a per-thread array with it (§6.1.2).
+//
+// The cache is software managed: on a miss the hardware raises an exception
+// and the kernel refills the entry; the scheduler may swap contents lazily on
+// context switches (§7.5).
+#ifndef DIPC_CODOMS_APL_CACHE_H_
+#define DIPC_CODOMS_APL_CACHE_H_
+
+#include <array>
+#include <cstdint>
+#include <optional>
+
+#include "codoms/apl.h"
+
+namespace dipc::codoms {
+
+// 32 entries -> 5-bit hardware domain tags (§4.3).
+inline constexpr uint32_t kAplCacheEntries = 32;
+using HwDomainTag = uint8_t;
+
+class AplCache {
+ public:
+  struct Entry {
+    DomainTag tag = hw::kInvalidDomainTag;
+    uint64_t apl_version = 0;
+    Apl apl;  // snapshot at fill time
+    uint64_t lru = 0;
+  };
+
+  // Returns the slot (hardware tag) for `tag` if cached with a current
+  // snapshot, else nullopt (a miss: the kernel must Fill()).
+  std::optional<HwDomainTag> Lookup(DomainTag tag) const {
+    for (uint32_t i = 0; i < kAplCacheEntries; ++i) {
+      if (entries_[i].tag == tag) {
+        return static_cast<HwDomainTag>(i);
+      }
+    }
+    return std::nullopt;
+  }
+
+  // The §4.3 privileged instruction: hardware tag of a cached domain.
+  std::optional<HwDomainTag> HwTagOf(DomainTag tag) const { return Lookup(tag); }
+
+  const Entry& entry(HwDomainTag hw_tag) const { return entries_[hw_tag]; }
+
+  // True if the cached snapshot for `hw_tag` is stale w.r.t. the APL table.
+  // A domain with no APL registered at all is equivalent to an empty APL at
+  // version 0 (fresh domains grant nothing), so only a version change —
+  // grant_create/revoke bump it — invalidates the snapshot.
+  bool IsStale(HwDomainTag hw_tag, const AplTable& table) const {
+    const Entry& e = entries_[hw_tag];
+    const Apl* current = table.Find(e.tag);
+    uint64_t current_version = current != nullptr ? current->version() : 0;
+    return current_version != e.apl_version;
+  }
+
+  // Kernel refill: snapshots `tag`'s APL into an LRU slot; returns the slot.
+  HwDomainTag Fill(DomainTag tag, const AplTable& table) {
+    uint32_t victim = 0;
+    for (uint32_t i = 0; i < kAplCacheEntries; ++i) {
+      if (entries_[i].tag == tag) {
+        victim = i;  // refresh in place
+        break;
+      }
+      if (entries_[i].lru < entries_[victim].lru) {
+        victim = i;
+      }
+    }
+    Entry& e = entries_[victim];
+    e.tag = tag;
+    const Apl* apl = table.Find(tag);
+    if (apl != nullptr) {
+      e.apl = *apl;
+      e.apl_version = apl->version();
+    } else {
+      e.apl = Apl{};
+      e.apl_version = 0;
+    }
+    e.lru = ++clock_;
+    return static_cast<HwDomainTag>(victim);
+  }
+
+  void TouchLru(HwDomainTag hw_tag) { entries_[hw_tag].lru = ++clock_; }
+
+  void Clear() {
+    for (Entry& e : entries_) {
+      e = Entry{};
+    }
+  }
+
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  void CountHit() { ++hits_; }
+  void CountMiss() { ++misses_; }
+
+ private:
+  std::array<Entry, kAplCacheEntries> entries_{};
+  uint64_t clock_ = 0;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace dipc::codoms
+
+#endif  // DIPC_CODOMS_APL_CACHE_H_

@@ -1,0 +1,93 @@
+// Transient data-sharing capabilities (§4.2).
+//
+// Capabilities grant access to arbitrary byte ranges, are created and
+// destroyed by *unprivileged* code, cannot be forged, live in 8 per-thread
+// capability registers (separate from regular registers), occupy 32 B in
+// memory, and come in two flavours:
+//   - synchronous: tied to the creating thread's call frame; implicitly
+//     revoked when that frame returns; cannot be passed across threads.
+//   - asynchronous: may be passed across threads; support immediate
+//     revocation through revocation counters.
+#ifndef DIPC_CODOMS_CAPABILITY_H_
+#define DIPC_CODOMS_CAPABILITY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "base/check.h"
+#include "codoms/perm.h"
+#include "hw/types.h"
+
+namespace dipc::codoms {
+
+enum class CapType : uint8_t {
+  kSync,
+  kAsync,
+};
+
+// Architectural size of a capability stored in memory (§4.2).
+inline constexpr uint64_t kCapMemBytes = 32;
+
+// Revocation counters for asynchronous capabilities (§4.2: "immediate
+// revocation through revocation counters"). A capability snapshots the
+// counter value at creation; bumping the counter invalidates every
+// capability derived from it.
+class RevocationTable {
+ public:
+  uint64_t Allocate() {
+    counters_.push_back(0);
+    return counters_.size() - 1;
+  }
+
+  uint64_t Epoch(uint64_t id) const {
+    DIPC_CHECK(id < counters_.size());
+    return counters_[id];
+  }
+
+  void Revoke(uint64_t id) {
+    DIPC_CHECK(id < counters_.size());
+    ++counters_[id];
+  }
+
+ private:
+  std::vector<uint64_t> counters_;
+};
+
+struct Capability {
+  hw::VirtAddr base = 0;
+  uint64_t size = 0;
+  Perm rights = Perm::kNone;
+  CapType type = CapType::kSync;
+
+  // Sync: owning thread (opaque id) and the call depth at creation; the
+  // capability dies when that frame returns (enforced via DCS truncation and
+  // the depth check below).
+  uint64_t owner_thread = 0;
+  uint32_t create_depth = 0;
+
+  // Async: revocation counter id + epoch snapshot.
+  uint64_t revocation_id = 0;
+  uint64_t revocation_epoch = 0;
+
+  bool Covers(hw::VirtAddr addr, uint64_t len, Perm want) const {
+    return AtLeast(rights, want) && addr >= base && len <= size && addr - base <= size - len;
+  }
+
+  bool ValidFor(uint64_t thread_id, uint32_t current_depth, const RevocationTable& rev) const {
+    if (type == CapType::kSync) {
+      return owner_thread == thread_id && create_depth <= current_depth;
+    }
+    return rev.Epoch(revocation_id) == revocation_epoch;
+  }
+
+  // Derivation (§4.2): a new capability is always derived from an existing
+  // one (or the APL); it can only narrow the range and weaken the rights.
+  bool CanDerive(const Capability& child) const {
+    return child.base >= base && child.size <= size && child.base - base <= size - child.size &&
+           AtLeast(rights, child.rights);
+  }
+};
+
+}  // namespace dipc::codoms
+
+#endif  // DIPC_CODOMS_CAPABILITY_H_

@@ -1,0 +1,258 @@
+#include "codoms/codoms.h"
+
+#include "base/check.h"
+
+namespace dipc::codoms {
+
+Codoms::Codoms(hw::Machine& machine) : machine_(machine) {
+  apl_caches_.reserve(machine.num_cpus());
+  for (uint32_t i = 0; i < machine.num_cpus(); ++i) {
+    apl_caches_.push_back(std::make_unique<AplCache>());
+  }
+}
+
+Codoms::CacheRef Codoms::EnsureCached(hw::CpuId cpu, DomainTag tag) {
+  AplCache& cache = *apl_caches_[cpu];
+  const hw::CostModel& costs = machine_.costs();
+  if (auto hw_tag = cache.Lookup(tag); hw_tag.has_value() && !cache.IsStale(*hw_tag, apl_table_)) {
+    cache.TouchLru(*hw_tag);
+    cache.CountHit();
+    return CacheRef{*hw_tag, costs.apl_cache_lookup, /*missed=*/false};
+  }
+  // Miss: exception into the kernel, software refill (§7.5).
+  cache.CountMiss();
+  HwDomainTag hw_tag = cache.Fill(tag, apl_table_);
+  return CacheRef{hw_tag, costs.apl_cache_miss, /*missed=*/true};
+}
+
+base::Result<HwDomainTag> Codoms::ReadHwTag(hw::CpuId cpu, DomainTag tag, sim::Duration* cost) {
+  *cost = machine_.costs().hw_tag_lookup;
+  auto hw_tag = apl_caches_[cpu]->HwTagOf(tag);
+  if (!hw_tag.has_value()) {
+    return base::ErrorCode::kNotFound;
+  }
+  return *hw_tag;
+}
+
+Perm Codoms::EffectivePerm(hw::CpuId cpu, DomainTag current, DomainTag page_tag,
+                           sim::Duration* cost) {
+  if (page_tag == current) {
+    // A domain implicitly has write access to its own pages (§4.1); the
+    // check is against the page tag, in parallel with the TLB lookup.
+    return Perm::kWrite;
+  }
+  CacheRef ref = EnsureCached(cpu, current);
+  *cost += ref.cost;
+  return apl_caches_[cpu]->entry(ref.hw_tag).apl.PermFor(page_tag);
+}
+
+base::Result<sim::Duration> Codoms::CheckDataAccess(hw::CpuId cpu, const hw::PageTable& pt,
+                                                    ThreadCapContext& ctx, hw::VirtAddr va,
+                                                    uint64_t len, hw::AccessType type) {
+  DIPC_CHECK(type != hw::AccessType::kExecute);
+  if (len == 0) {
+    return sim::Duration::Zero();
+  }
+  Perm want = type == hw::AccessType::kWrite ? Perm::kWrite : Perm::kRead;
+  sim::Duration cost;
+  hw::VirtAddr end = va + len - 1;
+  for (hw::VirtAddr page = hw::PageBase(va); page <= end; page += hw::kPageSize) {
+    const hw::Pte* pte = pt.Lookup(page);
+    if (pte == nullptr) {
+      return base::ErrorCode::kFault;
+    }
+    // Per-page protection bits are honored regardless of domain grants.
+    if (type == hw::AccessType::kWrite && !pte->flags.writable) {
+      return base::ErrorCode::kFault;
+    }
+    if (AtLeast(EffectivePerm(cpu, ctx.current_domain, pte->tag, &cost), want)) {
+      continue;
+    }
+    // Fall back to the 8 capability registers (checked in parallel on real
+    // hardware; no extra architectural cost).
+    hw::VirtAddr chunk_start = page > va ? page : va;
+    hw::VirtAddr chunk_end = std::min<hw::VirtAddr>(page + hw::kPageSize - 1, end);
+    const Capability* cap = ctx.regs.FindCovering(chunk_start, chunk_end - chunk_start + 1, want,
+                                                  ctx.thread_id, ctx.call_depth, revocations_);
+    if (cap == nullptr) {
+      return base::ErrorCode::kFault;
+    }
+  }
+  return cost;
+}
+
+base::Result<sim::Duration> Codoms::ControlTransfer(hw::CpuId cpu, const hw::PageTable& pt,
+                                                    ThreadCapContext& ctx, hw::VirtAddr target) {
+  const hw::Pte* pte = pt.Lookup(target);
+  if (pte == nullptr || !pte->flags.executable) {
+    return base::ErrorCode::kFault;
+  }
+  sim::Duration cost = machine_.costs().domain_switch;
+  DomainTag dest = pte->tag;
+  if (dest == ctx.current_domain) {
+    return cost;  // intra-domain jump: plain call
+  }
+  Perm perm = EffectivePerm(cpu, ctx.current_domain, dest, &cost);
+  bool allowed = false;
+  if (AtLeast(perm, Perm::kRead)) {
+    allowed = true;  // read grants arbitrary call/jump (§4.1)
+  } else if (perm == Perm::kCall && IsEntryAligned(target)) {
+    allowed = true;  // call grants entry-point-aligned targets only
+  } else {
+    // Capabilities can authorize control transfers too (the proxy return
+    // path relies on this, §5.2.3 P3).
+    const Capability* cap = ctx.regs.FindCovering(target, 1, Perm::kCall, ctx.thread_id,
+                                                  ctx.call_depth, revocations_);
+    if (cap != nullptr &&
+        (AtLeast(cap->rights, Perm::kRead) || IsEntryAligned(target))) {
+      allowed = true;
+    }
+  }
+  if (!allowed) {
+    return base::ErrorCode::kFault;
+  }
+  // Implicit domain switch: the instruction pointer now originates from
+  // `dest`, so subsequent checks use dest's APL. Make sure its APL is cached
+  // (cost accounts for a possible miss on first entry).
+  CacheRef ref = EnsureCached(cpu, dest);
+  cost += ref.cost;
+  ctx.current_domain = dest;
+  return cost;
+}
+
+bool Codoms::CanExecutePrivileged(const hw::PageTable& pt, hw::VirtAddr ip) const {
+  const hw::Pte* pte = pt.Lookup(ip);
+  return pte != nullptr && pte->flags.executable && pte->flags.priv_cap;
+}
+
+base::Result<Capability> Codoms::CapFromApl(hw::CpuId cpu, const hw::PageTable& pt,
+                                            ThreadCapContext& ctx, hw::VirtAddr base,
+                                            uint64_t size, Perm rights, CapType type,
+                                            sim::Duration* cost) {
+  *cost = machine_.costs().cap_setup;
+  if (size == 0 || rights == Perm::kNone) {
+    return base::ErrorCode::kInvalidArgument;
+  }
+  // The creating domain must itself hold `rights` over the whole range.
+  hw::VirtAddr end = base + size - 1;
+  for (hw::VirtAddr page = hw::PageBase(base); page <= end; page += hw::kPageSize) {
+    const hw::Pte* pte = pt.Lookup(page);
+    if (pte == nullptr) {
+      return base::ErrorCode::kFault;
+    }
+    if (rights == Perm::kWrite && !pte->flags.writable) {
+      return base::ErrorCode::kPermissionDenied;
+    }
+    if (!AtLeast(EffectivePerm(cpu, ctx.current_domain, pte->tag, cost), rights)) {
+      return base::ErrorCode::kPermissionDenied;
+    }
+  }
+  Capability cap;
+  cap.base = base;
+  cap.size = size;
+  cap.rights = rights;
+  cap.type = type;
+  if (type == CapType::kSync) {
+    cap.owner_thread = ctx.thread_id;
+    cap.create_depth = ctx.call_depth;
+  } else {
+    cap.revocation_id = revocations_.Allocate();
+    cap.revocation_epoch = revocations_.Epoch(cap.revocation_id);
+  }
+  return cap;
+}
+
+base::Result<Capability> Codoms::CapDerive(const Capability& parent, ThreadCapContext& ctx,
+                                           hw::VirtAddr base, uint64_t size, Perm rights,
+                                           CapType type, sim::Duration* cost) {
+  *cost = machine_.costs().cap_setup;
+  if (!parent.ValidFor(ctx.thread_id, ctx.call_depth, revocations_)) {
+    return base::ErrorCode::kFault;  // deriving from a dead capability
+  }
+  Capability child;
+  child.base = base;
+  child.size = size;
+  child.rights = rights;
+  child.type = type;
+  if (!parent.CanDerive(child)) {
+    return base::ErrorCode::kPermissionDenied;  // widening is impossible
+  }
+  if (type == CapType::kSync) {
+    child.owner_thread = ctx.thread_id;
+    child.create_depth = ctx.call_depth;
+  } else {
+    // Async children share the parent's revocation counter when the parent is
+    // async (revoking the parent kills the tree); otherwise get a fresh one.
+    if (parent.type == CapType::kAsync) {
+      child.revocation_id = parent.revocation_id;
+      child.revocation_epoch = parent.revocation_epoch;
+    } else {
+      child.revocation_id = revocations_.Allocate();
+      child.revocation_epoch = revocations_.Epoch(child.revocation_id);
+    }
+  }
+  return child;
+}
+
+base::Status Codoms::CapRevoke(const Capability& cap) {
+  if (cap.type != CapType::kAsync) {
+    return base::ErrorCode::kInvalidArgument;  // sync caps die with their frame
+  }
+  revocations_.Revoke(cap.revocation_id);
+  return base::Status::Ok();
+}
+
+base::Status Codoms::CapStore(const hw::PageTable& pt, ThreadCapContext& ctx, hw::VirtAddr va,
+                              const Capability& cap, sim::Duration* cost) {
+  *cost = machine_.costs().cap_memory_op;
+  if (va % kCapMemBytes != 0) {
+    return base::ErrorCode::kInvalidArgument;
+  }
+  const hw::Pte* pte = pt.Lookup(va);
+  if (pte == nullptr || !pte->flags.cap_storage || !pte->flags.writable) {
+    return base::ErrorCode::kFault;
+  }
+  if (!cap.ValidFor(ctx.thread_id, ctx.call_depth, revocations_)) {
+    return base::ErrorCode::kFault;
+  }
+  // Sync capabilities cannot be laundered through memory into other threads:
+  // storing is allowed, but ValidFor still binds them to the owner.
+  auto pa = pt.Translate(va);
+  DIPC_CHECK(pa.has_value());
+  stored_caps_[*pa] = cap;
+  return base::Status::Ok();
+}
+
+base::Result<Capability> Codoms::CapLoad(const hw::PageTable& pt, ThreadCapContext& ctx,
+                                         hw::VirtAddr va, sim::Duration* cost) {
+  *cost = machine_.costs().cap_memory_op;
+  (void)ctx;
+  if (va % kCapMemBytes != 0) {
+    return base::ErrorCode::kInvalidArgument;
+  }
+  const hw::Pte* pte = pt.Lookup(va);
+  if (pte == nullptr || !pte->flags.cap_storage) {
+    return base::ErrorCode::kFault;
+  }
+  auto pa = pt.Translate(va);
+  DIPC_CHECK(pa.has_value());
+  auto it = stored_caps_.find(*pa);
+  if (it == stored_caps_.end()) {
+    return base::ErrorCode::kFault;  // no (valid) capability at this slot
+  }
+  return it->second;
+}
+
+void Codoms::NotifyPlainWrite(hw::PhysAddr pa, uint64_t len) {
+  if (stored_caps_.empty() || len == 0) {
+    return;
+  }
+  // Any plain write overlapping a stored capability destroys it.
+  hw::PhysAddr first_slot = (pa / kCapMemBytes) * kCapMemBytes;
+  hw::PhysAddr last = pa + len - 1;
+  for (hw::PhysAddr slot = first_slot; slot <= last; slot += kCapMemBytes) {
+    stored_caps_.erase(slot);
+  }
+}
+
+}  // namespace dipc::codoms

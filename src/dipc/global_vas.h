@@ -1,0 +1,48 @@
+// Global virtual address space (§6.1.3).
+//
+// dIPC-enabled processes are loaded into one shared page table. The OS
+// allocator has two phases: processes grab 1 GB blocks of virtual space
+// globally, then sub-allocate within their blocks (each os::Process keeps
+// its bump pointer inside its block).
+#ifndef DIPC_DIPC_GLOBAL_VAS_H_
+#define DIPC_DIPC_GLOBAL_VAS_H_
+
+#include <cstdint>
+
+#include "base/check.h"
+#include "hw/machine.h"
+#include "hw/page_table.h"
+
+namespace dipc::core {
+
+class GlobalVas {
+ public:
+  static constexpr uint64_t kBlockSize = 1ull << 30;  // 1 GB (§6.1.3)
+  // Blocks start high so they never collide with private address spaces.
+  static constexpr hw::VirtAddr kBase = 0x7F0000000000ull;
+
+  explicit GlobalVas(hw::Machine& machine) : page_table_(machine.CreatePageTable()) {}
+
+  hw::PageTable& page_table() { return page_table_; }
+
+  // Phase 1: global block allocation. (The paper notes contention here and
+  // suggests per-CPU pools, §7.4; block allocation is rare enough that we
+  // keep the single global cursor.)
+  hw::VirtAddr AllocBlock() {
+    hw::VirtAddr va = next_block_;
+    next_block_ += kBlockSize;
+    ++blocks_allocated_;
+    return va;
+  }
+
+  uint64_t blocks_allocated() const { return blocks_allocated_; }
+
+ private:
+  hw::PageTable& page_table_;
+  hw::VirtAddr next_block_ = kBase;
+  uint64_t blocks_allocated_ = 0;
+};
+
+}  // namespace dipc::core
+
+#endif  // DIPC_DIPC_GLOBAL_VAS_H_

@@ -1,0 +1,97 @@
+#include "dipc/loader.h"
+
+namespace dipc::core {
+
+base::Result<LoadedModule> Loader::Load(os::Env env, ModuleSpec spec) {
+  os::Process& proc = env.self->process();
+  LoadedModule mod;
+  // The default domain is always addressable as "".
+  mod.domains_[""] = dipc_.DomDefault(proc);
+  for (const DomSpec& d : spec.domains) {
+    auto dom = dipc_.DomCreate(proc);
+    if (!dom.ok()) {
+      return dom.code();
+    }
+    mod.domains_[d.name] = dom.value();
+  }
+  // Intra-process grants (dipc_perm annotations).
+  for (const PermSpec& p : spec.perms) {
+    auto src = mod.domains_.find(p.src_domain);
+    auto dst = mod.domains_.find(p.dst_domain);
+    if (src == mod.domains_.end() || dst == mod.domains_.end()) {
+      return base::ErrorCode::kNotFound;
+    }
+    auto downgraded = dipc_.DomCopy(*dst->second, p.perm);
+    if (!downgraded.ok()) {
+      return downgraded.code();
+    }
+    auto grant = dipc_.GrantCreate(*src->second, *downgraded.value());
+    if (!grant.ok()) {
+      return grant.code();
+    }
+  }
+  // Entry points, grouped under the domain of the *first* entry (dIPC entry
+  // handles carry one domain; multi-domain modules register per domain).
+  if (!spec.entries.empty()) {
+    const std::string& entry_dom = spec.entries.front().domain;
+    std::vector<EntryDesc> descs;
+    descs.reserve(spec.entries.size());
+    for (const EntrySpec& e : spec.entries) {
+      if (e.domain != entry_dom) {
+        return base::ErrorCode::kInvalidArgument;
+      }
+      EntryDesc d;
+      d.name = e.name;
+      d.signature = e.signature;
+      d.policy = e.callee_policy;
+      d.fn = e.fn;
+      descs.push_back(std::move(d));
+    }
+    auto dom_it = mod.domains_.find(entry_dom);
+    if (dom_it == mod.domains_.end()) {
+      return base::ErrorCode::kNotFound;
+    }
+    auto handle = dipc_.EntryRegister(proc, *dom_it->second, std::move(descs));
+    if (!handle.ok()) {
+      return handle.code();
+    }
+    mod.entries_ = handle.value();
+    if (!spec.publish_path.empty()) {
+      base::Status s = EntryResolver::Publish(env, spec.publish_path, mod.entries_);
+      if (!s.ok()) {
+        return s.code();
+      }
+    }
+  }
+  return mod;
+}
+
+sim::Task<base::Result<ImportedEntries>> Loader::ImportEntries(
+    os::Env env, const std::string& path, std::vector<EntryExpectation> expected,
+    std::vector<std::string> names) {
+  auto handle = co_await EntryResolver::Resolve(env, path);
+  if (!handle.ok()) {
+    co_return handle.code();
+  }
+  os::Process& proc = env.self->process();
+  auto requested = dipc_.EntryRequest(proc, *handle.value(), expected);
+  if (!requested.ok()) {
+    co_return requested.code();
+  }
+  // Let this process call into the proxy domain: grant_create with our owner
+  // handle and the returned call-permission handle.
+  auto self_dom = dipc_.DomDefault(proc);
+  auto grant = dipc_.GrantCreate(*self_dom, *requested.value().proxy_domain);
+  if (!grant.ok()) {
+    co_return grant.code();
+  }
+  ImportedEntries out;
+  out.requested = std::move(requested).value();
+  for (size_t i = 0; i < out.requested.proxies.size(); ++i) {
+    std::string name = i < names.size() ? names[i] : handle.value()->entry(i).name;
+    out.by_name[name] = out.requested.proxies[i];
+  }
+  co_return out;
+}
+
+}  // namespace dipc::core

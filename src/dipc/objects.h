@@ -1,0 +1,126 @@
+// The three dIPC kernel objects of Table 2: isolation domains, domain
+// grants, and entry points. All derive from os::KernelObject so they can be
+// delegated between processes as file descriptors (§5.2.2).
+#ifndef DIPC_DIPC_OBJECTS_H_
+#define DIPC_DIPC_OBJECTS_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "codoms/perm.h"
+#include "dipc/policy.h"
+#include "hw/types.h"
+#include "os/objects.h"
+#include "os/thread.h"
+#include "sim/task.h"
+
+namespace dipc::core {
+
+// Domain-handle permission: CODOMs' ordered {call, read, write} plus the
+// software-only "owner" that allows managing the domain's APL and memory
+// (Table 2: {owner, write, read, call, nil}).
+enum class DomPerm : uint8_t {
+  kNil = 0,
+  kCall = 1,
+  kRead = 2,
+  kWrite = 3,
+  kOwner = 4,
+};
+
+constexpr bool DomPermAtLeast(DomPerm have, DomPerm want) {
+  return static_cast<uint8_t>(have) >= static_cast<uint8_t>(want);
+}
+
+// Owner maps to write in CODOMs terms when granted into an APL (§5.2.2).
+constexpr codoms::Perm ToCodomsPerm(DomPerm p) {
+  switch (p) {
+    case DomPerm::kNil: return codoms::Perm::kNone;
+    case DomPerm::kCall: return codoms::Perm::kCall;
+    case DomPerm::kRead: return codoms::Perm::kRead;
+    case DomPerm::kWrite:
+    case DomPerm::kOwner: return codoms::Perm::kWrite;
+  }
+  return codoms::Perm::kNone;
+}
+
+// domain.{tag, perm}
+class DomainHandle : public os::KernelObject {
+ public:
+  DomainHandle(hw::DomainTag tag, DomPerm perm) : tag_(tag), perm_(perm) {}
+  std::string_view type_name() const override { return "dipc-domain"; }
+
+  hw::DomainTag tag() const { return tag_; }
+  DomPerm perm() const { return perm_; }
+
+ private:
+  hw::DomainTag tag_;
+  DomPerm perm_;
+};
+
+// grant.{src, dst, perm}
+class GrantHandle : public os::KernelObject {
+ public:
+  GrantHandle(hw::DomainTag src, hw::DomainTag dst, codoms::Perm perm)
+      : src_(src), dst_(dst), perm_(perm) {}
+  std::string_view type_name() const override { return "dipc-grant"; }
+
+  hw::DomainTag src() const { return src_; }
+  hw::DomainTag dst() const { return dst_; }
+  codoms::Perm perm() const { return perm_; }
+  bool revoked() const { return revoked_; }
+  void MarkRevoked() { revoked_ = true; }
+
+ private:
+  hw::DomainTag src_;
+  hw::DomainTag dst_;
+  codoms::Perm perm_;
+  bool revoked_ = false;
+};
+
+// The register-file view of a cross-domain call: up to 6 argument registers
+// (pointers into the shared VAS travel here as plain uint64s — that is the
+// whole point of dIPC: arguments pass by reference, §7.2).
+struct CallArgs {
+  std::array<uint64_t, 6> regs{};
+};
+
+// The target of an entry point. In a real system this is machine code at an
+// aligned address; here it is an aligned address (CODOMs checks it) plus the
+// simulated behavior as a coroutine.
+using EntryFn = std::function<sim::Task<uint64_t>(os::Env, CallArgs)>;
+
+// entry.entries[i]: address + signature + policy (+ behavior).
+struct EntryDesc {
+  std::string name;
+  EntrySignature signature;
+  IsolationPolicy policy;
+  EntryFn fn;  // set by the registering (callee) side
+  hw::VirtAddr address = 0;  // filled by entry_register
+};
+
+class Process;  // os::Process forward-declared via thread.h include
+
+// entry.{dom, count, entries[]}
+class EntryHandle : public os::KernelObject {
+ public:
+  EntryHandle(hw::DomainTag dom, os::Process* owner, std::vector<EntryDesc> entries)
+      : dom_(dom), owner_(owner), entries_(std::move(entries)) {}
+  std::string_view type_name() const override { return "dipc-entry"; }
+
+  hw::DomainTag dom() const { return dom_; }
+  os::Process* owner() const { return owner_; }
+  size_t count() const { return entries_.size(); }
+  const EntryDesc& entry(size_t i) const { return entries_[i]; }
+  const std::vector<EntryDesc>& entries() const { return entries_; }
+
+ private:
+  hw::DomainTag dom_;
+  os::Process* owner_;
+  std::vector<EntryDesc> entries_;
+};
+
+}  // namespace dipc::core
+
+#endif  // DIPC_DIPC_OBJECTS_H_

@@ -1,0 +1,68 @@
+// Run-time optimized proxy generation from pre-built templates (§6.1.1).
+//
+// dIPC keeps "proxy templates" for every combination of entry-point
+// signature and isolation-property set, produced at build time from a single
+// parametrized master template (~12K templates averaging 600 B). Creating a
+// proxy picks the matching template, copies it, and patches immediates via
+// symbol relocation — reminiscent of Synthesis' code specialization.
+#ifndef DIPC_DIPC_PROXY_TEMPLATE_H_
+#define DIPC_DIPC_PROXY_TEMPLATE_H_
+
+#include <cstdint>
+
+#include "dipc/policy.h"
+#include "hw/cost_model.h"
+
+namespace dipc::core {
+
+struct ProxyTemplate {
+  uint32_t id = 0;
+  uint32_t code_bytes = 0;
+  uint32_t relocation_count = 0;
+};
+
+class ProxyTemplateLibrary {
+ public:
+  // Signature buckets the master template is instantiated over:
+  // in_regs 0..6, out_regs 0..2, 4 stack-size classes, 2^6 policy sets,
+  // and a cross-process bit -> 7 * 3 * 4 * 64 * 2 = 10752 (~12K) templates.
+  static constexpr uint32_t kInRegsBuckets = 7;
+  static constexpr uint32_t kOutRegsBuckets = 3;
+  static constexpr uint32_t kStackBuckets = 4;
+  static constexpr uint32_t kPolicySets = 64;
+  static constexpr uint32_t kCrossProcess = 2;
+
+  static constexpr uint32_t Count() {
+    return kInRegsBuckets * kOutRegsBuckets * kStackBuckets * kPolicySets * kCrossProcess;
+  }
+
+  // Deterministic template selection for a concrete entry point.
+  static ProxyTemplate Select(EntrySignature sig, IsolationPolicy policy, bool cross_process);
+
+  // One-time cost of instantiating a proxy from its template: copying the
+  // code and patching relocations (entry address, domain tags, KCS hooks).
+  static sim::Duration InstantiationCost(const hw::CostModel& cm, const ProxyTemplate& t);
+
+  // Slot stride in the proxy domain's code pages; keeps every proxy (and its
+  // proxy_ret label at +kRetOffset) entry-aligned for CODOMs call checks.
+  static constexpr uint64_t kSlotBytes = 1024;
+  static constexpr uint64_t kRetOffset = 512;
+
+ private:
+  static uint32_t StackBucket(uint32_t stack_bytes) {
+    if (stack_bytes == 0) {
+      return 0;
+    }
+    if (stack_bytes <= 64) {
+      return 1;
+    }
+    if (stack_bytes <= 512) {
+      return 2;
+    }
+    return 3;
+  }
+};
+
+}  // namespace dipc::core
+
+#endif  // DIPC_DIPC_PROXY_TEMPLATE_H_

@@ -1,0 +1,59 @@
+#include "dipc/resolution.h"
+
+namespace dipc::core {
+
+base::Status EntryResolver::Publish(os::Env env, const std::string& path,
+                                    std::shared_ptr<EntryHandle> handle) {
+  os::Kernel& k = *env.kernel;
+  auto listener = std::make_shared<os::UnixListener>(k);
+  base::Status s = k.BindPath(path, listener);
+  if (!s.ok()) {
+    return s;
+  }
+  // Service thread: one-byte hello + the handle as ancillary data per
+  // importer. Lives as long as the process keeps the path published.
+  k.Spawn(env.self->process(), "dipc-resolver:" + path,
+          [listener, handle](os::Env senv) -> sim::Task<void> {
+            auto buf = senv.kernel->MapAnonymous(senv.self->process(), hw::kPageSize,
+                                                 hw::PageFlags{.writable = true});
+            DIPC_CHECK(buf.ok());
+            while (true) {
+              auto conn = co_await listener->Accept(senv);
+              if (!conn.ok()) {
+                co_return;
+              }
+              std::vector<std::shared_ptr<os::KernelObject>> handles{handle};
+              auto sent = co_await conn.value()->Send(senv, buf.value(), 1, std::move(handles));
+              if (!sent.ok()) {
+                co_return;
+              }
+            }
+          });
+  return base::Status::Ok();
+}
+
+sim::Task<base::Result<std::shared_ptr<EntryHandle>>> EntryResolver::Resolve(
+    os::Env env, const std::string& path) {
+  os::Kernel& k = *env.kernel;
+  auto conn = co_await os::UnixListener::Connect(env, path);
+  if (!conn.ok()) {
+    co_return conn.code();
+  }
+  auto buf = k.MapAnonymous(env.self->process(), hw::kPageSize, hw::PageFlags{.writable = true});
+  if (!buf.ok()) {
+    co_return buf.code();
+  }
+  std::vector<std::shared_ptr<os::KernelObject>> handles;
+  auto n = co_await conn.value()->Recv(env, buf.value(), 1, &handles);
+  if (!n.ok()) {
+    co_return n.code();
+  }
+  for (auto& h : handles) {
+    if (auto entry = std::dynamic_pointer_cast<EntryHandle>(h); entry != nullptr) {
+      co_return entry;
+    }
+  }
+  co_return base::ErrorCode::kNotFound;
+}
+
+}  // namespace dipc::core

@@ -1,0 +1,34 @@
+// Default entry-point resolution over UNIX named sockets (§6.2.1).
+//
+// "The dIPC runtime provides a default implementation that uses UNIX named
+// sockets to exchange entry point handles": the exporter binds a path and
+// serves the handle to whoever connects; importers connect and receive the
+// EntryHandle as a passed kernel object (SCM_RIGHTS-style, §5.2.2).
+#ifndef DIPC_DIPC_RESOLUTION_H_
+#define DIPC_DIPC_RESOLUTION_H_
+
+#include <memory>
+#include <string>
+
+#include "dipc/objects.h"
+#include "os/kernel.h"
+#include "os/unix_socket.h"
+#include "sim/task.h"
+
+namespace dipc::core {
+
+class EntryResolver {
+ public:
+  // Exporter side: binds `path` and spawns a service thread in the calling
+  // process that hands `handle` to every connecting importer.
+  static base::Status Publish(os::Env env, const std::string& path,
+                              std::shared_ptr<EntryHandle> handle);
+
+  // Importer side: connects to `path` and receives the entry handle.
+  static sim::Task<base::Result<std::shared_ptr<EntryHandle>>> Resolve(os::Env env,
+                                                                       const std::string& path);
+};
+
+}  // namespace dipc::core
+
+#endif  // DIPC_DIPC_RESOLUTION_H_

@@ -1,0 +1,93 @@
+// track_process_call fast/warm/cold paths (§6.1.2).
+//
+// Cross-process proxies must switch Linux's `current` pointer. The hot path
+// uses the CODOMs hardware domain tag (§4.3) to index a small per-thread
+// cache array (32 entries) holding (process, per-process thread id) pairs.
+// On a cache-array miss the warm path consults a per-thread tree; on a tree
+// miss the cold path upcalls into a management thread in the target process,
+// which creates the OS structures and restarts the lookup.
+#ifndef DIPC_DIPC_TRACKER_H_
+#define DIPC_DIPC_TRACKER_H_
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <optional>
+
+#include "codoms/apl_cache.h"
+#include "hw/types.h"
+#include "os/process.h"
+
+namespace dipc::core {
+
+struct TrackerEntry {
+  os::Process* process = nullptr;
+  uint64_t tid_in_process = 0;  // primary threads get per-process ids (§5.2.1)
+};
+
+struct TrackerStats {
+  uint64_t fast_hits = 0;
+  uint64_t warm_hits = 0;
+  uint64_t cold_upcalls = 0;
+};
+
+class ProcessTracker {
+ public:
+  // Fast path: index the cache array by hardware domain tag.
+  const TrackerEntry* FastLookup(codoms::HwDomainTag hw_tag, hw::DomainTag tag) {
+    const CacheSlot& slot = cache_[hw_tag];
+    if (slot.tag == tag && slot.entry.process != nullptr) {
+      ++stats_.fast_hits;
+      return &slot.entry;
+    }
+    return nullptr;
+  }
+
+  // Warm path: per-thread tree, refills the cache array.
+  const TrackerEntry* WarmLookup(codoms::HwDomainTag hw_tag, hw::DomainTag tag) {
+    auto it = tree_.find(tag);
+    if (it == tree_.end()) {
+      return nullptr;
+    }
+    ++stats_.warm_hits;
+    cache_[hw_tag] = CacheSlot{tag, it->second};
+    return &cache_[hw_tag].entry;
+  }
+
+  // Cold path result: management thread created the structures; install.
+  const TrackerEntry* ColdInstall(codoms::HwDomainTag hw_tag, hw::DomainTag tag,
+                                  TrackerEntry entry) {
+    ++stats_.cold_upcalls;
+    tree_[tag] = entry;
+    cache_[hw_tag] = CacheSlot{tag, entry};
+    return &cache_[hw_tag].entry;
+  }
+
+  // Test hook / context-switch behavior: the cache array is per-thread state
+  // that can be dropped (it refills from the tree).
+  void InvalidateCacheArray() {
+    for (CacheSlot& s : cache_) {
+      s = CacheSlot{};
+    }
+  }
+  void InvalidateAll() {
+    InvalidateCacheArray();
+    tree_.clear();
+  }
+
+  const TrackerStats& stats() const { return stats_; }
+
+ private:
+  struct CacheSlot {
+    hw::DomainTag tag = hw::kInvalidDomainTag;
+    TrackerEntry entry{};
+  };
+
+  std::array<CacheSlot, codoms::kAplCacheEntries> cache_{};
+  std::map<hw::DomainTag, TrackerEntry> tree_;
+  TrackerStats stats_;
+};
+
+}  // namespace dipc::core
+
+#endif  // DIPC_DIPC_TRACKER_H_

@@ -1,0 +1,89 @@
+// Set-associative cache hierarchy model.
+//
+// Latency-oriented: tracks tags and coherence ownership so copies and
+// cross-CPU transfers show the knees the paper's Figure 6 annotates (L1$/L2$
+// sizes) and the ≠CPU penalty of moving producer-written lines to a consumer.
+// It is not a full MESI simulator: we track, per line, which CPU last wrote
+// it, and charge a remote-transfer latency when another CPU touches it.
+#ifndef DIPC_HW_CACHE_MODEL_H_
+#define DIPC_HW_CACHE_MODEL_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "hw/cost_model.h"
+#include "hw/types.h"
+#include "sim/time.h"
+
+namespace dipc::hw {
+
+// One set-associative tag array with LRU replacement.
+class TagArray {
+ public:
+  TagArray(uint64_t size_bytes, uint32_t ways, uint64_t line_size = kCacheLineSize);
+
+  // Returns true on hit. On miss, inserts the line (evicting LRU).
+  bool Touch(uint64_t line_addr);
+  // True if present, without updating LRU or inserting.
+  bool Contains(uint64_t line_addr) const;
+  void Invalidate(uint64_t line_addr);
+  void InvalidateAll();
+
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+
+ private:
+  struct Way {
+    uint64_t tag = UINT64_MAX;
+    uint64_t lru = 0;
+  };
+
+  uint64_t sets_;
+  uint32_t ways_;
+  std::vector<Way> slots_;  // sets_ * ways_
+  uint64_t clock_ = 0;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+struct CacheStats {
+  uint64_t l1_hits = 0;
+  uint64_t l2_hits = 0;
+  uint64_t l3_hits = 0;
+  uint64_t mem_accesses = 0;
+  uint64_t remote_transfers = 0;
+};
+
+// The machine's cache hierarchy: private L1/L2 per CPU, shared L3.
+class CacheModel {
+ public:
+  CacheModel(uint32_t num_cpus, const CostModel& costs);
+
+  // Charges the latency of accessing [addr, addr+size) from `cpu`.
+  // Writes mark the lines as owned-dirty by `cpu`.
+  sim::Duration Access(CpuId cpu, uint64_t addr, uint64_t size, bool is_write);
+
+  // Models cache pollution: invalidates everything in a CPU's private levels.
+  void FlushPrivate(CpuId cpu);
+
+  const CacheStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = CacheStats{}; }
+
+ private:
+  struct PrivateLevels {
+    TagArray l1;
+    TagArray l2;
+  };
+
+  const CostModel& costs_;
+  std::vector<PrivateLevels> per_cpu_;
+  TagArray l3_;
+  // line -> CPU that last wrote it (+1; 0 = clean/none).
+  std::unordered_map<uint64_t, uint32_t> dirty_owner_;
+  CacheStats stats_;
+};
+
+}  // namespace dipc::hw
+
+#endif  // DIPC_HW_CACHE_MODEL_H_

@@ -1,0 +1,122 @@
+// Calibrated cost model for the simulated machine.
+//
+// The paper evaluates dIPC by *emulating* CODOMs on a Xeon E3-1220 V2
+// (4 cores @ 3.10 GHz, Table 3) and reasoning about hardware costs
+// analytically (§7.1, §7.5). We take the same approach: every primitive the
+// evaluation depends on has an explicit cost here, calibrated against the
+// anchors the paper reports:
+//
+//   - function call                       ≈ 2 ns            (§2.2)
+//   - empty Linux syscall                 ≈ 34 ns           (§2.2)
+//   - L4 Fiasco.OC same-CPU round trip    ≈ 948 ns (474×)   (§2.2)
+//   - Sem (=CPU) ≈ 1513 ns, Pipe (=CPU) ≈ 2032 ns,
+//     Local RPC (=CPU) ≈ 6856 ns, RPC (≠CPU) ≈ 7345-8442 ns (Figs. 2 and 5)
+//   - dIPC Low ≈ 6 ns, High ≈ 50.8 ns (8.47× policy spread),
+//     dIPC+proc Low ≈ 56.8 ns, High ≈ 106.9 ns
+//     (64.12× vs RPC, 8.87× vs L4, 14.16×-120.67× range)   (§7.2)
+//   - TLS wrfsbase switch dominates +proc: removing it would speed dIPC+proc
+//     by 1.54×-3.22×                                        (§7.2, §6.1.2)
+//
+// All values are Durations (integer picoseconds). Fields are mutable so
+// ablation benches (§7.5) can scale individual costs.
+#ifndef DIPC_HW_COST_MODEL_H_
+#define DIPC_HW_COST_MODEL_H_
+
+#include "sim/time.h"
+
+namespace dipc::hw {
+
+using sim::Duration;
+
+struct CostModel {
+  // ---- Core pipeline ----
+  double cpu_ghz = 3.1;
+  // One cycle at 3.1 GHz is ~322.6 ps.
+  Duration Cycles(double n) const { return Duration::Nanos(n / cpu_ghz); }
+
+  // Direct call+return within a domain (the paper's 2 ns baseline).
+  Duration function_call = Duration::Nanos(2.0);
+
+  // ---- User/kernel crossings (Fig. 2 block 2) ----
+  // syscall instruction + swapgs on entry.
+  Duration syscall_trap = Duration::Nanos(12.0);
+  // swapgs + sysret on exit. trap+sysret = the 34 ns empty-syscall anchor,
+  // minus ~2 ns of user-side call overhead.
+  Duration sysret = Duration::Nanos(10.0);
+  // Syscall dispatch trampoline: entry assembly, table lookup, ptrace/seccomp
+  // checks (Fig. 2 block 3).
+  Duration syscall_dispatch = Duration::Nanos(12.0);
+  // Hardware exception entry+return (used by CHERI/MMP-style domain switches
+  // and by APL-cache miss handling).
+  Duration exception_roundtrip = Duration::Nanos(250.0);
+  Duration pipeline_flush = Duration::Nanos(15.0);
+
+  // ---- Context and address-space switching (Fig. 2 blocks 5-6) ----
+  // Save or restore of the full integer register state.
+  Duration register_save = Duration::Nanos(45.0);
+  Duration register_restore = Duration::Nanos(45.0);
+  // Scheduler work per switch: pick_next_task, runqueue manipulation,
+  // accounting (the bulk of Fig. 2 block 5 besides register state).
+  Duration schedule_pick = Duration::Nanos(210.0);
+  // Switching the per-CPU `current` descriptor and fd-table pointer.
+  Duration current_switch = Duration::Nanos(20.0);
+  // CR3 write plus immediate TLB refill pressure (Fig. 2 block 6).
+  Duration page_table_switch = Duration::Nanos(80.0);
+  // Switching the TLS segment base (wrfsbase; §6.1.2 calls it "costly").
+  Duration tls_switch = Duration::Nanos(19.6);
+
+  // ---- Cross-CPU signalling (§2.2: "Going across CPUs is even more
+  // expensive ... dominated by the costs of inter-processor interrupts") ----
+  Duration ipi_send = Duration::Nanos(450.0);
+  Duration ipi_deliver = Duration::Nanos(650.0);
+  // Leaving the idle loop (C-state exit + scheduler entry).
+  Duration idle_exit = Duration::Nanos(350.0);
+
+  // ---- CODOMs-specific operations (§4, §4.3, §7.1) ----
+  // Cross-domain call/jump: "negligible performance impact" per the ISCA'14
+  // simulations; we charge zero beyond the regular call cost.
+  Duration domain_switch = Duration::Nanos(0.0);
+  // APL cache lookup: "less than a L1 cache hit", 1-2 cycles (§4.3).
+  Duration apl_cache_lookup = Duration::Nanos(0.5);
+  // APL cache miss: exception into the kernel + software refill (§7.5).
+  Duration apl_cache_miss = Duration::Nanos(300.0);
+  // Creating/deriving a capability in a register (unprivileged instruction).
+  Duration cap_setup = Duration::Nanos(0.7);
+  // Spilling/loading a 32 B capability to/from the DCS or tagged memory.
+  Duration cap_memory_op = Duration::Nanos(1.3);
+  // Retrieving the 5-bit hardware tag of a cached domain (§4.3 extension):
+  // "less than a L1 cache hit".
+  Duration hw_tag_lookup = Duration::Nanos(0.5);
+
+  // ---- dIPC proxy internals (§6.1.2) ----
+  // Fast-path per-thread cache-array lookup in track_process_call.
+  Duration tracker_fast_lookup = Duration::Nanos(4.0);
+  // Warm path: per-thread tree lookup + cache-array insert.
+  Duration tracker_warm_lookup = Duration::Nanos(120.0);
+  // KCS push or pop (one entry on the kernel control stack).
+  Duration kcs_op = Duration::Nanos(1.0);
+
+  // ---- Memory hierarchy (per 64 B line; used by CacheModel) ----
+  Duration l1_hit = Duration::Nanos(1.3);      // ~4 cycles
+  Duration l2_hit = Duration::Nanos(3.9);      // ~12 cycles
+  Duration l3_hit = Duration::Nanos(11.0);     // ~34 cycles
+  Duration mem_access = Duration::Nanos(60.0); // DRAM
+  // Dirty line transferred from another core's private cache.
+  Duration remote_transfer = Duration::Nanos(55.0);
+  // TLB miss page walk.
+  Duration tlb_walk = Duration::Nanos(30.0);
+
+  // ---- Devices ----
+  // 7.2k rpm disk: seek+rotational average (DVDStore on-disk config).
+  Duration disk_access = Duration::Micros(110.0);
+  // Infiniband-like NIC (MT26428): wire+switch one-way latency and per-byte
+  // cost at 10 GigE line rate (0.8 ns/B).
+  Duration nic_base_latency = Duration::Micros(1.25);
+  Duration nic_per_byte = Duration::Nanos(0.8);
+  // PIO doorbell / completion polling on the NIC fast path.
+  Duration nic_doorbell = Duration::Nanos(150.0);
+};
+
+}  // namespace dipc::hw
+
+#endif  // DIPC_HW_COST_MODEL_H_

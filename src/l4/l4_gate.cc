@@ -1,0 +1,105 @@
+#include "l4/l4_gate.h"
+
+namespace dipc::l4 {
+
+namespace {
+// User-side stub around the IPC syscall (loading MRs, checking tags).
+constexpr sim::Duration kUserStub = sim::Duration::Nanos(4.0);
+}  // namespace
+
+Message L4Gate::PopRequest() {
+  DIPC_CHECK(!queue_.empty());
+  PendingCall* pc = queue_.front();
+  queue_.pop_front();
+  in_service_ = pc;
+  return pc->request;
+}
+
+sim::Task<base::Result<Message>> L4Gate::Call(os::Env env, const Message& msg) {
+  os::Kernel& k = *env.kernel;
+  os::Thread& self = *env.self;
+  const hw::CostModel& cm = k.costs();
+  co_await k.SpendMany(self, os::Kernel::CatCost{os::TimeCat::kUser, kUserStub},
+                       os::Kernel::CatCost{os::TimeCat::kSyscallCrossing, cm.syscall_trap},
+                       os::Kernel::CatCost{os::TimeCat::kKernel, kIpcPath});
+  PendingCall pc{&self, msg, Message{}, false};
+  queue_.push_back(&pc);
+  os::Thread* server = server_wait_.WakeOneThread();
+  if (server != nullptr && server->last_cpu() == self.last_cpu()) {
+    // Rendezvous hit on this CPU: donate the time slice to the server — a
+    // direct switch, no scheduler pass (the L4 fast path).
+    co_await k.HandoffTo(env, *server, cm.register_save + cm.register_restore);
+  } else {
+    if (server != nullptr) {
+      sim::Duration ipi = k.MakeRunnable(*server, self.last_cpu());
+      co_await k.Spend(self, ipi, os::TimeCat::kKernel);
+    }
+    co_await k.Block(env);
+  }
+  // Resumed by ReplyWait.
+  DIPC_CHECK(pc.replied);
+  co_await k.SpendMany(self, os::Kernel::CatCost{os::TimeCat::kSyscallCrossing, cm.sysret},
+                       os::Kernel::CatCost{os::TimeCat::kUser, kUserStub});
+  co_return pc.reply;
+}
+
+sim::Task<Message> L4Gate::Recv(os::Env env) {
+  os::Kernel& k = *env.kernel;
+  os::Thread& self = *env.self;
+  const hw::CostModel& cm = k.costs();
+  co_await k.SpendMany(self, os::Kernel::CatCost{os::TimeCat::kUser, kUserStub},
+                       os::Kernel::CatCost{os::TimeCat::kSyscallCrossing, cm.syscall_trap},
+                       os::Kernel::CatCost{os::TimeCat::kKernel, kIpcPath});
+  while (queue_.empty()) {
+    co_await server_wait_.Wait(env);
+  }
+  Message req = PopRequest();
+  co_await k.Spend(self, cm.sysret, os::TimeCat::kSyscallCrossing);
+  co_return req;
+}
+
+sim::Task<Message> L4Gate::ReplyWait(os::Env env, const Message& reply) {
+  os::Kernel& k = *env.kernel;
+  os::Thread& self = *env.self;
+  const hw::CostModel& cm = k.costs();
+  DIPC_CHECK(in_service_ != nullptr);
+  PendingCall* pc = in_service_;
+  in_service_ = nullptr;
+  co_await k.SpendMany(self, os::Kernel::CatCost{os::TimeCat::kUser, kUserStub},
+                       os::Kernel::CatCost{os::TimeCat::kSyscallCrossing, cm.syscall_trap},
+                       os::Kernel::CatCost{os::TimeCat::kKernel, kIpcPath});
+  pc->reply = reply;
+  pc->replied = true;
+  os::Thread* caller = pc->caller;
+  if (queue_.empty()) {
+    // Nothing else pending: park for the next request, waking the caller on
+    // the way out (with a donated direct switch when it shares our CPU).
+    if (caller->last_cpu() == self.last_cpu()) {
+      server_wait_.Enqueue(&self);
+      co_await k.HandoffTo(env, *caller, cm.register_save + cm.register_restore);
+    } else {
+      sim::Duration ipi = k.MakeRunnable(*caller, self.last_cpu());
+      server_wait_.Enqueue(&self);
+      if (ipi > sim::Duration::Zero()) {
+        co_await k.Spend(self, ipi, os::TimeCat::kKernel);
+      }
+      co_await k.Block(env);
+    }
+  } else {
+    // More callers already queued: make the replied-to caller runnable and
+    // keep serving without blocking (their earlier wakeups were consumed
+    // while we were busy).
+    sim::Duration ipi = k.MakeRunnable(*caller, self.last_cpu());
+    if (ipi > sim::Duration::Zero()) {
+      co_await k.Spend(self, ipi, os::TimeCat::kKernel);
+    }
+  }
+  while (queue_.empty()) {
+    co_await server_wait_.Wait(env);
+  }
+  Message req = PopRequest();
+  co_await k.Spend(self, cm.sysret, os::TimeCat::kSyscallCrossing);
+  co_return req;
+}
+
+}  // namespace dipc::l4

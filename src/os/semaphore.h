@@ -1,0 +1,73 @@
+// POSIX-style semaphore built on a futex (§2.2's "Sem." primitive).
+//
+// Uncontended operations stay in user space (one atomic); contended ones
+// take the full syscall + futex path, and wakeups pay IPI costs when the
+// waiter sits on another CPU.
+#ifndef DIPC_OS_SEMAPHORE_H_
+#define DIPC_OS_SEMAPHORE_H_
+
+#include <cstdint>
+
+#include "os/kernel.h"
+#include "sim/task.h"
+
+namespace dipc::os {
+
+class Semaphore : public KernelObject {
+ public:
+  explicit Semaphore(int64_t initial = 0) : count_(initial) {}
+
+  std::string_view type_name() const override { return "semaphore"; }
+
+  // Calibration (documented in hw/cost_model.h's header comment): glibc
+  // sem_wait/sem_post user fast path, and the kernel futex wait/wake work.
+  static constexpr sim::Duration kUserFastPath = sim::Duration::Nanos(9.0);
+  static constexpr sim::Duration kFutexWaitKernel = sim::Duration::Nanos(140.0);
+  static constexpr sim::Duration kFutexWakeKernel = sim::Duration::Nanos(130.0);
+
+  sim::Task<void> Wait(Env env) {
+    Kernel& k = *env.kernel;
+    co_await k.Spend(*env.self, kUserFastPath, TimeCat::kUser);
+    if (count_ > 0) {
+      --count_;  // uncontended: futex not entered
+      co_return;
+    }
+    co_await k.SyscallEnter(env);
+    co_await k.Spend(*env.self, kFutexWaitKernel, TimeCat::kKernel);
+    if (count_ > 0) {
+      --count_;  // raced with a post while entering the kernel
+    } else {
+      co_await waiters_.Wait(env);
+      // Woken by Post: the token was handed to us directly.
+    }
+    co_await k.SyscallExit(env);
+  }
+
+  sim::Task<void> Post(Env env) {
+    Kernel& k = *env.kernel;
+    co_await k.Spend(*env.self, kUserFastPath, TimeCat::kUser);
+    Thread* waiter = waiters_.WakeOneThread();
+    if (waiter == nullptr) {
+      ++count_;  // nobody waiting: user-space only
+      co_return;
+    }
+    co_await k.SyscallEnter(env);
+    co_await k.Spend(*env.self, kFutexWakeKernel, TimeCat::kKernel);
+    sim::Duration ipi = k.MakeRunnable(*waiter, env.self->last_cpu());
+    if (ipi > sim::Duration::Zero()) {
+      co_await k.Spend(*env.self, ipi, TimeCat::kKernel);
+    }
+    co_await k.SyscallExit(env);
+  }
+
+  int64_t count() const { return count_; }
+  size_t waiter_count() const { return waiters_.size(); }
+
+ private:
+  int64_t count_;
+  WaitQueue waiters_;
+};
+
+}  // namespace dipc::os
+
+#endif  // DIPC_OS_SEMAPHORE_H_

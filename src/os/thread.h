@@ -1,0 +1,113 @@
+// Kernel threads. A thread's body is a C++20 coroutine driven by the
+// discrete-event engine; blocking kernel operations are co_await points.
+#ifndef DIPC_OS_THREAD_H_
+#define DIPC_OS_THREAD_H_
+
+#include <coroutine>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "base/result.h"
+#include "codoms/cap_context.h"
+#include "hw/types.h"
+#include "os/process.h"
+#include "sim/task.h"
+
+namespace dipc::os {
+
+class Kernel;
+class Thread;
+
+using Tid = uint64_t;
+
+// The handle a thread body receives: its kernel and its own thread object.
+struct Env {
+  Kernel* kernel = nullptr;
+  Thread* self = nullptr;
+};
+
+using ThreadBody = std::function<sim::Task<void>(Env)>;
+
+enum class ThreadState : uint8_t {
+  kCreated,
+  kRunnable,  // on a run queue or pending dispatch
+  kRunning,
+  kBlocked,
+  kDead,
+};
+
+class Thread {
+ public:
+  Thread(Tid tid, std::string name, Process& process, ThreadBody body, int pin_cpu)
+      : tid_(tid),
+        name_(std::move(name)),
+        process_(&process),
+        body_fn_(std::move(body)),
+        pin_cpu_(pin_cpu),
+        cap_ctx_(tid) {}
+  Thread(const Thread&) = delete;
+  Thread& operator=(const Thread&) = delete;
+
+  Tid tid() const { return tid_; }
+  const std::string& name() const { return name_; }
+
+  Process& process() { return *process_; }
+  const Process& process() const { return *process_; }
+  // dIPC in-place switches: the thread temporarily executes *in* another
+  // process (time-slice donation, §6.1.2).
+  void set_process(Process& p) { process_ = &p; }
+
+  ThreadState state() const { return state_; }
+  void set_state(ThreadState s) { state_ = s; }
+
+  int pin_cpu() const { return pin_cpu_; }
+  hw::CpuId last_cpu() const { return last_cpu_; }
+  void set_last_cpu(hw::CpuId c) { last_cpu_ = c; }
+
+  codoms::ThreadCapContext& cap_ctx() { return cap_ctx_; }
+
+  // Errno-like flag raised by dIPC KCS unwinding when a callee fails
+  // (§5.2.1); consumed by the caller's stub after the proxy returns.
+  base::ErrorCode TakeError() {
+    base::ErrorCode e = error_;
+    error_ = base::ErrorCode::kOk;
+    return e;
+  }
+  void FlagError(base::ErrorCode e) { error_ = e; }
+
+  // Internal: suspension point bookkeeping (kernel/scheduler use only).
+  void set_resume_point(std::coroutine_handle<> h) { resume_point_ = h; }
+  std::coroutine_handle<> take_resume_point() {
+    auto h = resume_point_;
+    resume_point_ = nullptr;
+    return h;
+  }
+  bool has_resume_point() const { return resume_point_ != nullptr; }
+
+  // Internal: kernel starts the body task and keeps it alive here.
+  ThreadBody& body_fn() { return body_fn_; }
+  sim::Task<void>& task() { return task_; }
+  void set_task(sim::Task<void> t) { task_ = std::move(t); }
+
+  std::deque<Thread*>& joiners() { return joiners_; }
+
+ private:
+  Tid tid_;
+  std::string name_;
+  Process* process_;
+  ThreadBody body_fn_;  // kept alive: the coroutine frame references it
+  sim::Task<void> task_;
+  std::coroutine_handle<> resume_point_;
+  ThreadState state_ = ThreadState::kCreated;
+  int pin_cpu_;
+  hw::CpuId last_cpu_ = 0;
+  base::ErrorCode error_ = base::ErrorCode::kOk;
+  codoms::ThreadCapContext cap_ctx_;
+  std::deque<Thread*> joiners_;
+};
+
+}  // namespace dipc::os
+
+#endif  // DIPC_OS_THREAD_H_

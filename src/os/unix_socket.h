@@ -1,0 +1,113 @@
+// UNIX-domain stream sockets, including SCM_RIGHTS-style kernel-object
+// passing and a named-socket registry.
+//
+// This is the substrate under glibc-rpcgen local RPC (§2.2, §7.2), under the
+// OLTP baseline's FastCGI/DB connections (§7.4), and under dIPC's default
+// entry-point resolution (§6.2.1). dIPC also relies on fd passing to
+// delegate domain handles between processes (§5.2.2).
+#ifndef DIPC_OS_UNIX_SOCKET_H_
+#define DIPC_OS_UNIX_SOCKET_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/result.h"
+#include "os/kernel.h"
+#include "sim/task.h"
+
+namespace dipc::os {
+
+class UnixStreamEnd;
+
+// Shared state of a connected socket pair: one ring + waiters per direction.
+class UnixStreamCore {
+ public:
+  static constexpr uint64_t kBufSize = 64 * 1024;
+  // af_unix kernel path per op: socket locks, skb management, queue work.
+  static constexpr sim::Duration kKernelPath = sim::Duration::Nanos(450.0);
+
+  explicit UnixStreamCore(Kernel& kernel);
+
+  // Creates the two connected endpoints.
+  static std::pair<std::shared_ptr<UnixStreamEnd>, std::shared_ptr<UnixStreamEnd>> CreatePair(
+      Kernel& kernel);
+
+ private:
+  friend class UnixStreamEnd;
+
+  struct Direction {
+    hw::PhysAddr buf_pa = 0;
+    uint64_t rpos = 0;
+    uint64_t wpos = 0;
+    uint64_t fill = 0;
+    bool closed = false;
+    WaitQueue readers;
+    WaitQueue writers;
+    std::deque<std::shared_ptr<KernelObject>> passed_objects;
+  };
+
+  Kernel& kernel_;
+  Direction dirs_[2];  // dirs_[i]: data flowing *from* endpoint i
+};
+
+class UnixStreamEnd : public KernelObject {
+ public:
+  UnixStreamEnd(std::shared_ptr<UnixStreamCore> core, int side)
+      : core_(std::move(core)), side_(side) {}
+
+  std::string_view type_name() const override { return "unix-stream"; }
+
+  // Blocking send of all `len` bytes. `handles`, if any, are delivered to
+  // the peer as ancillary data (SCM_RIGHTS).
+  sim::Task<base::Result<uint64_t>> Send(Env env, hw::VirtAddr va, uint64_t len,
+                                         std::vector<std::shared_ptr<KernelObject>> handles = {});
+
+  // Blocking receive of up to `len` bytes; drains any pending ancillary
+  // handles into `handles_out` when non-null. Returns 0 at EOF.
+  sim::Task<base::Result<uint64_t>> Recv(Env env, hw::VirtAddr va, uint64_t len,
+                                         std::vector<std::shared_ptr<KernelObject>>* handles_out =
+                                             nullptr);
+
+  // Receives exactly `len` bytes (loops; kBrokenChannel on premature EOF).
+  sim::Task<base::Status> RecvExact(Env env, hw::VirtAddr va, uint64_t len,
+                                    std::vector<std::shared_ptr<KernelObject>>* handles_out =
+                                        nullptr);
+
+  void Close();
+
+  uint64_t rx_fill() const { return core_->dirs_[1 - side_].fill; }
+
+ private:
+  UnixStreamCore::Direction& tx() { return core_->dirs_[side_]; }
+  UnixStreamCore::Direction& rx() { return core_->dirs_[1 - side_]; }
+
+  std::shared_ptr<UnixStreamCore> core_;
+  int side_;
+};
+
+// A named listening socket (bound via Kernel::BindPath).
+class UnixListener : public KernelObject {
+ public:
+  explicit UnixListener(Kernel& kernel) : kernel_(kernel) {}
+
+  std::string_view type_name() const override { return "unix-listener"; }
+
+  // Client side: connect to `path`; returns the client endpoint.
+  static sim::Task<base::Result<std::shared_ptr<UnixStreamEnd>>> Connect(Env env,
+                                                                         const std::string& path);
+
+  // Server side: blocks until a connection arrives.
+  sim::Task<base::Result<std::shared_ptr<UnixStreamEnd>>> Accept(Env env);
+
+ private:
+  Kernel& kernel_;
+  std::deque<std::shared_ptr<UnixStreamEnd>> pending_;
+  WaitQueue acceptors_;
+};
+
+}  // namespace dipc::os
+
+#endif  // DIPC_OS_UNIX_SOCKET_H_

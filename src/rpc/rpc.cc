@@ -1,0 +1,137 @@
+#include "rpc/rpc.h"
+
+#include <cstring>
+
+namespace dipc::rpc {
+
+namespace {
+
+// Serializes a header into a small stack buffer.
+void PackHeader(const WireHeader& h, std::byte out[kHeaderBytes]) {
+  std::memcpy(out, &h.xid, 4);
+  std::memcpy(out + 4, &h.proc, 4);
+  std::memcpy(out + 8, &h.len, 4);
+}
+
+WireHeader UnpackHeader(const std::byte in[kHeaderBytes]) {
+  WireHeader h;
+  std::memcpy(&h.xid, in, 4);
+  std::memcpy(&h.proc, in + 4, 4);
+  std::memcpy(&h.len, in + 8, 4);
+  return h;
+}
+
+constexpr uint64_t kIoBufSize = 2 * 1024 * 1024;  // generous: Fig. 6 sweeps to 1 MB
+
+}  // namespace
+
+sim::Task<base::Result<std::unique_ptr<RpcClient>>> RpcClient::Connect(os::Env env,
+                                                                       const std::string& path) {
+  auto conn = co_await os::UnixListener::Connect(env, path);
+  if (!conn.ok()) {
+    co_return conn.code();
+  }
+  auto buf = env.kernel->MapAnonymous(env.self->process(), kIoBufSize,
+                                      hw::PageFlags{.writable = true});
+  if (!buf.ok()) {
+    co_return buf.code();
+  }
+  co_return std::make_unique<RpcClient>(std::move(conn).value(), buf.value());
+}
+
+sim::Task<base::Result<std::vector<std::byte>>> RpcClient::Call(os::Env env, ProcId proc,
+                                                                std::span<const std::byte> args) {
+  os::Kernel& k = *env.kernel;
+  os::Thread& self = *env.self;
+  // Client stub: bookkeeping + marshalling (user time, Fig. 2 block 1).
+  co_await k.Spend(self, kClientStubCost + MarshalCost(args.size()), os::TimeCat::kUser);
+  WireHeader h{next_xid_++, proc, static_cast<uint32_t>(args.size())};
+  std::byte hdr[kHeaderBytes];
+  PackHeader(h, hdr);
+  base::Status s = k.UserWrite(self, io_buf_, std::span<const std::byte>(hdr, kHeaderBytes));
+  if (s.ok() && !args.empty()) {
+    s = k.UserWrite(self, io_buf_ + kHeaderBytes, args);
+  }
+  if (!s.ok()) {
+    co_return s.code();
+  }
+  auto sent = co_await sock_->Send(env, io_buf_, kHeaderBytes + args.size());
+  if (!sent.ok()) {
+    co_return sent.code();
+  }
+  // Block for the reply header, then the body.
+  s = co_await sock_->RecvExact(env, io_buf_, kHeaderBytes);
+  if (!s.ok()) {
+    co_return s.code();
+  }
+  std::byte rhdr[kHeaderBytes];
+  DIPC_CHECK(k.UserRead(self, io_buf_, std::span<std::byte>(rhdr, kHeaderBytes)).ok());
+  WireHeader rh = UnpackHeader(rhdr);
+  std::vector<std::byte> body(rh.len);
+  if (rh.len > 0) {
+    s = co_await sock_->RecvExact(env, io_buf_ + kHeaderBytes, rh.len);
+    if (!s.ok()) {
+      co_return s.code();
+    }
+    DIPC_CHECK(k.UserRead(self, io_buf_ + kHeaderBytes, body).ok());
+  }
+  // Unmarshal results (user time).
+  co_await k.Spend(self, MarshalCost(body.size()), os::TimeCat::kUser);
+  co_return body;
+}
+
+base::Result<std::shared_ptr<os::UnixListener>> RpcServer::Bind(const std::string& path) {
+  auto listener = std::make_shared<os::UnixListener>(kernel_);
+  base::Status s = kernel_.BindPath(path, listener);
+  if (!s.ok()) {
+    return s.code();
+  }
+  return listener;
+}
+
+sim::Task<void> RpcServer::ServeConn(os::Env env, std::shared_ptr<os::UnixStreamEnd> conn) {
+  os::Kernel& k = *env.kernel;
+  os::Thread& self = *env.self;
+  auto buf = k.MapAnonymous(self.process(), kIoBufSize, hw::PageFlags{.writable = true});
+  DIPC_CHECK(buf.ok());
+  hw::VirtAddr io = buf.value();
+  while (true) {
+    auto s = co_await conn->RecvExact(env, io, kHeaderBytes);
+    if (!s.ok()) {
+      co_return;  // peer hung up
+    }
+    std::byte hdr[kHeaderBytes];
+    DIPC_CHECK(k.UserRead(self, io, std::span<std::byte>(hdr, kHeaderBytes)).ok());
+    WireHeader h = UnpackHeader(hdr);
+    std::vector<std::byte> body(h.len);
+    if (h.len > 0) {
+      s = co_await conn->RecvExact(env, io + kHeaderBytes, h.len);
+      if (!s.ok()) {
+        co_return;
+      }
+      DIPC_CHECK(k.UserRead(self, io + kHeaderBytes, body).ok());
+    }
+    // Demultiplex + unmarshal (user time; §2.2 "callees must also dispatch
+    // requests from a single IPC channel into their respective handler").
+    co_await k.Spend(self, kServerDispatchCost + MarshalCost(body.size()), os::TimeCat::kUser);
+    auto it = handlers_.find(h.proc);
+    std::vector<std::byte> reply;
+    if (it != handlers_.end()) {
+      reply = co_await it->second(env, std::move(body));
+    }
+    // Marshal + send the reply.
+    co_await k.Spend(self, MarshalCost(reply.size()), os::TimeCat::kUser);
+    WireHeader rh{h.xid, h.proc, static_cast<uint32_t>(reply.size())};
+    PackHeader(rh, hdr);
+    DIPC_CHECK(k.UserWrite(self, io, std::span<const std::byte>(hdr, kHeaderBytes)).ok());
+    if (!reply.empty()) {
+      DIPC_CHECK(k.UserWrite(self, io + kHeaderBytes, reply).ok());
+    }
+    auto sent = co_await conn->Send(env, io, kHeaderBytes + reply.size());
+    if (!sent.ok()) {
+      co_return;
+    }
+  }
+}
+
+}  // namespace dipc::rpc

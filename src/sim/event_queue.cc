@@ -1,0 +1,79 @@
+#include "sim/event_queue.h"
+
+#include <utility>
+
+#include "base/check.h"
+
+namespace dipc::sim {
+
+EventId EventQueue::ScheduleAt(Time t, std::function<void()> fn) {
+  DIPC_CHECK(t >= now_);
+  DIPC_CHECK(fn != nullptr);
+  EventId id = next_id_++;
+  heap_.push(Entry{t, next_seq_++, id});
+  actions_.emplace(id, std::move(fn));
+  ++live_count_;
+  return id;
+}
+
+bool EventQueue::Cancel(EventId id) {
+  auto it = actions_.find(id);
+  if (it == actions_.end()) {
+    return false;
+  }
+  actions_.erase(it);  // heap entry becomes a tombstone, skipped in RunOne
+  --live_count_;
+  return true;
+}
+
+bool EventQueue::RunOne() {
+  while (!heap_.empty()) {
+    Entry top = heap_.top();
+    auto it = actions_.find(top.id);
+    if (it == actions_.end()) {
+      heap_.pop();  // cancelled
+      continue;
+    }
+    heap_.pop();
+    std::function<void()> fn = std::move(it->second);
+    actions_.erase(it);
+    --live_count_;
+    DIPC_CHECK(top.at >= now_);
+    now_ = top.at;
+    ++fired_count_;
+    fn();
+    return true;
+  }
+  return false;
+}
+
+uint64_t EventQueue::RunUntilIdle(uint64_t max_events) {
+  uint64_t n = 0;
+  while (n < max_events && RunOne()) {
+    ++n;
+  }
+  return n;
+}
+
+uint64_t EventQueue::RunUntil(Time deadline) {
+  uint64_t n = 0;
+  while (!heap_.empty()) {
+    // Peek past tombstones to find the next live event time.
+    Entry top = heap_.top();
+    if (actions_.find(top.id) == actions_.end()) {
+      heap_.pop();
+      continue;
+    }
+    if (top.at > deadline) {
+      break;
+    }
+    RunOne();
+    ++n;
+  }
+  if (now_ < deadline) {
+    now_ = deadline;
+  }
+  return n;
+}
+
+}  // namespace dipc::sim

@@ -1,0 +1,79 @@
+// Discrete-event simulation core: a cancellable time-ordered event queue.
+//
+// Events scheduled for the same instant fire in scheduling order, which keeps
+// whole-system runs deterministic (a requirement for reproducible benchmarks).
+#ifndef DIPC_SIM_EVENT_QUEUE_H_
+#define DIPC_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace dipc::sim {
+
+using EventId = uint64_t;
+inline constexpr EventId kInvalidEventId = 0;
+
+class EventQueue {
+ public:
+  EventQueue() = default;
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  Time now() const { return now_; }
+
+  // Schedules `fn` to run at absolute time `t` (must be >= now()).
+  EventId ScheduleAt(Time t, std::function<void()> fn);
+
+  // Schedules `fn` to run `d` after now().
+  EventId ScheduleAfter(Duration d, std::function<void()> fn) {
+    return ScheduleAt(now_ + d, std::move(fn));
+  }
+
+  // Cancels a pending event. Returns false if it already fired or was cancelled.
+  bool Cancel(EventId id);
+
+  // Runs the earliest pending event; returns false if the queue is empty.
+  bool RunOne();
+
+  // Runs events until the queue drains or `max_events` fire. Returns the count.
+  uint64_t RunUntilIdle(uint64_t max_events = UINT64_MAX);
+
+  // Runs events with firing time <= `deadline`; advances now() to `deadline`
+  // even if the queue drains earlier.
+  uint64_t RunUntil(Time deadline);
+
+  bool empty() const { return live_count_ == 0; }
+  uint64_t pending() const { return live_count_; }
+  uint64_t total_fired() const { return fired_count_; }
+
+ private:
+  struct Entry {
+    Time at;
+    uint64_t seq;  // tie-breaker: FIFO among same-time events
+    EventId id;
+    // Ordered as a min-heap via std::greater.
+    bool operator>(const Entry& other) const {
+      if (at != other.at) {
+        return at > other.at;
+      }
+      return seq > other.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap_;
+  std::unordered_map<EventId, std::function<void()>> actions_;
+  Time now_;
+  uint64_t next_seq_ = 1;
+  EventId next_id_ = 1;
+  uint64_t live_count_ = 0;
+  uint64_t fired_count_ = 0;
+};
+
+}  // namespace dipc::sim
+
+#endif  // DIPC_SIM_EVENT_QUEUE_H_

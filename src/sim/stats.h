@@ -1,0 +1,74 @@
+// Small statistics helpers for benchmark harnesses.
+#ifndef DIPC_SIM_STATS_H_
+#define DIPC_SIM_STATS_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "base/check.h"
+
+namespace dipc::sim {
+
+// Streaming mean / variance (Welford).
+class RunningStat {
+ public:
+  void Add(double x) {
+    ++count_;
+    double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    min_ = count_ == 1 ? x : std::min(min_, x);
+    max_ = count_ == 1 ? x : std::max(max_, x);
+  }
+
+  size_t count() const { return count_; }
+  double mean() const { return mean_; }
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double variance() const { return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0; }
+  double stddev() const { return std::sqrt(variance()); }
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Sample collector with percentiles (keeps all samples; benches are small).
+class Samples {
+ public:
+  void Add(double x) {
+    values_.push_back(x);
+    stat_.Add(x);
+  }
+
+  size_t count() const { return values_.size(); }
+  double mean() const { return stat_.mean(); }
+  double stddev() const { return stat_.stddev(); }
+  double min() const { return stat_.min(); }
+  double max() const { return stat_.max(); }
+
+  double Percentile(double p) const {
+    DIPC_CHECK(!values_.empty());
+    DIPC_CHECK(p >= 0.0 && p <= 100.0);
+    std::vector<double> sorted = values_;
+    std::sort(sorted.begin(), sorted.end());
+    double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+    size_t lo = static_cast<size_t>(rank);
+    size_t hi = std::min(lo + 1, sorted.size() - 1);
+    double frac = rank - static_cast<double>(lo);
+    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+  }
+
+ private:
+  std::vector<double> values_;
+  RunningStat stat_;
+};
+
+}  // namespace dipc::sim
+
+#endif  // DIPC_SIM_STATS_H_

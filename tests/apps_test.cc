@@ -1,0 +1,146 @@
+// Integration tests for the application substrates: the OLTP web stack and
+// the netpipe driver-isolation harness. These validate the *shapes* the
+// paper's macro-benchmarks rely on; exact numbers live in EXPERIMENTS.md.
+#include <gtest/gtest.h>
+
+#include "apps/netpipe/netpipe.h"
+#include "apps/oltp/oltp.h"
+
+namespace dipc::apps {
+namespace {
+
+OltpConfig QuickConfig(OltpMode mode, DbStorage storage, int threads) {
+  OltpConfig c;
+  c.mode = mode;
+  c.storage = storage;
+  c.threads = threads;
+  c.warmup = sim::Duration::Millis(20);
+  c.measure = sim::Duration::Millis(150);
+  return c;
+}
+
+TEST(Oltp, AllModesMakeProgress) {
+  for (OltpMode mode : {OltpMode::kLinuxIpc, OltpMode::kDipc, OltpMode::kIdeal}) {
+    OltpResult r = RunOltp(QuickConfig(mode, DbStorage::kMemory, 16));
+    EXPECT_GT(r.operations, 20u) << OltpModeName(mode);
+    EXPECT_GT(r.ops_per_min, 0.0);
+    EXPECT_GT(r.avg_latency_ms, 0.0);
+  }
+}
+
+TEST(Oltp, IdealBeatsLinuxAndDipcIsClose) {
+  // The core claim of Figures 1 and 8: Ideal >> Linux, dIPC >= 94% of Ideal.
+  OltpResult linux_r = RunOltp(QuickConfig(OltpMode::kLinuxIpc, DbStorage::kMemory, 64));
+  OltpResult dipc_r = RunOltp(QuickConfig(OltpMode::kDipc, DbStorage::kMemory, 64));
+  OltpResult ideal_r = RunOltp(QuickConfig(OltpMode::kIdeal, DbStorage::kMemory, 64));
+  EXPECT_GT(ideal_r.ops_per_min, linux_r.ops_per_min * 1.3);
+  EXPECT_GT(dipc_r.ops_per_min, ideal_r.ops_per_min * 0.90);
+  EXPECT_LE(dipc_r.ops_per_min, ideal_r.ops_per_min * 1.02);
+}
+
+TEST(Oltp, LinuxSpendsMoreKernelTimeThanIdeal) {
+  OltpResult linux_r = RunOltp(QuickConfig(OltpMode::kLinuxIpc, DbStorage::kMemory, 64));
+  OltpResult ideal_r = RunOltp(QuickConfig(OltpMode::kIdeal, DbStorage::kMemory, 64));
+  EXPECT_GT(linux_r.KernelFrac(), ideal_r.KernelFrac());
+  EXPECT_GT(ideal_r.UserFrac(), linux_r.UserFrac());
+}
+
+TEST(Oltp, CrossDomainCallsPerOpMatchPaper) {
+  // §7.5: ~211 cross-domain calls per operation.
+  OltpResult r = RunOltp(QuickConfig(OltpMode::kIdeal, DbStorage::kMemory, 16));
+  ASSERT_GT(r.operations, 0u);
+  double calls_per_op = static_cast<double>(r.cross_domain_calls) /
+                        static_cast<double>(r.operations);
+  EXPECT_NEAR(calls_per_op, 212.0, 8.0);
+}
+
+TEST(Oltp, DiskConfigIsSlowerThanMemory) {
+  OltpResult disk = RunOltp(QuickConfig(OltpMode::kIdeal, DbStorage::kDisk, 64));
+  OltpResult mem = RunOltp(QuickConfig(OltpMode::kIdeal, DbStorage::kMemory, 64));
+  EXPECT_LT(disk.ops_per_min, mem.ops_per_min);
+}
+
+TEST(Oltp, DiskCompressesTheSpeedupAtHighConcurrency) {
+  // Fig. 8: on-disk speedups at 512 threads (~1.1x) are far below the
+  // in-memory ones (>1.15x) because the disk saturates.
+  OltpResult linux_d = RunOltp(QuickConfig(OltpMode::kLinuxIpc, DbStorage::kDisk, 128));
+  OltpResult ideal_d = RunOltp(QuickConfig(OltpMode::kIdeal, DbStorage::kDisk, 128));
+  OltpResult linux_m = RunOltp(QuickConfig(OltpMode::kLinuxIpc, DbStorage::kMemory, 128));
+  OltpResult ideal_m = RunOltp(QuickConfig(OltpMode::kIdeal, DbStorage::kMemory, 128));
+  double speedup_disk = ideal_d.ops_per_min / linux_d.ops_per_min;
+  double speedup_mem = ideal_m.ops_per_min / linux_m.ops_per_min;
+  EXPECT_LT(speedup_disk, speedup_mem);
+}
+
+TEST(Oltp, ProxyCostAblationSlowsDipc) {
+  OltpConfig base = QuickConfig(OltpMode::kDipc, DbStorage::kMemory, 32);
+  OltpConfig scaled = base;
+  scaled.proxy_cost_scale = 14.0;  // the §7.5 slack bound
+  OltpResult r1 = RunOltp(base);
+  OltpResult r14 = RunOltp(scaled);
+  EXPECT_LT(r14.ops_per_min, r1.ops_per_min);
+  // Even at 14x the proxy cost, throughput must not collapse (the paper's
+  // argument that hardware-crossing costs have large slack).
+  EXPECT_GT(r14.ops_per_min, r1.ops_per_min * 0.5);
+}
+
+TEST(Oltp, WorstCaseCapLoadsCostRoughlyTenPercent) {
+  OltpConfig base = QuickConfig(OltpMode::kDipc, DbStorage::kMemory, 32);
+  OltpConfig caps = base;
+  caps.worst_case_cap_loads = true;
+  OltpResult r_base = RunOltp(base);
+  OltpResult r_caps = RunOltp(caps);
+  double overhead = 1.0 - r_caps.ops_per_min / r_base.ops_per_min;
+  EXPECT_GT(overhead, 0.04);
+  EXPECT_LT(overhead, 0.25);  // paper models ~12%
+}
+
+TEST(Netpipe, InlineLatencyNearWire) {
+  NetpipeResult r = RunNetpipe({.isolation = DriverIsolation::kInline, .transfer_bytes = 1});
+  // One-way ~ nic_base_latency plus verb costs.
+  EXPECT_GT(r.latency_us, 1.0);
+  EXPECT_LT(r.latency_us, 4.0);
+}
+
+TEST(Netpipe, IsolationOverheadOrdering) {
+  // Fig. 7: dIPC ~1%, syscalls ~10%, IPC >100% latency overhead.
+  auto lat = [](DriverIsolation iso) {
+    return RunNetpipe({.isolation = iso, .transfer_bytes = 4}).latency_us;
+  };
+  double base = lat(DriverIsolation::kInline);
+  double dipc_dom = lat(DriverIsolation::kDipcDomain);
+  double dipc_proc = lat(DriverIsolation::kDipcProcess);
+  double kern = lat(DriverIsolation::kKernel);
+  double sem = lat(DriverIsolation::kSemaphore);
+  double pipe = lat(DriverIsolation::kPipe);
+  EXPECT_LT(dipc_dom, dipc_proc);
+  EXPECT_LT(dipc_proc, kern);
+  EXPECT_LT(kern, sem);
+  EXPECT_LT(sem, pipe);
+  // dIPC stays within a few percent of bare metal; full IPC does not.
+  EXPECT_LT((dipc_dom - base) / base, 0.05);
+  EXPECT_GT((sem - base) / base, 0.5);
+}
+
+TEST(Netpipe, BandwidthGrowsWithTransferSize) {
+  auto bw = [](uint64_t n) {
+    return RunNetpipe({.isolation = DriverIsolation::kInline, .transfer_bytes = n, .rounds = 32})
+        .bandwidth_mbps;
+  };
+  EXPECT_LT(bw(64), bw(1024));
+  EXPECT_LT(bw(1024), bw(4096));
+}
+
+TEST(Netpipe, PipeCopiesHurtBandwidthMoreThanSem) {
+  auto bw = [](DriverIsolation iso) {
+    return RunNetpipe({.isolation = iso, .transfer_bytes = 4096, .rounds = 32}).bandwidth_mbps;
+  };
+  double b_dipc = bw(DriverIsolation::kDipcDomain);
+  double b_sem = bw(DriverIsolation::kSemaphore);
+  double b_pipe = bw(DriverIsolation::kPipe);
+  EXPECT_GT(b_dipc, b_sem);
+  EXPECT_GT(b_sem, b_pipe);
+}
+
+}  // namespace
+}  // namespace dipc::apps

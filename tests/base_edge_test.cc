@@ -1,0 +1,175 @@
+// Edge cases across small modules: base::Result/Status, loader error paths,
+// socket hangup semantics, KCS whole-chain-dead unwinding, and global-VAS
+// bookkeeping.
+#include <gtest/gtest.h>
+
+#include "base/result.h"
+#include "codoms/codoms.h"
+#include "dipc/dipc.h"
+#include "dipc/kcs.h"
+#include "dipc/loader.h"
+#include "hw/machine.h"
+#include "os/kernel.h"
+#include "os/unix_socket.h"
+
+namespace dipc {
+namespace {
+
+using base::ErrorCode;
+using base::Result;
+using base::Status;
+using sim::Duration;
+
+TEST(Status, OkByDefaultAndNamed) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.name(), "kOk");
+  Status e = ErrorCode::kFault;
+  EXPECT_FALSE(e.ok());
+  EXPECT_EQ(e.name(), "kFault");
+  EXPECT_NE(s, e);
+}
+
+TEST(ResultT, ValueAndErrorPaths) {
+  Result<int> ok(42);
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 42);
+  EXPECT_EQ(ok.value_or(7), 42);
+  Result<int> bad(ErrorCode::kNotFound);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.code(), ErrorCode::kNotFound);
+  EXPECT_EQ(bad.value_or(7), 7);
+}
+
+TEST(ResultT, MoveOnlyValues) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(5));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 5);
+}
+
+TEST(ResultT, EveryErrorCodeHasAName) {
+  for (uint8_t c = 0; c <= static_cast<uint8_t>(ErrorCode::kNotSupported); ++c) {
+    EXPECT_NE(base::ErrorCodeName(static_cast<ErrorCode>(c)), "kUnknown");
+  }
+}
+
+class EdgeTest : public ::testing::Test {
+ protected:
+  EdgeTest() : machine_(2), codoms_(machine_), kernel_(machine_, codoms_), dipc_(kernel_) {}
+  hw::Machine machine_;
+  codoms::Codoms codoms_;
+  os::Kernel kernel_;
+  core::Dipc dipc_;
+};
+
+TEST_F(EdgeTest, LoaderRejectsUnknownDomains) {
+  core::Loader loader(dipc_);
+  os::Process& p = dipc_.CreateDipcProcess("p");
+  bool checked = false;
+  kernel_.Spawn(p, "main", [&](os::Env env) -> sim::Task<void> {
+    core::ModuleSpec perm_spec;
+    perm_spec.name = "m";
+    perm_spec.perms.push_back(core::PermSpec{"", "nonexistent", core::DomPerm::kRead});
+    EXPECT_EQ(loader.Load(env, std::move(perm_spec)).code(), ErrorCode::kNotFound);
+    core::ModuleSpec entry_spec;
+    entry_spec.name = "m2";
+    entry_spec.entries.push_back(core::EntrySpec{
+        .domain = "missing",
+        .name = "f",
+        .signature = {},
+        .callee_policy = {},
+        .fn = [](os::Env, core::CallArgs) -> sim::Task<uint64_t> { co_return 0; }});
+    EXPECT_EQ(loader.Load(env, std::move(entry_spec)).code(), ErrorCode::kNotFound);
+    checked = true;
+    co_return;
+  });
+  kernel_.Run();
+  EXPECT_TRUE(checked);
+}
+
+TEST_F(EdgeTest, EntryRegisterRejectsEmptyAndNullFn) {
+  os::Process& p = dipc_.CreateDipcProcess("p");
+  auto dom = dipc_.DomDefault(p);
+  EXPECT_EQ(dipc_.EntryRegister(p, *dom, {}).code(), ErrorCode::kInvalidArgument);
+  core::EntryDesc no_fn;
+  no_fn.name = "f";
+  EXPECT_EQ(dipc_.EntryRegister(p, *dom, {no_fn}).code(), ErrorCode::kInvalidArgument);
+}
+
+TEST_F(EdgeTest, SocketCloseUnblocksPeer) {
+  os::Process& p = kernel_.CreateProcess("p");
+  auto [a, b] = os::UnixStreamCore::CreatePair(kernel_);
+  auto buf = kernel_.MapAnonymous(p, hw::kPageSize, hw::PageFlags{.writable = true});
+  ASSERT_TRUE(buf.ok());
+  bool got_eof = false;
+  bool send_failed = false;
+  kernel_.Spawn(p, "reader", [&, b = b](os::Env env) -> sim::Task<void> {
+    auto n = co_await b->Recv(env, buf.value(), 8);
+    got_eof = n.ok() && n.value() == 0;
+    // Sending on a closed stream fails cleanly.
+    auto s = co_await b->Send(env, buf.value(), 8);
+    send_failed = !s.ok();
+  });
+  kernel_.Spawn(p, "closer", [&, a = a](os::Env env) -> sim::Task<void> {
+    co_await env.kernel->Sleep(env, Duration::Micros(10));
+    a->Close();
+    co_return;
+  });
+  kernel_.Run();
+  EXPECT_TRUE(got_eof);
+  EXPECT_TRUE(send_failed);
+}
+
+TEST_F(EdgeTest, KcsUnwindWithEveryCallerDeadReturnsNull) {
+  core::Kcs kcs;
+  os::Process& p1 = kernel_.CreateProcess("p1");
+  os::Process& p2 = kernel_.CreateProcess("p2");
+  kcs.Push(core::KcsEntry{.caller_process = &p1});
+  kcs.Push(core::KcsEntry{.caller_process = &p2});
+  p1.MarkDead();
+  p2.MarkDead();
+  EXPECT_EQ(kcs.UnwindToLiveCaller(), nullptr);
+  EXPECT_TRUE(kcs.empty());
+}
+
+TEST_F(EdgeTest, KcsUnwindSkipsDeadAndStopsAtLive) {
+  core::Kcs kcs;
+  os::Process& live = kernel_.CreateProcess("live");
+  os::Process& dead = kernel_.CreateProcess("dead");
+  kcs.Push(core::KcsEntry{.caller_process = &live});
+  kcs.Push(core::KcsEntry{.caller_process = &dead});
+  dead.MarkDead();
+  const core::KcsEntry* e = kcs.UnwindToLiveCaller();
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->caller_process, &live);
+  EXPECT_TRUE(kcs.empty());
+}
+
+TEST_F(EdgeTest, GlobalVasBlocksAreDisjointAndCounted) {
+  core::GlobalVas& vas = dipc_.vas();
+  uint64_t before = vas.blocks_allocated();
+  hw::VirtAddr a = vas.AllocBlock();
+  hw::VirtAddr b = vas.AllocBlock();
+  EXPECT_EQ(b - a, core::GlobalVas::kBlockSize);
+  EXPECT_EQ(vas.blocks_allocated(), before + 2);
+}
+
+TEST_F(EdgeTest, DomMmapZeroLengthRejected) {
+  os::Process& p = dipc_.CreateDipcProcess("p");
+  auto dom = dipc_.DomDefault(p);
+  EXPECT_EQ(dipc_.DomMmap(p, *dom, 0, hw::PageFlags{.writable = true}).code(),
+            ErrorCode::kInvalidArgument);
+}
+
+TEST_F(EdgeTest, DomRemapRejectsUnalignedAddress) {
+  os::Process& p = dipc_.CreateDipcProcess("p");
+  auto def = dipc_.DomDefault(p);
+  auto pool = dipc_.DomCreate(p);
+  ASSERT_TRUE(pool.ok());
+  EXPECT_EQ(dipc_.DomRemap(p, *pool.value(), *def, 0x1001, 4096).code(),
+            ErrorCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace dipc

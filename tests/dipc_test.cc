@@ -1,0 +1,793 @@
+// Tests for the dIPC core: Table 2 objects/operations, proxies and in-place
+// cross-process calls, isolation policies, KCS crash unwinding, the process
+// tracker, entry resolution, fork/exec, and §5.4 timeouts.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "codoms/codoms.h"
+#include "dipc/dipc.h"
+#include "dipc/loader.h"
+#include "dipc/proxy.h"
+#include "dipc/resolution.h"
+#include "hw/machine.h"
+#include "os/kernel.h"
+
+namespace dipc::core {
+namespace {
+
+using base::ErrorCode;
+using sim::Duration;
+
+class DipcTest : public ::testing::Test {
+ protected:
+  DipcTest()
+      : machine_(4),
+        codoms_(machine_),
+        kernel_(machine_, codoms_),
+        dipc_(kernel_),
+        web_(dipc_.CreateDipcProcess("web")),
+        db_(dipc_.CreateDipcProcess("db")) {}
+
+  // Runs `body` on a fresh thread of `proc` and drives the sim to idle.
+  void RunIn(os::Process& proc, std::function<sim::Task<void>(os::Env)> body, int pin = -1) {
+    kernel_.Spawn(proc, "main", std::move(body), pin);
+    kernel_.Run();
+  }
+
+  // Registers a single entry point `fn` in db_ and returns a ProxyRef wired
+  // up for calls from web_ (grants included).
+  ProxyRef MakeEntry(EntryFn fn, IsolationPolicy callee_policy = IsolationPolicy::Low(),
+                     IsolationPolicy caller_policy = IsolationPolicy::Low(),
+                     EntrySignature sig = EntrySignature{}) {
+    auto dom = dipc_.DomDefault(db_);
+    EntryDesc desc;
+    desc.name = "entry";
+    desc.signature = sig;
+    desc.policy = callee_policy;
+    desc.fn = std::move(fn);
+    auto handle = dipc_.EntryRegister(db_, *dom, {std::move(desc)});
+    DIPC_CHECK(handle.ok());
+    auto req = dipc_.EntryRequest(web_, *handle.value(), {{sig, caller_policy}});
+    DIPC_CHECK(req.ok());
+    auto web_dom = dipc_.DomDefault(web_);
+    auto grant = dipc_.GrantCreate(*web_dom, *req.value().proxy_domain);
+    DIPC_CHECK(grant.ok());
+    return req.value().proxies[0];
+  }
+
+  hw::Machine machine_;
+  codoms::Codoms codoms_;
+  os::Kernel kernel_;
+  Dipc dipc_;
+  os::Process& web_;
+  os::Process& db_;
+};
+
+// ---- Domains and grants (Table 2, P1) ----
+
+TEST_F(DipcTest, DomCopyOnlyDowngrades) {
+  auto owner = dipc_.DomDefault(web_);
+  EXPECT_EQ(owner->perm(), DomPerm::kOwner);
+  auto read = dipc_.DomCopy(*owner, DomPerm::kRead);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read.value()->perm(), DomPerm::kRead);
+  EXPECT_EQ(read.value()->tag(), owner->tag());
+  // Upgrading back fails.
+  EXPECT_EQ(dipc_.DomCopy(*read.value(), DomPerm::kOwner).code(), ErrorCode::kPermissionDenied);
+}
+
+TEST_F(DipcTest, DomMmapRequiresOwner) {
+  auto owner = dipc_.DomDefault(web_);
+  auto read = dipc_.DomCopy(*owner, DomPerm::kRead);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(dipc_.DomMmap(web_, *read.value(), 4096, hw::PageFlags{.writable = true}).code(),
+            ErrorCode::kPermissionDenied);
+  auto va = dipc_.DomMmap(web_, *owner, 4096, hw::PageFlags{.writable = true});
+  ASSERT_TRUE(va.ok());
+  EXPECT_EQ(web_.page_table().Lookup(va.value())->tag, owner->tag());
+}
+
+TEST_F(DipcTest, DomMmapLandsInsideProcessBlock) {
+  auto owner = dipc_.DomDefault(web_);
+  auto va = dipc_.DomMmap(web_, *owner, 4096, hw::PageFlags{.writable = true});
+  ASSERT_TRUE(va.ok());
+  EXPECT_GE(va.value(), GlobalVas::kBase);
+}
+
+TEST_F(DipcTest, ProcessesGetDistinctBlocks) {
+  auto w = dipc_.DomMmap(web_, *dipc_.DomDefault(web_), 4096, hw::PageFlags{.writable = true});
+  auto d = dipc_.DomMmap(db_, *dipc_.DomDefault(db_), 4096, hw::PageFlags{.writable = true});
+  ASSERT_TRUE(w.ok() && d.ok());
+  // 1 GB blocks: different processes land >= 1 GB apart.
+  uint64_t distance = w.value() > d.value() ? w.value() - d.value() : d.value() - w.value();
+  EXPECT_GE(distance, GlobalVas::kBlockSize / 2);
+}
+
+TEST_F(DipcTest, DomRemapMovesPagesBetweenDomains) {
+  auto def = dipc_.DomDefault(web_);
+  auto pool = dipc_.DomCreate(web_);
+  ASSERT_TRUE(pool.ok());
+  auto va = dipc_.DomMmap(web_, *def, 2 * 4096, hw::PageFlags{.writable = true});
+  ASSERT_TRUE(va.ok());
+  ASSERT_TRUE(dipc_.DomRemap(web_, *pool.value(), *def, va.value(), 2 * 4096).ok());
+  EXPECT_EQ(web_.page_table().Lookup(va.value())->tag, pool.value()->tag());
+  // Remapping again from the old (now wrong) source fails.
+  EXPECT_EQ(dipc_.DomRemap(web_, *pool.value(), *def, va.value(), 4096).code(),
+            ErrorCode::kInvalidArgument);
+}
+
+TEST_F(DipcTest, GrantCreateEnablesDirectCrossProcessAccess) {
+  // db exports a read-only view of a buffer; web reads it directly — no
+  // proxy, no kernel (§5.2.2's direct-access pattern).
+  auto db_dom = dipc_.DomDefault(db_);
+  auto va = dipc_.DomMmap(db_, *db_dom, 4096, hw::PageFlags{.writable = true});
+  ASSERT_TRUE(va.ok());
+  auto read_handle = dipc_.DomCopy(*db_dom, DomPerm::kRead);
+  ASSERT_TRUE(read_handle.ok());
+  auto web_dom = dipc_.DomDefault(web_);
+  auto grant = dipc_.GrantCreate(*web_dom, *read_handle.value());
+  ASSERT_TRUE(grant.ok());
+  ErrorCode read_code = ErrorCode::kOk;
+  ErrorCode write_code = ErrorCode::kOk;
+  RunIn(web_, [&](os::Env env) -> sim::Task<void> {
+    auto r = co_await env.kernel->TouchUser(env, va.value(), 64, hw::AccessType::kRead);
+    read_code = r.code();
+    auto w = co_await env.kernel->TouchUser(env, va.value(), 64, hw::AccessType::kWrite);
+    write_code = w.code();
+  });
+  EXPECT_EQ(read_code, ErrorCode::kOk);
+  EXPECT_EQ(write_code, ErrorCode::kFault);  // read handle => read-only
+}
+
+TEST_F(DipcTest, GrantRevokeCutsAccess) {
+  auto db_dom = dipc_.DomDefault(db_);
+  auto va = dipc_.DomMmap(db_, *db_dom, 4096, hw::PageFlags{.writable = true});
+  ASSERT_TRUE(va.ok());
+  auto read_handle = dipc_.DomCopy(*db_dom, DomPerm::kRead);
+  auto grant = dipc_.GrantCreate(*dipc_.DomDefault(web_), *read_handle.value());
+  ASSERT_TRUE(grant.ok());
+  ASSERT_TRUE(dipc_.GrantRevoke(*grant.value()).ok());
+  EXPECT_EQ(dipc_.GrantRevoke(*grant.value()).code(), ErrorCode::kInvalidArgument);
+  ErrorCode code = ErrorCode::kOk;
+  RunIn(web_, [&](os::Env env) -> sim::Task<void> {
+    auto r = co_await env.kernel->TouchUser(env, va.value(), 64, hw::AccessType::kRead);
+    code = r.code();
+  });
+  EXPECT_EQ(code, ErrorCode::kFault);
+}
+
+TEST_F(DipcTest, GrantCreateNeedsOwnerOnSrc) {
+  auto web_read = dipc_.DomCopy(*dipc_.DomDefault(web_), DomPerm::kRead);
+  ASSERT_TRUE(web_read.ok());
+  auto db_dom = dipc_.DomDefault(db_);
+  EXPECT_EQ(dipc_.GrantCreate(*web_read.value(), *db_dom).code(), ErrorCode::kPermissionDenied);
+}
+
+// ---- Entry points and proxies (P2-P5) ----
+
+TEST_F(DipcTest, EntryRegisterAssignsAlignedAddressesInDomain) {
+  auto dom = dipc_.DomDefault(db_);
+  EntryDesc a{.name = "a", .signature = {}, .policy = {}, .fn = [](os::Env, CallArgs)
+                  -> sim::Task<uint64_t> { co_return 1; }};
+  EntryDesc b{.name = "b", .signature = {}, .policy = {}, .fn = [](os::Env, CallArgs)
+                  -> sim::Task<uint64_t> { co_return 2; }};
+  auto handle = dipc_.EntryRegister(db_, *dom, {a, b});
+  ASSERT_TRUE(handle.ok());
+  for (size_t i = 0; i < handle.value()->count(); ++i) {
+    hw::VirtAddr addr = handle.value()->entry(i).address;
+    EXPECT_EQ(addr % codoms::kEntryAlign, 0u);
+    EXPECT_EQ(db_.page_table().Lookup(addr)->tag, dom->tag());
+  }
+}
+
+TEST_F(DipcTest, EntryRequestChecksSignatures) {
+  auto dom = dipc_.DomDefault(db_);
+  EntryDesc d{.name = "f",
+              .signature = {.in_regs = 2, .out_regs = 1, .stack_bytes = 0},
+              .policy = {},
+              .fn = [](os::Env, CallArgs) -> sim::Task<uint64_t> { co_return 0; }};
+  auto handle = dipc_.EntryRegister(db_, *dom, {d});
+  ASSERT_TRUE(handle.ok());
+  // Wrong in_regs: P4 violation.
+  auto bad = dipc_.EntryRequest(web_, *handle.value(),
+                                {{EntrySignature{.in_regs = 3, .out_regs = 1}, {}}});
+  EXPECT_EQ(bad.code(), ErrorCode::kSignatureMismatch);
+  // Wrong count.
+  auto bad2 = dipc_.EntryRequest(web_, *handle.value(), {});
+  EXPECT_EQ(bad2.code(), ErrorCode::kSignatureMismatch);
+  auto good = dipc_.EntryRequest(web_, *handle.value(),
+                                 {{EntrySignature{.in_regs = 2, .out_regs = 1}, {}}});
+  EXPECT_TRUE(good.ok());
+}
+
+TEST_F(DipcTest, CrossProcessCallRunsInPlaceAndReturnsValue) {
+  os::Process* seen_process = nullptr;
+  uint64_t seen_arg = 0;
+  ProxyRef entry = MakeEntry([&](os::Env env, CallArgs args) -> sim::Task<uint64_t> {
+    seen_process = &env.self->process();  // time-slice donation: current == db
+    seen_arg = args.regs[0];
+    co_await env.kernel->Spend(*env.self, Duration::Nanos(10), os::TimeCat::kUser);
+    co_return args.regs[0] * 2;
+  });
+  uint64_t result = 0;
+  ErrorCode err = ErrorCode::kOk;
+  RunIn(web_, [&](os::Env env) -> sim::Task<void> {
+    CallArgs args;
+    args.regs[0] = 21;
+    result = co_await entry.Call(env, args);
+    err = env.self->TakeError();
+    // After the return we are back in web.
+    EXPECT_EQ(&env.self->process(), &web_);
+  });
+  EXPECT_EQ(result, 42u);
+  EXPECT_EQ(err, ErrorCode::kOk);
+  EXPECT_EQ(seen_process, &db_);
+  EXPECT_EQ(seen_arg, 21u);
+}
+
+TEST_F(DipcTest, CallWithoutGrantFaults) {
+  // Build the entry but *skip* the caller's grant_create.
+  auto dom = dipc_.DomDefault(db_);
+  EntryDesc d{.name = "f", .signature = {}, .policy = {}, .fn = [](os::Env, CallArgs)
+                  -> sim::Task<uint64_t> { co_return 7; }};
+  auto handle = dipc_.EntryRegister(db_, *dom, {d});
+  ASSERT_TRUE(handle.ok());
+  auto req = dipc_.EntryRequest(web_, *handle.value(), {{EntrySignature{}, {}}});
+  ASSERT_TRUE(req.ok());
+  ProxyRef entry = req.value().proxies[0];
+  uint64_t result = 99;
+  ErrorCode err = ErrorCode::kOk;
+  RunIn(web_, [&](os::Env env) -> sim::Task<void> {
+    result = co_await entry.Call(env, CallArgs{});
+    err = env.self->TakeError();
+  });
+  EXPECT_EQ(result, 0u);
+  EXPECT_EQ(err, ErrorCode::kFault);
+}
+
+TEST_F(DipcTest, MisalignedProxyEntryFaults) {
+  // P2: Call permission only admits 64 B-aligned targets — jumping into the
+  // middle of a proxy is rejected by CODOMs.
+  ProxyRef entry = MakeEntry([](os::Env, CallArgs) -> sim::Task<uint64_t> { co_return 1; });
+  ErrorCode code = ErrorCode::kOk;
+  RunIn(web_, [&](os::Env env) -> sim::Task<void> {
+    auto r = env.kernel->codoms().ControlTransfer(env.self->last_cpu(),
+                                                  env.self->process().page_table(),
+                                                  env.self->cap_ctx(),
+                                                  entry.proxy()->code_va() + 8);
+    code = r.code();
+    co_return;
+  });
+  EXPECT_EQ(code, ErrorCode::kFault);
+}
+
+TEST_F(DipcTest, EffectivePolicyIsUnion) {
+  ProxyRef entry = MakeEntry([](os::Env, CallArgs) -> sim::Task<uint64_t> { co_return 0; },
+                             /*callee=*/IsolationPolicy{kDcsIntegrity},
+                             /*caller=*/IsolationPolicy{kRegIntegrity});
+  EXPECT_TRUE(entry.proxy()->effective_policy().Has(kDcsIntegrity));
+  EXPECT_TRUE(entry.proxy()->effective_policy().Has(kRegIntegrity));
+  EXPECT_FALSE(entry.proxy()->effective_policy().Has(kStackConfidentiality));
+}
+
+TEST_F(DipcTest, HighPolicyCostsMoreThanLow) {
+  auto measure = [&](IsolationPolicy policy) {
+    hw::Machine machine(1);
+    codoms::Codoms codoms(machine);
+    os::Kernel kernel(machine, codoms);
+    Dipc dipc(kernel);
+    os::Process& a = dipc.CreateDipcProcess("a");
+    os::Process& b = dipc.CreateDipcProcess("b");
+    EntryDesc d{.name = "f", .signature = {}, .policy = policy,
+                .fn = [](os::Env, CallArgs) -> sim::Task<uint64_t> { co_return 0; }};
+    auto handle = dipc.EntryRegister(b, *dipc.DomDefault(b), {d});
+    auto req = dipc.EntryRequest(a, *handle.value(), {{EntrySignature{}, policy}});
+    auto grant = dipc.GrantCreate(*dipc.DomDefault(a), *req.value().proxy_domain);
+    DIPC_CHECK(grant.ok());
+    ProxyRef entry = req.value().proxies[0];
+    double total = 0;
+    kernel.Spawn(a, "m", [&](os::Env env) -> sim::Task<void> {
+      (void)co_await entry.Call(env, CallArgs{});  // warm caches
+      double t0 = env.kernel->now().nanos();
+      for (int i = 0; i < 100; ++i) {
+        (void)co_await entry.Call(env, CallArgs{});
+      }
+      total = env.kernel->now().nanos() - t0;
+    });
+    kernel.Run();
+    return total / 100;
+  };
+  double low = measure(IsolationPolicy::Low());
+  double high = measure(IsolationPolicy::High());
+  EXPECT_GT(high, low * 1.3) << "low=" << low << " high=" << high;
+  // Cross-process Low sits in the paper's neighborhood (~57 ns; ±50%).
+  EXPECT_GT(low, 25.0);
+  EXPECT_LT(low, 90.0);
+}
+
+TEST_F(DipcTest, ArgumentsPassByReferenceViaCapability) {
+  // db's entry reads the caller's buffer through a capability — no copies.
+  auto web_dom = dipc_.DomDefault(web_);
+  auto buf = dipc_.DomMmap(web_, *web_dom, 4096, hw::PageFlags{.writable = true});
+  ASSERT_TRUE(buf.ok());
+  ErrorCode callee_access = ErrorCode::kInvalidArgument;
+  ProxyRef entry = MakeEntry([&](os::Env env, CallArgs args) -> sim::Task<uint64_t> {
+    auto s = co_await env.kernel->TouchUser(env, args.regs[0], args.regs[1],
+                                            hw::AccessType::kRead);
+    callee_access = s.code();
+    co_return 0;
+  });
+  RunIn(web_, [&](os::Env env) -> sim::Task<void> {
+    // Caller mints a read capability over its buffer and passes the pointer
+    // in registers (the capability travels in the capability registers).
+    sim::Duration cost;
+    auto cap = env.kernel->codoms().CapFromApl(env.self->last_cpu(),
+                                               env.self->process().page_table(),
+                                               env.self->cap_ctx(), buf.value(), 256,
+                                               codoms::Perm::kRead, codoms::CapType::kSync, &cost);
+    EXPECT_TRUE(cap.ok());
+    env.self->cap_ctx().regs.Set(0, cap.value());
+    CallArgs args;
+    args.regs[0] = buf.value();
+    args.regs[1] = 256;
+    (void)co_await entry.Call(env, args);
+  });
+  EXPECT_EQ(callee_access, ErrorCode::kOk);
+}
+
+TEST_F(DipcTest, CalleeCannotTouchCallerMemoryWithoutCapability) {
+  auto web_dom = dipc_.DomDefault(web_);
+  auto buf = dipc_.DomMmap(web_, *web_dom, 4096, hw::PageFlags{.writable = true});
+  ASSERT_TRUE(buf.ok());
+  ErrorCode callee_access = ErrorCode::kOk;
+  ProxyRef entry = MakeEntry([&](os::Env env, CallArgs args) -> sim::Task<uint64_t> {
+    auto s = co_await env.kernel->TouchUser(env, args.regs[0], 64, hw::AccessType::kRead);
+    callee_access = s.code();
+    co_return 0;
+  });
+  RunIn(web_, [&](os::Env env) -> sim::Task<void> {
+    CallArgs args;
+    args.regs[0] = buf.value();
+    (void)co_await entry.Call(env, args);
+  });
+  EXPECT_EQ(callee_access, ErrorCode::kFault);  // P1: no grant, no capability
+}
+
+// ---- Crash unwinding (P3, §5.2.1) ----
+
+TEST_F(DipcTest, CalleeCrashFlagsErrorToCaller) {
+  ProxyRef entry = MakeEntry([](os::Env, CallArgs) -> sim::Task<uint64_t> {
+    Dipc::Crash();
+    co_return 0;  // unreachable
+  });
+  uint64_t result = 1;
+  ErrorCode err = ErrorCode::kOk;
+  bool continued = false;
+  RunIn(web_, [&](os::Env env) -> sim::Task<void> {
+    result = co_await entry.Call(env, CallArgs{});
+    err = env.self->TakeError();
+    EXPECT_EQ(&env.self->process(), &web_);  // current restored
+    continued = true;
+    co_return;
+  });
+  EXPECT_TRUE(continued);  // the caller thread survives the callee's crash
+  EXPECT_EQ(result, 0u);
+  EXPECT_EQ(err, ErrorCode::kCalleeFailed);
+}
+
+TEST_F(DipcTest, NestedCrashUnwindsToNearestLiveCaller) {
+  os::Process& mid = dipc_.CreateDipcProcess("mid");
+  // mid's entry calls db's entry, which crashes.
+  ProxyRef db_entry = MakeEntry([](os::Env, CallArgs) -> sim::Task<uint64_t> {
+    Dipc::Crash(ErrorCode::kCalleeFailed);
+    co_return 0;
+  });
+  // Wire db_entry so `mid` can call it too.
+  auto grant = dipc_.GrantCreate(*dipc_.DomDefault(mid),
+                                 std::make_shared<DomainHandle>(
+                                     db_entry.proxy()->proxy_domain(), DomPerm::kCall)
+                                     .operator*());
+  ASSERT_TRUE(grant.ok());
+  ErrorCode mid_err = ErrorCode::kOk;
+  EntryDesc mid_desc{.name = "mid", .signature = {}, .policy = {},
+                     .fn = [&](os::Env env, CallArgs) -> sim::Task<uint64_t> {
+                       uint64_t r = co_await db_entry.Call(env, CallArgs{});
+                       mid_err = env.self->TakeError();  // mid sees the error
+                       co_return r + 100;
+                     }};
+  auto mid_handle = dipc_.EntryRegister(mid, *dipc_.DomDefault(mid), {mid_desc});
+  ASSERT_TRUE(mid_handle.ok());
+  auto mid_req = dipc_.EntryRequest(web_, *mid_handle.value(), {{EntrySignature{}, {}}});
+  ASSERT_TRUE(mid_req.ok());
+  ASSERT_TRUE(dipc_.GrantCreate(*dipc_.DomDefault(web_), *mid_req.value().proxy_domain).ok());
+  ProxyRef mid_entry = mid_req.value().proxies[0];
+  uint64_t result = 0;
+  ErrorCode web_err = ErrorCode::kOk;
+  RunIn(web_, [&](os::Env env) -> sim::Task<void> {
+    result = co_await mid_entry.Call(env, CallArgs{});
+    web_err = env.self->TakeError();
+  });
+  // The crash stops at mid (nearest live caller); web sees a normal return.
+  EXPECT_EQ(mid_err, ErrorCode::kCalleeFailed);
+  EXPECT_EQ(web_err, ErrorCode::kOk);
+  EXPECT_EQ(result, 100u);
+}
+
+TEST_F(DipcTest, CrashSkipsDeadCallersInChain) {
+  os::Process& mid = dipc_.CreateDipcProcess("mid2");
+  ProxyRef db_entry = MakeEntry([&](os::Env, CallArgs) -> sim::Task<uint64_t> {
+    dipc_.KillProcess(mid);  // mid dies while the call chain is in flight
+    Dipc::Crash(ErrorCode::kCalleeFailed);
+    co_return 0;
+  });
+  ASSERT_TRUE(dipc_
+                  .GrantCreate(*dipc_.DomDefault(mid),
+                               *std::make_shared<DomainHandle>(
+                                   db_entry.proxy()->proxy_domain(), DomPerm::kCall))
+                  .ok());
+  bool mid_resumed = false;
+  EntryDesc mid_desc{.name = "mid", .signature = {}, .policy = {},
+                     .fn = [&](os::Env env, CallArgs) -> sim::Task<uint64_t> {
+                       uint64_t r = co_await db_entry.Call(env, CallArgs{});
+                       mid_resumed = true;  // must never run: mid is dead
+                       co_return r;
+                     }};
+  auto mid_handle = dipc_.EntryRegister(mid, *dipc_.DomDefault(mid), {mid_desc});
+  auto mid_req = dipc_.EntryRequest(web_, *mid_handle.value(), {{EntrySignature{}, {}}});
+  ASSERT_TRUE(dipc_.GrantCreate(*dipc_.DomDefault(web_), *mid_req.value().proxy_domain).ok());
+  ProxyRef mid_entry = mid_req.value().proxies[0];
+  ErrorCode web_err = ErrorCode::kOk;
+  RunIn(web_, [&](os::Env env) -> sim::Task<void> {
+    (void)co_await mid_entry.Call(env, CallArgs{});
+    web_err = env.self->TakeError();
+    EXPECT_EQ(&env.self->process(), &web_);
+  });
+  // The unwind skipped dead `mid` and resumed web with the flag (P3/§5.2.1).
+  EXPECT_FALSE(mid_resumed);
+  EXPECT_EQ(web_err, ErrorCode::kCalleeFailed);
+}
+
+TEST_F(DipcTest, KcsDepthTracksNesting) {
+  size_t depth_inside = 0;
+  ProxyRef entry = MakeEntry([&](os::Env env, CallArgs) -> sim::Task<uint64_t> {
+    depth_inside = dipc_.thread_state(*env.self).kcs.depth();
+    co_return 0;
+  });
+  RunIn(web_, [&](os::Env env) -> sim::Task<void> {
+    EXPECT_EQ(dipc_.thread_state(*env.self).kcs.depth(), 0u);
+    (void)co_await entry.Call(env, CallArgs{});
+    EXPECT_EQ(dipc_.thread_state(*env.self).kcs.depth(), 0u);
+  });
+  EXPECT_EQ(depth_inside, 1u);
+}
+
+// ---- Process tracker (§6.1.2) ----
+
+TEST_F(DipcTest, TrackerColdThenFast) {
+  ProxyRef entry = MakeEntry([](os::Env, CallArgs) -> sim::Task<uint64_t> { co_return 0; });
+  RunIn(web_, [&](os::Env env) -> sim::Task<void> {
+    ThreadDipcState& ts = dipc_.thread_state(*env.self);
+    (void)co_await entry.Call(env, CallArgs{});
+    EXPECT_EQ(ts.tracker.stats().cold_upcalls, 1u);
+    EXPECT_EQ(ts.tracker.stats().fast_hits, 0u);
+    (void)co_await entry.Call(env, CallArgs{});
+    (void)co_await entry.Call(env, CallArgs{});
+    EXPECT_EQ(ts.tracker.stats().fast_hits, 2u);
+    // Dropping the cache array (as a context switch may) falls back to the
+    // per-thread tree: a warm hit, not another upcall.
+    ts.tracker.InvalidateCacheArray();
+    (void)co_await entry.Call(env, CallArgs{});
+    EXPECT_EQ(ts.tracker.stats().warm_hits, 1u);
+    EXPECT_EQ(ts.tracker.stats().cold_upcalls, 1u);
+  });
+}
+
+TEST_F(DipcTest, PrimaryThreadsGetPerProcessIds) {
+  os::Thread* t1 = nullptr;
+  os::Thread* t2 = nullptr;
+  kernel_.Spawn(web_, "a", [&](os::Env env) -> sim::Task<void> {
+    t1 = env.self;
+    co_return;
+  });
+  kernel_.Spawn(web_, "b", [&](os::Env env) -> sim::Task<void> {
+    t2 = env.self;
+    co_return;
+  });
+  kernel_.Run();
+  uint64_t id1 = dipc_.TidInProcess(*t1, db_);
+  uint64_t id2 = dipc_.TidInProcess(*t2, db_);
+  EXPECT_NE(id1, id2);
+  EXPECT_EQ(dipc_.TidInProcess(*t1, db_), id1);  // stable
+  // Different target process, independent id space.
+  EXPECT_EQ(dipc_.TidInProcess(*t1, web_), 1u);
+}
+
+// ---- Timeouts (§5.4, implemented as the extension) ----
+
+TEST_F(DipcTest, TimeoutRequiresStackConfidentiality) {
+  ProxyRef entry = MakeEntry([](os::Env, CallArgs) -> sim::Task<uint64_t> { co_return 0; });
+  ErrorCode err = ErrorCode::kOk;
+  RunIn(web_, [&](os::Env env) -> sim::Task<void> {
+    (void)co_await entry.CallWithTimeout(env, CallArgs{}, Duration::Micros(10));
+    err = env.self->TakeError();
+  });
+  EXPECT_EQ(err, ErrorCode::kNotSupported);
+}
+
+TEST_F(DipcTest, TimeoutSplitsThreadAndFlagsCaller) {
+  IsolationPolicy pol{kStackConfidentiality};
+  bool callee_finished = false;
+  ProxyRef entry = MakeEntry(
+      [&](os::Env env, CallArgs) -> sim::Task<uint64_t> {
+        co_await env.kernel->Sleep(env, Duration::Millis(2));
+        callee_finished = true;
+        co_return 7;
+      },
+      pol, pol);
+  ErrorCode err = ErrorCode::kOk;
+  double caller_resumed_us = 0;
+  RunIn(web_, [&](os::Env env) -> sim::Task<void> {
+    uint64_t r = co_await entry.CallWithTimeout(env, CallArgs{}, Duration::Micros(100));
+    err = env.self->TakeError();
+    caller_resumed_us = env.kernel->now().micros();
+    EXPECT_EQ(r, 0u);
+  });
+  EXPECT_EQ(err, ErrorCode::kTimedOut);
+  EXPECT_LT(caller_resumed_us, 1000.0);  // caller resumed at ~100us, not 2ms
+  EXPECT_TRUE(callee_finished);          // the split callee ran to completion
+}
+
+TEST_F(DipcTest, TimeoutNotHitReturnsNormally) {
+  IsolationPolicy pol{kStackConfidentiality};
+  ProxyRef entry = MakeEntry(
+      [](os::Env env, CallArgs args) -> sim::Task<uint64_t> {
+        co_await env.kernel->Spend(*env.self, Duration::Nanos(100), os::TimeCat::kUser);
+        co_return args.regs[0] + 1;
+      },
+      pol, pol);
+  uint64_t result = 0;
+  ErrorCode err = ErrorCode::kOk;
+  RunIn(web_, [&](os::Env env) -> sim::Task<void> {
+    CallArgs args;
+    args.regs[0] = 10;
+    result = co_await entry.CallWithTimeout(env, args, Duration::Millis(5));
+    err = env.self->TakeError();
+  });
+  EXPECT_EQ(result, 11u);
+  EXPECT_EQ(err, ErrorCode::kOk);
+}
+
+// ---- Asynchronous calls (§5.4, extension) ----
+
+TEST_F(DipcTest, AsyncCallRunsConcurrentlyWithCaller) {
+  IsolationPolicy pol{kStackConfidentiality};
+  ProxyRef entry = MakeEntry(
+      [](os::Env env, CallArgs args) -> sim::Task<uint64_t> {
+        co_await env.kernel->Spend(*env.self, Duration::Micros(50), os::TimeCat::kUser);
+        co_return args.regs[0] * 2;
+      },
+      pol, pol);
+  uint64_t result = 0;
+  double caller_work_done_us = 0;
+  RunIn(web_, [&](os::Env env) -> sim::Task<void> {
+    CallArgs args;
+    args.regs[0] = 8;
+    ProxyRef::Pending pending = entry.CallAsync(env, args);
+    // The caller overlaps its own work with the callee (one-sided comm.).
+    co_await env.kernel->Spend(*env.self, Duration::Micros(50), os::TimeCat::kUser);
+    caller_work_done_us = env.kernel->now().micros();
+    result = co_await pending.Await(env);
+    EXPECT_EQ(env.self->TakeError(), ErrorCode::kOk);
+    // Overlap: total time well below the serialized 100 us.
+    EXPECT_LT(env.kernel->now().micros(), caller_work_done_us + 40.0);
+  });
+  EXPECT_EQ(result, 16u);
+}
+
+TEST_F(DipcTest, AsyncCallRequiresStackConfidentiality) {
+  ProxyRef entry = MakeEntry([](os::Env, CallArgs) -> sim::Task<uint64_t> { co_return 1; });
+  ErrorCode err = ErrorCode::kOk;
+  RunIn(web_, [&](os::Env env) -> sim::Task<void> {
+    ProxyRef::Pending pending = entry.CallAsync(env, CallArgs{});
+    EXPECT_TRUE(pending.done());  // refused synchronously
+    (void)co_await pending.Await(env);
+    err = env.self->TakeError();
+  });
+  EXPECT_EQ(err, ErrorCode::kNotSupported);
+}
+
+TEST_F(DipcTest, AsyncCallPropagatesCalleeCrash) {
+  IsolationPolicy pol{kStackConfidentiality};
+  ProxyRef entry = MakeEntry(
+      [](os::Env, CallArgs) -> sim::Task<uint64_t> {
+        Dipc::Crash();
+        co_return 0;
+      },
+      pol, pol);
+  ErrorCode err = ErrorCode::kOk;
+  RunIn(web_, [&](os::Env env) -> sim::Task<void> {
+    ProxyRef::Pending pending = entry.CallAsync(env, CallArgs{});
+    (void)co_await pending.Await(env);
+    err = env.self->TakeError();
+  });
+  EXPECT_EQ(err, ErrorCode::kCalleeFailed);
+}
+
+TEST_F(DipcTest, MultipleAsyncCallsComplete) {
+  IsolationPolicy pol{kStackConfidentiality};
+  ProxyRef entry = MakeEntry(
+      [](os::Env env, CallArgs args) -> sim::Task<uint64_t> {
+        co_await env.kernel->Spend(*env.self, Duration::Micros(10), os::TimeCat::kUser);
+        co_return args.regs[0] + 1;
+      },
+      pol, pol);
+  uint64_t sum = 0;
+  RunIn(web_, [&](os::Env env) -> sim::Task<void> {
+    std::vector<ProxyRef::Pending> pendings;
+    for (uint64_t i = 0; i < 4; ++i) {
+      CallArgs args;
+      args.regs[0] = i;
+      pendings.push_back(entry.CallAsync(env, args));
+    }
+    for (auto& p : pendings) {
+      sum += co_await p.Await(env);
+      EXPECT_EQ(env.self->TakeError(), ErrorCode::kOk);
+    }
+  });
+  EXPECT_EQ(sum, 1u + 2 + 3 + 4);
+}
+
+// ---- fork/exec (§6.1.3) ----
+
+TEST_F(DipcTest, ForkDisablesDipcAndCopiesMappings) {
+  auto va = dipc_.DomMmap(web_, *dipc_.DomDefault(web_), 4096, hw::PageFlags{.writable = true});
+  ASSERT_TRUE(va.ok());
+  os::Process& child = dipc_.Fork(web_);
+  EXPECT_FALSE(child.dipc_enabled());
+  EXPECT_NE(child.page_table().id(), web_.page_table().id());
+  // The mapping is visible in the child at the same VA (COW copy).
+  ASSERT_NE(child.page_table().Lookup(va.value()), nullptr);
+  EXPECT_EQ(child.page_table().Lookup(va.value())->frame,
+            web_.page_table().Lookup(va.value())->frame);
+}
+
+TEST_F(DipcTest, ExecReenablesDipcAtUniqueAddress) {
+  os::Process& child = dipc_.Fork(web_);
+  hw::DomainTag old_domain = child.default_domain();
+  dipc_.Exec(child, "newimg");
+  EXPECT_TRUE(child.dipc_enabled());
+  EXPECT_EQ(child.page_table().id(), dipc_.vas().page_table().id());
+  EXPECT_NE(child.default_domain(), old_domain);
+  // Loaded at a unique address: a fresh block, distinct from the parent's.
+  auto child_va =
+      dipc_.DomMmap(child, *dipc_.DomDefault(child), 4096, hw::PageFlags{.writable = true});
+  auto parent_va =
+      dipc_.DomMmap(web_, *dipc_.DomDefault(web_), 4096, hw::PageFlags{.writable = true});
+  ASSERT_TRUE(child_va.ok() && parent_va.ok());
+  uint64_t distance = child_va.value() > parent_va.value()
+                          ? child_va.value() - parent_va.value()
+                          : parent_va.value() - child_va.value();
+  EXPECT_GE(distance, GlobalVas::kBlockSize / 2);
+}
+
+// ---- Proxy templates (§6.1.1) ----
+
+TEST(ProxyTemplates, LibraryShapeMatchesPaper) {
+  // "around 12K templates (averaging at 600B each)".
+  EXPECT_EQ(ProxyTemplateLibrary::Count(), 10752u);
+  double total_bytes = 0;
+  int n = 0;
+  for (uint32_t bits = 0; bits < 64; ++bits) {
+    for (uint32_t in = 0; in <= 6; ++in) {
+      EntrySignature sig{.in_regs = in, .out_regs = 1, .stack_bytes = 64};
+      for (bool cross : {false, true}) {
+        total_bytes += ProxyTemplateLibrary::Select(sig, IsolationPolicy{bits}, cross).code_bytes;
+        ++n;
+      }
+    }
+  }
+  double avg = total_bytes / n;
+  EXPECT_GT(avg, 300.0);
+  EXPECT_LT(avg, 900.0);
+}
+
+TEST(ProxyTemplates, SelectionIsDeterministicAndDistinct) {
+  EntrySignature sig{.in_regs = 2, .out_regs = 1, .stack_bytes = 0};
+  auto a = ProxyTemplateLibrary::Select(sig, IsolationPolicy::Low(), false);
+  auto b = ProxyTemplateLibrary::Select(sig, IsolationPolicy::Low(), false);
+  auto c = ProxyTemplateLibrary::Select(sig, IsolationPolicy::High(), false);
+  auto d = ProxyTemplateLibrary::Select(sig, IsolationPolicy::Low(), true);
+  EXPECT_EQ(a.id, b.id);
+  EXPECT_NE(a.id, c.id);
+  EXPECT_NE(a.id, d.id);
+}
+
+TEST(ProxyTemplates, InstantiationCostPositive) {
+  hw::CostModel cm;
+  auto t = ProxyTemplateLibrary::Select(EntrySignature{}, IsolationPolicy::High(), true);
+  EXPECT_GT(ProxyTemplateLibrary::InstantiationCost(cm, t), Duration::Zero());
+}
+
+// ---- Resolution + loader (§5.3, §6.2.1) ----
+
+TEST_F(DipcTest, LoaderPublishesAndImportsEntries) {
+  Loader loader(dipc_);
+  uint64_t served = 0;
+  // db side: load a module exporting "query" and publish it.
+  kernel_.Spawn(db_, "db-main", [&](os::Env env) -> sim::Task<void> {
+    ModuleSpec spec;
+    spec.name = "database";
+    spec.entries.push_back(EntrySpec{
+        .domain = "",
+        .name = "query",
+        .signature = {.in_regs = 1, .out_regs = 1, .stack_bytes = 0},
+        .callee_policy = IsolationPolicy::Low(),
+        .fn = [&](os::Env, CallArgs args) -> sim::Task<uint64_t> {
+          ++served;
+          co_return args.regs[0] + 1000;
+        }});
+    spec.publish_path = "/dipc/db";
+    auto mod = loader.Load(env, std::move(spec));
+    EXPECT_TRUE(mod.ok());
+    co_return;
+  });
+  uint64_t result = 0;
+  kernel_.Spawn(web_, "web-main", [&](os::Env env) -> sim::Task<void> {
+    // Let the publisher come up first.
+    co_await env.kernel->Sleep(env, Duration::Micros(50));
+    // (Explicit vectors: GCC 12 mis-compiles braced-init-list temporaries in
+    // coroutine call expressions.)
+    std::vector<EntryExpectation> expected{
+        {EntrySignature{.in_regs = 1, .out_regs = 1, .stack_bytes = 0}, IsolationPolicy::Low()}};
+    std::vector<std::string> names{"query"};
+    auto imported = co_await loader.ImportEntries(env, "/dipc/db", std::move(expected),
+                                                  std::move(names));
+    EXPECT_TRUE(imported.ok());
+    CallArgs args;
+    args.regs[0] = 5;
+    result = co_await imported.value().by_name["query"].Call(env, args);
+  });
+  kernel_.Run();
+  EXPECT_EQ(result, 1005u);
+  EXPECT_EQ(served, 1u);
+}
+
+TEST_F(DipcTest, LoaderIntraProcessPerms) {
+  Loader loader(dipc_);
+  hw::VirtAddr plugin_va = 0;
+  RunIn(web_, [&](os::Env env) -> sim::Task<void> {
+    ModuleSpec spec;
+    spec.name = "app";
+    spec.domains.push_back(DomSpec{"plugin"});
+    // App (default domain) may read the plugin's memory; not vice versa.
+    spec.perms.push_back(PermSpec{"", "plugin", DomPerm::kRead});
+    auto mod = loader.Load(env, std::move(spec));
+    EXPECT_TRUE(mod.ok());
+    auto plugin = mod.value().domain("plugin");
+    EXPECT_NE(plugin, nullptr);
+    if (plugin == nullptr) { co_return; }
+    auto va = dipc_.DomMmap(web_, *plugin, 4096, hw::PageFlags{.writable = true});
+    EXPECT_TRUE(va.ok());
+    plugin_va = va.value();
+    // The thread runs in the default domain: reads allowed, writes not.
+    auto r = co_await env.kernel->TouchUser(env, plugin_va, 16, hw::AccessType::kRead);
+    EXPECT_EQ(r.code(), ErrorCode::kOk);
+    auto w = co_await env.kernel->TouchUser(env, plugin_va, 16, hw::AccessType::kWrite);
+    EXPECT_EQ(w.code(), ErrorCode::kFault);
+  });
+}
+
+TEST_F(DipcTest, ResolveUnknownPathFails) {
+  ErrorCode code = ErrorCode::kOk;
+  RunIn(web_, [&](os::Env env) -> sim::Task<void> {
+    auto r = co_await EntryResolver::Resolve(env, "/nonexistent");
+    code = r.code();
+  });
+  EXPECT_EQ(code, ErrorCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace dipc::core

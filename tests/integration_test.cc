@@ -1,0 +1,279 @@
+// End-to-end integration: the full dIPC workflow across three processes
+// wired through the loader + named-socket resolution, concurrent callers,
+// fault propagation through a multi-hop chain, fork/exec interplay, and the
+// dIPC "User RPC" pattern.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "codoms/codoms.h"
+#include "dipc/dipc.h"
+#include "dipc/loader.h"
+#include "hw/machine.h"
+#include "os/kernel.h"
+#include "os/semaphore.h"
+
+namespace dipc::core {
+namespace {
+
+using base::ErrorCode;
+using sim::Duration;
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  IntegrationTest()
+      : machine_(4), codoms_(machine_), kernel_(machine_, codoms_), dipc_(kernel_),
+        loader_(dipc_) {}
+
+  hw::Machine machine_;
+  codoms::Codoms codoms_;
+  os::Kernel kernel_;
+  Dipc dipc_;
+  Loader loader_;
+};
+
+// The full three-tier wiring of the paper's Figure 3, via the public API
+// only: db publishes "query"; php imports it and publishes "render"; web
+// imports "render" and drives requests end to end.
+TEST_F(IntegrationTest, ThreeTierChainViaLoaderAndResolution) {
+  os::Process& web = dipc_.CreateDipcProcess("web");
+  os::Process& php = dipc_.CreateDipcProcess("php");
+  os::Process& db = dipc_.CreateDipcProcess("db");
+  uint64_t db_served = 0;
+
+  // db tier.
+  kernel_.Spawn(db, "db-main", [&](os::Env env) -> sim::Task<void> {
+    ModuleSpec spec;
+    spec.name = "database";
+    spec.entries.push_back(
+        EntrySpec{.domain = "",
+                  .name = "query",
+                  .signature = {.in_regs = 1, .out_regs = 1, .stack_bytes = 0},
+                  .callee_policy = IsolationPolicy::High(),
+                  .fn = [&](os::Env e, CallArgs a) -> sim::Task<uint64_t> {
+                    ++db_served;
+                    co_await e.kernel->Spend(*e.self, Duration::Micros(3), os::TimeCat::kUser);
+                    co_return a.regs[0] * 10;
+                  }});
+    spec.publish_path = "/svc/db";
+    EXPECT_TRUE(loader_.Load(env, std::move(spec)).ok());
+    co_return;
+  });
+
+  // php tier: imports db.query, exports render.
+  kernel_.Spawn(php, "php-main", [&](os::Env env) -> sim::Task<void> {
+    co_await env.kernel->Sleep(env, Duration::Micros(20));
+    std::vector<EntryExpectation> expect{
+        {EntrySignature{.in_regs = 1, .out_regs = 1, .stack_bytes = 0}, IsolationPolicy::Low()}};
+    std::vector<std::string> names{"query"};
+    auto imported = co_await loader_.ImportEntries(env, "/svc/db", std::move(expect),
+                                                   std::move(names));
+    EXPECT_TRUE(imported.ok());
+    // Keep the import alive for the lifetime of the entry fn below.
+    auto query = std::make_shared<ProxyRef>(imported.value().by_name["query"]);
+    ModuleSpec spec;
+    spec.name = "interpreter";
+    spec.entries.push_back(
+        EntrySpec{.domain = "",
+                  .name = "render",
+                  .signature = {.in_regs = 1, .out_regs = 1, .stack_bytes = 0},
+                  .callee_policy = IsolationPolicy::Low(),
+                  .fn = [query](os::Env e, CallArgs a) -> sim::Task<uint64_t> {
+                    uint64_t acc = 0;
+                    for (int i = 0; i < 3; ++i) {
+                      CallArgs q;
+                      q.regs[0] = a.regs[0] + i;
+                      acc += co_await query->Call(e, q);
+                    }
+                    co_return acc;
+                  }});
+    spec.publish_path = "/svc/php";
+    EXPECT_TRUE(loader_.Load(env, std::move(spec)).ok());
+    co_return;
+  });
+
+  // web tier: end-to-end request.
+  uint64_t result = 0;
+  kernel_.Spawn(web, "web-main", [&](os::Env env) -> sim::Task<void> {
+    co_await env.kernel->Sleep(env, Duration::Micros(100));
+    std::vector<EntryExpectation> expect{
+        {EntrySignature{.in_regs = 1, .out_regs = 1, .stack_bytes = 0}, IsolationPolicy::High()}};
+    std::vector<std::string> names{"render"};
+    auto imported = co_await loader_.ImportEntries(env, "/svc/php", std::move(expect),
+                                                   std::move(names));
+    EXPECT_TRUE(imported.ok());
+    CallArgs a;
+    a.regs[0] = 5;
+    result = co_await imported.value().by_name["render"].Call(env, a);
+    EXPECT_EQ(env.self->TakeError(), ErrorCode::kOk);
+    // The thread crossed web -> php -> db and returned with `current`
+    // correctly restored at every hop.
+    EXPECT_EQ(&env.self->process(), &web);
+  });
+  kernel_.Run();
+  // render(5) = q(5)+q(6)+q(7) = 50+60+70.
+  EXPECT_EQ(result, 180u);
+  EXPECT_EQ(db_served, 3u);
+}
+
+TEST_F(IntegrationTest, ConcurrentCallersShareOneEntry) {
+  os::Process& srv = dipc_.CreateDipcProcess("server");
+  os::Process& cli = dipc_.CreateDipcProcess("client");
+  uint64_t served = 0;
+  EntryDesc entry{.name = "work",
+                  .signature = {.in_regs = 1, .out_regs = 1, .stack_bytes = 0},
+                  .policy = IsolationPolicy::High(),
+                  .fn = [&](os::Env e, CallArgs a) -> sim::Task<uint64_t> {
+                    ++served;
+                    co_await e.kernel->Spend(*e.self, Duration::Micros(10), os::TimeCat::kUser);
+                    co_return a.regs[0] + 1;
+                  }};
+  auto handle = dipc_.EntryRegister(srv, *dipc_.DomDefault(srv), {entry});
+  ASSERT_TRUE(handle.ok());
+  auto req = dipc_.EntryRequest(cli, *handle.value(), {{entry.signature, IsolationPolicy::Low()}});
+  ASSERT_TRUE(req.ok());
+  ASSERT_TRUE(dipc_.GrantCreate(*dipc_.DomDefault(cli), *req.value().proxy_domain).ok());
+  ProxyRef proxy = req.value().proxies[0];
+  uint64_t sum = 0;
+  constexpr int kThreads = 8;
+  constexpr int kCallsEach = 25;
+  for (int t = 0; t < kThreads; ++t) {
+    kernel_.Spawn(cli, "caller" + std::to_string(t), [&, proxy, t](os::Env env) -> sim::Task<void> {
+      for (int i = 0; i < kCallsEach; ++i) {
+        CallArgs a;
+        a.regs[0] = static_cast<uint64_t>(t * 1000 + i);
+        uint64_t r = co_await proxy.Call(env, a);
+        EXPECT_EQ(env.self->TakeError(), ErrorCode::kOk);
+        EXPECT_EQ(r, static_cast<uint64_t>(t * 1000 + i + 1));
+        sum += r;
+      }
+      // Each thread's KCS ended balanced.
+      EXPECT_EQ(dipc_.thread_state(*env.self).kcs.depth(), 0u);
+    });
+  }
+  kernel_.Run();
+  EXPECT_EQ(served, static_cast<uint64_t>(kThreads * kCallsEach));
+  EXPECT_EQ(proxy.proxy()->invocations(), served);
+  // Threads ran in parallel across 4 CPUs: total wall time well below the
+  // serialized 8*25*10us.
+  EXPECT_LT(kernel_.now().micros(), kThreads * kCallsEach * 10.0 * 0.6);
+}
+
+TEST_F(IntegrationTest, ForkedChildFallsBackToSocketsThenExecRejoins) {
+  os::Process& parent = dipc_.CreateDipcProcess("parent");
+  // Parent exports an entry.
+  EntryDesc entry{.name = "f",
+                  .signature = {},
+                  .policy = IsolationPolicy::Low(),
+                  .fn = [](os::Env, CallArgs) -> sim::Task<uint64_t> { co_return 99; }};
+  auto handle = dipc_.EntryRegister(parent, *dipc_.DomDefault(parent), {entry});
+  ASSERT_TRUE(handle.ok());
+  // fork(): the child is a plain process — dIPC entry_request must refuse
+  // domain creation for it until exec() re-enables dIPC.
+  os::Process& child = dipc_.Fork(parent);
+  EXPECT_FALSE(child.dipc_enabled());
+  EXPECT_EQ(dipc_.DomCreate(child).code(), ErrorCode::kNotSupported);
+  // exec(): back in the global VAS with a fresh default domain; the child
+  // can now request proxies and call its parent directly.
+  dipc_.Exec(child, "child-image");
+  auto req = dipc_.EntryRequest(child, *handle.value(), {{EntrySignature{}, {}}});
+  ASSERT_TRUE(req.ok());
+  ASSERT_TRUE(dipc_.GrantCreate(*dipc_.DomDefault(child), *req.value().proxy_domain).ok());
+  ProxyRef proxy = req.value().proxies[0];
+  uint64_t got = 0;
+  kernel_.Spawn(child, "main", [&, proxy](os::Env env) -> sim::Task<void> {
+    got = co_await proxy.Call(env, CallArgs{});
+  });
+  kernel_.Run();
+  EXPECT_EQ(got, 99u);
+}
+
+TEST_F(IntegrationTest, CrashInDeepChainRecoversAtEachLevel) {
+  // web -> php -> db where db crashes on every call; php recovers (the
+  // fault-forwarding pattern of §2.4) and returns a fallback.
+  os::Process& web = dipc_.CreateDipcProcess("w");
+  os::Process& php = dipc_.CreateDipcProcess("p");
+  os::Process& db = dipc_.CreateDipcProcess("d");
+  EntryDesc db_entry{.name = "q",
+                     .signature = {},
+                     .policy = IsolationPolicy::High(),
+                     .fn = [](os::Env, CallArgs) -> sim::Task<uint64_t> {
+                       Dipc::Crash();
+                       co_return 0;
+                     }};
+  auto db_handle = dipc_.EntryRegister(db, *dipc_.DomDefault(db), {db_entry});
+  auto db_req = dipc_.EntryRequest(php, *db_handle.value(), {{EntrySignature{}, {}}});
+  ASSERT_TRUE(dipc_.GrantCreate(*dipc_.DomDefault(php), *db_req.value().proxy_domain).ok());
+  ProxyRef db_proxy = db_req.value().proxies[0];
+  int php_recoveries = 0;
+  EntryDesc php_entry{.name = "r",
+                      .signature = {},
+                      .policy = IsolationPolicy::Low(),
+                      .fn = [&](os::Env e, CallArgs) -> sim::Task<uint64_t> {
+                        (void)co_await db_proxy.Call(e, CallArgs{});
+                        if (e.self->TakeError() == ErrorCode::kCalleeFailed) {
+                          ++php_recoveries;
+                          co_return 0xFA11BACC;
+                        }
+                        co_return 1;
+                      }};
+  auto php_handle = dipc_.EntryRegister(php, *dipc_.DomDefault(php), {php_entry});
+  auto php_req = dipc_.EntryRequest(web, *php_handle.value(), {{EntrySignature{}, {}}});
+  ASSERT_TRUE(dipc_.GrantCreate(*dipc_.DomDefault(web), *php_req.value().proxy_domain).ok());
+  ProxyRef php_proxy = php_req.value().proxies[0];
+  std::vector<uint64_t> results;
+  kernel_.Spawn(web, "main", [&, php_proxy](os::Env env) -> sim::Task<void> {
+    for (int i = 0; i < 3; ++i) {
+      results.push_back(co_await php_proxy.Call(env, CallArgs{}));
+      EXPECT_EQ(env.self->TakeError(), ErrorCode::kOk);  // php absorbed it
+    }
+  });
+  kernel_.Run();
+  EXPECT_EQ(php_recoveries, 3);
+  ASSERT_EQ(results.size(), 3u);
+  for (uint64_t r : results) {
+    EXPECT_EQ(r, 0xFA11BACCu);
+  }
+}
+
+TEST_F(IntegrationTest, UserRpcPatternOnlyUsesKernelForSync) {
+  // §7.2's "dIPC - User RPC": RPC semantics at user level inside one dIPC
+  // process — copy arguments, wake a service thread, no socket path. The
+  // accounting must show zero socket-style kernel copies (only futexes).
+  os::Process& app = dipc_.CreateDipcProcess("app");
+  auto req_sem = std::make_shared<os::Semaphore>(0);
+  auto resp_sem = std::make_shared<os::Semaphore>(0);
+  auto work = dipc_.DomMmap(app, *dipc_.DomDefault(app), 4096, hw::PageFlags{.writable = true});
+  ASSERT_TRUE(work.ok());
+  uint64_t processed = 0;
+  kernel_.Spawn(
+      app, "service",
+      [&, req_sem, resp_sem](os::Env env) -> sim::Task<void> {
+        for (int i = 0; i < 10; ++i) {
+          co_await req_sem->Wait(env);
+          auto s = co_await env.kernel->TouchUser(env, work.value(), 512, hw::AccessType::kRead);
+          EXPECT_TRUE(s.ok());
+          ++processed;
+          co_await resp_sem->Post(env);
+        }
+      },
+      /*pin_cpu=*/1);
+  kernel_.Spawn(
+      app, "client",
+      [&, req_sem, resp_sem](os::Env env) -> sim::Task<void> {
+        for (int i = 0; i < 10; ++i) {
+          auto s = co_await env.kernel->TouchUser(env, work.value(), 512, hw::AccessType::kWrite);
+          EXPECT_TRUE(s.ok());
+          co_await req_sem->Post(env);
+          co_await resp_sem->Wait(env);
+        }
+      },
+      /*pin_cpu=*/0);
+  kernel_.Run();
+  EXPECT_EQ(processed, 10u);
+}
+
+}  // namespace
+}  // namespace dipc::core
