@@ -23,7 +23,7 @@ using dipc::bench::MeasureSemaphore;
 using dipc::bench::MeasureSyscall;
 using dipc::bench::MicroConfig;
 
-void PrintFig6() {
+void PrintFig6(dipc::bench::JsonEmitter& json) {
   std::printf("=== Figure 6: added time vs argument size [ns], relative to a function call ===\n");
   std::printf("%9s %9s %9s %9s %9s %9s %9s %9s %9s\n", "size[B]", "syscall", "sem!=", "pipe!=",
               "rpc!=", "dipcL=", "dipcH=", "+procL=", "userRPC");
@@ -52,6 +52,14 @@ void PrintFig6() {
     double urpc = MeasureDipcUserRpc(cross).roundtrip_ns - func;
     std::printf("%9llu %9.0f %9.0f %9.0f %9.0f %9.1f %9.1f %9.1f %9.0f\n",
                 static_cast<unsigned long long>(n), sys, sem, pipe, rpc, dl, dh, dpl, urpc);
+    json.Row("syscall", n, sys);
+    json.Row("sem", n, sem);
+    json.Row("pipe", n, pipe);
+    json.Row("rpc", n, rpc);
+    json.Row("dipc_low", n, dl);
+    json.Row("dipc_high", n, dh);
+    json.Row("dipc_proc_low", n, dpl);
+    json.Row("user_rpc", n, urpc);
   }
   std::printf("(L1$ = 32 KB, L2$ = 256 KB: expect knees there for the copying primitives)\n\n");
 }
@@ -70,7 +78,8 @@ BENCHMARK(BM_AddedTime)->Arg(1)->Arg(1 << 10)->Arg(1 << 20)->UseManualTime()->It
 }  // namespace
 
 int main(int argc, char** argv) {
-  PrintFig6();
+  dipc::bench::JsonEmitter json("fig6_argsize", &argc, argv);
+  PrintFig6(json);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

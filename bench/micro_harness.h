@@ -10,6 +10,8 @@
 #define DIPC_BENCH_MICRO_HARNESS_H_
 
 #include <cstdint>
+#include <string>
+#include <vector>
 
 #include "os/accounting.h"
 
@@ -46,6 +48,36 @@ MicroResult MeasureDipc(const DipcMicroConfig& config);
 // level — the arguments are copied into a shared buffer and a thread on
 // another CPU processes them; the OS only synchronizes the threads (§7.2).
 MicroResult MeasureDipcUserRpc(const MicroConfig& config);
+
+// Zero-copy shared-memory channel (src/chan/): a one-slot channel gives
+// synchronous producer->consumer semantics; the payload moves by capability
+// grant, so the transfer cost is O(1) in arg_bytes.
+MicroResult MeasureChannel(const MicroConfig& config);
+
+// --json flag support: benches record (series, x, value) rows and, when the
+// flag was passed, write them to BENCH_<name>.json on destruction — the
+// machine-readable perf trajectory consumed by CI. The constructor strips
+// the flag from argv so benchmark::Initialize never sees it.
+class JsonEmitter {
+ public:
+  JsonEmitter(std::string name, int* argc, char** argv);
+  JsonEmitter(const JsonEmitter&) = delete;
+  JsonEmitter& operator=(const JsonEmitter&) = delete;
+  ~JsonEmitter();
+
+  bool enabled() const { return enabled_; }
+  void Row(const std::string& series, uint64_t x, double value_ns);
+
+ private:
+  std::string name_;
+  bool enabled_ = false;
+  struct RowData {
+    std::string series;
+    uint64_t x;
+    double value_ns;
+  };
+  std::vector<RowData> rows_;
+};
 
 }  // namespace dipc::bench
 

@@ -1,0 +1,113 @@
+// Producer/consumer over a zero-copy channel (src/chan/).
+//
+// Two dIPC-enabled processes in the global VAS. The consumer publishes a
+// "stream.open" entry point; the producer resolves it through entry_request
+// and receives a channel endpoint fd from the call (§5.2.2-style handle
+// delegation, but through a dIPC entry instead of a UNIX socket). It then
+// streams messages whose payloads never get copied: each Send revokes the
+// producer's buffer capability and grants a read-only one to the consumer.
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "chan/channel.h"
+#include "codoms/codoms.h"
+#include "dipc/dipc.h"
+#include "hw/machine.h"
+#include "os/kernel.h"
+
+using namespace dipc;  // NOLINT: example brevity
+
+int main() {
+  hw::Machine machine(4);
+  codoms::Codoms codoms(machine);
+  os::Kernel kernel(machine, codoms);
+  core::Dipc dipc(kernel);
+
+  os::Process& producer = dipc.CreateDipcProcess("producer");
+  os::Process& consumer = dipc.CreateDipcProcess("consumer");
+
+  constexpr int kMessages = 1000;
+  constexpr uint64_t kPayload = 64 * 1024;
+
+  // The consumer side of the contract: an entry that opens a channel toward
+  // the caller and hands back the sender endpoint as an fd.
+  std::shared_ptr<chan::Channel> channel;
+  core::EntryDesc open_entry;
+  open_entry.name = "stream.open";
+  open_entry.signature = core::EntrySignature{.in_regs = 1, .out_regs = 1, .stack_bytes = 0};
+  open_entry.policy = core::IsolationPolicy::Low();
+  open_entry.fn = [&](os::Env, core::CallArgs) -> sim::Task<uint64_t> {
+    auto ch = chan::Channel::Create(dipc, producer, consumer,
+                                    {.slots = 8, .buf_bytes = kPayload});
+    DIPC_CHECK(ch.ok());
+    channel = ch.value();
+    os::Fd fd = producer.fds().Insert(std::make_shared<chan::SenderEndpoint>(channel));
+    co_return static_cast<uint64_t>(fd);
+  };
+  auto handle = dipc.EntryRegister(consumer, *dipc.DomDefault(consumer), {open_entry});
+  DIPC_CHECK(handle.ok());
+  auto req = dipc.EntryRequest(producer, *handle.value(),
+                               {{open_entry.signature, core::IsolationPolicy::Low()}});
+  DIPC_CHECK(req.ok());
+  DIPC_CHECK(dipc.GrantCreate(*dipc.DomDefault(producer), *req.value().proxy_domain).ok());
+  core::ProxyRef open_proxy = req.value().proxies[0];
+
+  uint64_t consumed_bytes = 0;
+  kernel.Spawn(
+      consumer, "consumer",
+      [&](os::Env env) -> sim::Task<void> {
+        while (channel == nullptr) {
+          co_await env.kernel->Sleep(env, sim::Duration::Micros(5));
+        }
+        chan::ReceiverEndpoint rx(channel);
+        while (true) {
+          auto msg = co_await rx.Recv(env);
+          if (!msg.ok()) {
+            std::printf("[consumer] stream ended: %s\n",
+                        base::ErrorCodeName(msg.code()).data());
+            co_return;
+          }
+          // Consume in place through the read-only capability — the data
+          // was never copied since the producer wrote it.
+          auto s = co_await env.kernel->TouchUser(env, msg.value().va, msg.value().len,
+                                                  hw::AccessType::kRead);
+          DIPC_CHECK(s.ok());
+          consumed_bytes += msg.value().len;
+          DIPC_CHECK((co_await rx.Release(env, msg.value())).ok());
+        }
+      },
+      /*pin_cpu=*/1);
+
+  kernel.Spawn(
+      producer, "producer",
+      [&](os::Env env) -> sim::Task<void> {
+        uint64_t fd = co_await open_proxy.Call(env, core::CallArgs{});
+        DIPC_CHECK(env.self->TakeError() == base::ErrorCode::kOk);
+        auto tx = producer.fds().GetAs<chan::SenderEndpoint>(static_cast<os::Fd>(fd));
+        DIPC_CHECK(tx != nullptr);
+        std::printf("[producer] got sender endpoint fd=%llu via entry_request\n",
+                    static_cast<unsigned long long>(fd));
+        sim::Time t0 = env.kernel->now();
+        for (int i = 0; i < kMessages; ++i) {
+          auto buf = co_await tx->AcquireBuf(env);
+          DIPC_CHECK(buf.ok());
+          auto s = co_await env.kernel->TouchUser(env, buf.value().va, kPayload,
+                                                  hw::AccessType::kWrite);
+          DIPC_CHECK(s.ok());
+          DIPC_CHECK((co_await tx->Send(env, buf.value(), kPayload)).ok());
+        }
+        double us = (env.kernel->now() - t0).micros();
+        std::printf("[producer] streamed %d x %llu KiB in %.1f us (%.2f GB/s virtual)\n",
+                    kMessages, static_cast<unsigned long long>(kPayload / 1024), us,
+                    kMessages * (kPayload / 1024.0 / 1024.0 / 1024.0) / (us * 1e-6));
+        tx->Close();
+      },
+      /*pin_cpu=*/0);
+
+  kernel.Run();
+  std::printf("[main] consumer read %llu bytes, channel moved %llu messages, 0 copies\n",
+              static_cast<unsigned long long>(consumed_bytes),
+              static_cast<unsigned long long>(channel->recvs()));
+  return 0;
+}

@@ -1,0 +1,269 @@
+#include "chan/channel.h"
+
+#include <algorithm>
+
+#include "chan/futex.h"
+
+namespace dipc::chan {
+
+using os::TimeCat;
+
+namespace {
+
+// Descriptors pack {buffer index, payload length} into one queue slot.
+constexpr uint64_t kLenBits = 48;
+constexpr uint64_t kLenMask = (uint64_t{1} << kLenBits) - 1;
+constexpr uint64_t kMaxSlots = uint64_t{1} << (64 - kLenBits);
+
+uint64_t PackDesc(uint32_t index, uint64_t len) {
+  DIPC_CHECK(len <= kLenMask);
+  DIPC_CHECK(index < kMaxSlots);
+  return (uint64_t{index} << kLenBits) | len;
+}
+
+// Clears `reg` only when it still holds `cap` (same mint), so a thread
+// interleaving several channels doesn't lose another channel's live
+// capability from its register file.
+void ClearRegIfHolds(os::Thread& t, uint32_t reg, const codoms::Capability& cap) {
+  const auto& held = t.cap_ctx().regs.reg(reg);
+  if (held.has_value() && held->type == codoms::CapType::kAsync &&
+      held->revocation_id == cap.revocation_id) {
+    t.cap_ctx().regs.Clear(reg);
+  }
+}
+
+}  // namespace
+
+Channel::Channel(core::Dipc& dipc, os::Process& sender, os::Process& receiver, ChannelConfig cfg)
+    : kernel_(dipc.kernel()), sender_proc_(&sender), receiver_proc_(&receiver), cfg_(cfg) {}
+
+base::Result<std::shared_ptr<Channel>> Channel::Create(core::Dipc& dipc, os::Process& sender,
+                                                       os::Process& receiver, ChannelConfig cfg) {
+  if (cfg.slots == 0 || cfg.slots > kMaxSlots || cfg.buf_bytes == 0 ||
+      cfg.buf_bytes > kLenMask) {
+    return base::ErrorCode::kInvalidArgument;
+  }
+  if (!sender.dipc_enabled() || !receiver.dipc_enabled()) {
+    // The zero-copy path needs the shared page table of the global VAS.
+    return base::ErrorCode::kNotSupported;
+  }
+  os::Kernel& kernel = dipc.kernel();
+  auto ch = std::shared_ptr<Channel>(new Channel(dipc, sender, receiver, cfg));
+  codoms::AplTable& apl = kernel.codoms().apl_table();
+  ch->ctrl_tag_ = apl.AllocateTag();
+  ch->data_tag_ = apl.AllocateTag();
+  ch->rt_tag_ = apl.AllocateTag();
+  // One-time APL setup (creation is rare; per-message paths never touch
+  // APLs, so APL-cache entries stay warm): both endpoints may use the
+  // control segment, both may *call into* the runtime domain, and only the
+  // runtime domain reaches the data domain.
+  apl.Grant(sender.default_domain(), ch->ctrl_tag_, codoms::Perm::kWrite);
+  apl.Grant(receiver.default_domain(), ch->ctrl_tag_, codoms::Perm::kWrite);
+  apl.Grant(sender.default_domain(), ch->rt_tag_, codoms::Perm::kCall);
+  apl.Grant(receiver.default_domain(), ch->rt_tag_, codoms::Perm::kCall);
+  apl.Grant(ch->rt_tag_, ch->data_tag_, codoms::Perm::kWrite);
+
+  ch->buf_stride_ = hw::PageRoundUp(cfg.buf_bytes);
+  auto data = MapSegment(kernel, sender, ch->buf_stride_ * cfg.slots, ch->data_tag_);
+  if (!data.ok()) {
+    return data.code();
+  }
+  ch->data_seg_ = data.value();
+  auto caps = MapSegment(kernel, sender, uint64_t{cfg.slots} * codoms::kCapMemBytes,
+                         ch->ctrl_tag_, /*cap_storage=*/true);
+  if (!caps.ok()) {
+    return caps.code();
+  }
+  ch->cap_seg_ = caps.value();
+  ch->desc_ = std::make_unique<MpmcQueue>(kernel, sender, cfg.slots, ch->ctrl_tag_);
+  ch->free_ = std::make_unique<MpmcQueue>(kernel, sender, cfg.slots, ch->ctrl_tag_);
+  for (uint32_t i = 0; i < cfg.slots; ++i) {
+    ch->free_->Prime(i);
+  }
+  ch->sender_caps_.resize(cfg.slots);
+  ch->receiver_caps_.resize(cfg.slots);
+
+  std::weak_ptr<Channel> weak = ch;
+  dipc.AddDeathHook([weak](os::Process& dead) {
+    auto live = weak.lock();
+    if (live == nullptr) {
+      return false;  // channel gone: unregister the hook
+    }
+    live->OnProcessDeath(dead);
+    return true;
+  });
+  return ch;
+}
+
+base::Result<codoms::Capability> Channel::RuntimeMintCap(os::Env env, hw::VirtAddr base,
+                                                         uint64_t size, codoms::Perm rights,
+                                                         sim::Duration* cost) {
+  codoms::ThreadCapContext& ctx = env.self->cap_ctx();
+  const hw::CostModel& cm = env.kernel->costs();
+  // Cross-domain call into the runtime's code and back: two implicit domain
+  // switches at plain-call cost (§4: "negligible performance impact").
+  *cost += cm.function_call + cm.domain_switch * 2;
+  hw::DomainTag saved = ctx.current_domain;
+  ctx.current_domain = rt_tag_;
+  sim::Duration mint_cost;
+  auto cap = env.kernel->codoms().CapFromApl(env.self->last_cpu(),
+                                             env.self->process().page_table(), ctx, base, size,
+                                             rights, codoms::CapType::kAsync, &mint_cost);
+  ctx.current_domain = saved;
+  *cost += mint_cost;
+  return cap;
+}
+
+sim::Task<base::Result<SendBuf>> Channel::AcquireBuf(os::Env env) {
+  os::Kernel& k = *env.kernel;
+  if (broken_ != base::ErrorCode::kOk) {
+    co_return broken_;
+  }
+  auto idx = co_await free_->Pop(env);
+  if (!idx.ok()) {
+    co_return broken_ != base::ErrorCode::kOk ? broken_ : idx.code();
+  }
+  auto index = static_cast<uint32_t>(idx.value());
+  sim::Duration cost;
+  auto cap = RuntimeMintCap(env, buf_va(index), buf_stride_, codoms::Perm::kWrite, &cost);
+  if (!cap.ok()) {
+    (void)co_await free_->Push(env, index);  // don't leak the slot
+    co_return cap.code();
+  }
+  co_await k.Spend(*env.self, cost, TimeCat::kUser);
+  env.self->cap_ctx().regs.Set(kSenderCapReg, cap.value());
+  sender_caps_[index] = cap.value();
+  co_return SendBuf{buf_va(index), cfg_.buf_bytes, index};
+}
+
+sim::Task<base::Status> Channel::Send(os::Env env, const SendBuf& buf, uint64_t len) {
+  os::Kernel& k = *env.kernel;
+  const hw::CostModel& cm = k.costs();
+  if (broken_ != base::ErrorCode::kOk) {
+    co_return broken_;
+  }
+  if (buf.index >= cfg_.slots || len == 0 || len > cfg_.buf_bytes ||
+      !sender_caps_[buf.index].has_value()) {
+    co_return base::ErrorCode::kInvalidArgument;
+  }
+  sim::Duration cost = cm.chan_fast_path;
+  // Mint the receiver's read-only view (immutability: a published message
+  // can never be modified again, by anyone) and publish it through the
+  // capability-storage descriptor slot. Errors here leave the sender owning
+  // the buffer — the slot must not leak.
+  auto rcap = RuntimeMintCap(env, buf.va, len, codoms::Perm::kRead, &cost);
+  if (!rcap.ok()) {
+    co_return rcap.code();
+  }
+  sim::Duration store_cost;
+  base::Status stored = k.codoms().CapStore(env.self->process().page_table(),
+                                            env.self->cap_ctx(), CapSlotVa(buf.index),
+                                            rcap.value(), &store_cost);
+  if (!stored.ok()) {
+    co_return stored;
+  }
+  cost += store_cost;
+  // Move semantics: the sender's ownership ends *before* the receiver can
+  // observe the message (the descriptor push below is what publishes it).
+  // Revocation is one unprivileged counter bump.
+  ClearRegIfHolds(*env.self, kSenderCapReg, *sender_caps_[buf.index]);
+  DIPC_CHECK(k.codoms().CapRevoke(*sender_caps_[buf.index]).ok());
+  cost += cm.cap_revoke;
+  sender_caps_[buf.index].reset();
+  co_await k.Spend(*env.self, cost, TimeCat::kUser);
+  receiver_caps_[buf.index] = rcap.value();
+  auto pushed = co_await desc_->Push(env, PackDesc(buf.index, len));
+  if (!pushed.ok()) {
+    co_return broken_ != base::ErrorCode::kOk ? broken_ : pushed.code();
+  }
+  ++sends_;
+  co_return base::Status::Ok();
+}
+
+sim::Task<base::Result<Msg>> Channel::Recv(os::Env env) {
+  os::Kernel& k = *env.kernel;
+  if (broken_ != base::ErrorCode::kOk) {
+    co_return broken_;
+  }
+  auto desc = co_await desc_->Pop(env);
+  if (!desc.ok()) {
+    co_return broken_ != base::ErrorCode::kOk ? broken_ : desc.code();
+  }
+  auto index = static_cast<uint32_t>(desc.value() >> kLenBits);
+  uint64_t len = desc.value() & kLenMask;
+  sim::Duration cost;
+  auto cap = k.codoms().CapLoad(env.self->process().page_table(), env.self->cap_ctx(),
+                                CapSlotVa(index), &cost);
+  if (!cap.ok()) {
+    co_return cap.code();
+  }
+  co_await k.Spend(*env.self, cost, TimeCat::kUser);
+  env.self->cap_ctx().regs.Set(kReceiverCapReg, cap.value());
+  ++recvs_;
+  co_return Msg{buf_va(index), len, index};
+}
+
+sim::Task<base::Status> Channel::Release(os::Env env, const Msg& msg) {
+  os::Kernel& k = *env.kernel;
+  const hw::CostModel& cm = k.costs();
+  if (msg.index >= cfg_.slots) {
+    co_return base::ErrorCode::kInvalidArgument;
+  }
+  if (broken_ != base::ErrorCode::kOk) {
+    // Dead-peer teardown already revoked the in-flight capabilities; a
+    // crash must surface as the broken code, not as a caller bug.
+    co_return broken_;
+  }
+  if (!receiver_caps_[msg.index].has_value()) {
+    co_return base::ErrorCode::kInvalidArgument;
+  }
+  sim::Duration cost = cm.chan_fast_path + cm.cap_revoke;
+  ClearRegIfHolds(*env.self, kReceiverCapReg, *receiver_caps_[msg.index]);
+  DIPC_CHECK(k.codoms().CapRevoke(*receiver_caps_[msg.index]).ok());
+  receiver_caps_[msg.index].reset();
+  co_await k.Spend(*env.self, cost, TimeCat::kUser);
+  if (broken_ != base::ErrorCode::kOk) {
+    co_return broken_;
+  }
+  auto pushed = co_await free_->Push(env, msg.index);
+  if (!pushed.ok()) {
+    // After an orderly Close the free list is retired; the revocation above
+    // is all that matters. Only dead-peer errors surface.
+    co_return broken_ != base::ErrorCode::kOk ? base::Status(broken_) : base::Status::Ok();
+  }
+  co_return base::Status::Ok();
+}
+
+void Channel::Close() {
+  desc_->Close(base::ErrorCode::kBrokenChannel);
+  free_->Close(base::ErrorCode::kBrokenChannel);
+}
+
+void Channel::OnProcessDeath(os::Process& proc) {
+  if (&proc != sender_proc_ && &proc != receiver_proc_) {
+    return;
+  }
+  if (broken_ != base::ErrorCode::kOk) {
+    return;
+  }
+  broken_ = base::ErrorCode::kCalleeFailed;
+  // KCS-style unwind: revoke every in-flight ownership capability so no
+  // stale grant survives the crash, then fail both queues — blocked peers
+  // wake and surface the error code.
+  for (auto& cap : sender_caps_) {
+    if (cap.has_value()) {
+      DIPC_CHECK(kernel_.codoms().CapRevoke(*cap).ok());
+      cap.reset();
+    }
+  }
+  for (auto& cap : receiver_caps_) {
+    if (cap.has_value()) {
+      DIPC_CHECK(kernel_.codoms().CapRevoke(*cap).ok());
+      cap.reset();
+    }
+  }
+  desc_->Fail(base::ErrorCode::kCalleeFailed);
+  free_->Fail(base::ErrorCode::kCalleeFailed);
+}
+
+}  // namespace dipc::chan

@@ -1,0 +1,185 @@
+// Capability-granted zero-copy channels on the dIPC global VAS.
+//
+// A Channel moves bulk payloads between two dIPC-enabled processes without
+// copying and without per-message kernel crossings, by transferring
+// *ownership* of fixed message buffers instead of bytes (the paper's
+// immutability-by-ownership design, §3/§5, applied to streaming IPC):
+//
+//   - Message buffers live in a dedicated *data domain* that neither
+//     endpoint's APL can reach. Payload access happens exclusively through
+//     CODOMs asynchronous capabilities (§4.2) held in capability registers.
+//   - Capabilities are minted by a trusted *channel runtime* domain (the
+//     only domain with an APL grant over the data domain) — the same
+//     trusted-intermediary pattern as dIPC's proxies, entered by a plain
+//     cross-domain call at function-call cost.
+//   - Send revokes the sender's write capability (one revocation-counter
+//     bump: immediate, unprivileged) and publishes a fresh *read-only*
+//     capability for the receiver through a capability-storage descriptor
+//     slot. The payload never moves; cost is O(1) in message size.
+//   - Control flow (descriptor queue + free-buffer queue) is an MpmcQueue
+//     pair in a control segment both endpoint domains can access; blocking
+//     uses the futex path, so an idle endpoint costs nothing.
+//
+// Dead peers: channels register a teardown hook with core::Dipc. When
+// KillProcess reaps an endpoint process, every in-flight capability is
+// revoked and blocked Send/Recv calls wake with kCalleeFailed (KCS-style
+// unwinding surfaced as an error code, §5.2.1).
+#ifndef DIPC_CHAN_CHANNEL_H_
+#define DIPC_CHAN_CHANNEL_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "base/result.h"
+#include "chan/mpmc_queue.h"
+#include "chan/segment.h"
+#include "codoms/capability.h"
+#include "dipc/dipc.h"
+#include "os/kernel.h"
+#include "sim/task.h"
+
+namespace dipc::chan {
+
+struct ChannelConfig {
+  uint32_t slots = 8;            // in-flight message buffers
+  uint64_t buf_bytes = 1 << 16;  // payload capacity per buffer
+};
+
+// A buffer the sender owns (write capability in register kSenderCapReg).
+struct SendBuf {
+  hw::VirtAddr va = 0;
+  uint64_t capacity = 0;
+  uint32_t index = 0;
+};
+
+// A received message (read capability in register kReceiverCapReg).
+struct Msg {
+  hw::VirtAddr va = 0;
+  uint64_t len = 0;
+  uint32_t index = 0;
+};
+
+class Channel : public std::enable_shared_from_this<Channel> {
+ public:
+  // Capability-register convention for channel ownership caps.
+  static constexpr uint32_t kSenderCapReg = 6;
+  static constexpr uint32_t kReceiverCapReg = 7;
+
+  // Creates a unidirectional sender->receiver channel between two
+  // dIPC-enabled processes in `dipc`'s global VAS, and registers dead-peer
+  // teardown with the runtime.
+  static base::Result<std::shared_ptr<Channel>> Create(core::Dipc& dipc, os::Process& sender,
+                                                       os::Process& receiver,
+                                                       ChannelConfig cfg = {});
+
+  // ---- Sender side ----
+
+  // Blocks until a free buffer is available, mints a write capability for
+  // it, and hands it to the calling thread.
+  sim::Task<base::Result<SendBuf>> AcquireBuf(os::Env env);
+
+  // Publishes `len` bytes of `buf` to the receiver: revokes the sender's
+  // capability (subsequent sender access faults) and grants a read-only
+  // capability to the receiving side. O(1) in `len`.
+  sim::Task<base::Status> Send(os::Env env, const SendBuf& buf, uint64_t len);
+
+  // Orderly shutdown: the receiver drains in-flight messages, then Recv
+  // fails with kBrokenChannel.
+  void Close();
+
+  // ---- Receiver side ----
+
+  // Blocks until a message arrives; loads its capability into the calling
+  // thread's register file. Fails with kBrokenChannel after Close() drains,
+  // or kCalleeFailed immediately if a peer process died.
+  sim::Task<base::Result<Msg>> Recv(os::Env env);
+
+  // Returns the buffer to the free pool: revokes the receiver's capability
+  // and unblocks a sender waiting in AcquireBuf.
+  sim::Task<base::Status> Release(os::Env env, const Msg& msg);
+
+  // ---- Introspection ----
+
+  os::Process& sender_process() { return *sender_proc_; }
+  os::Process& receiver_process() { return *receiver_proc_; }
+  const ChannelConfig& config() const { return cfg_; }
+  base::ErrorCode broken() const { return broken_; }
+  uint64_t sends() const { return sends_; }
+  uint64_t recvs() const { return recvs_; }
+  hw::VirtAddr buf_va(uint32_t index) const { return data_seg_.base + index * buf_stride_; }
+
+  // Dead-peer teardown (fired via the core::Dipc death hook).
+  void OnProcessDeath(os::Process& proc);
+
+ private:
+  Channel(core::Dipc& dipc, os::Process& sender, os::Process& receiver, ChannelConfig cfg);
+
+  // Simulates the cross-domain call into the trusted channel runtime that
+  // mints an async capability over [base, base+size) (§4.2). Pure user
+  // level: two domain switches (function-call cost) plus cap creation.
+  base::Result<codoms::Capability> RuntimeMintCap(os::Env env, hw::VirtAddr base, uint64_t size,
+                                                  codoms::Perm rights, sim::Duration* cost);
+
+  hw::VirtAddr CapSlotVa(uint32_t index) const {
+    return cap_seg_.base + index * codoms::kCapMemBytes;
+  }
+
+  os::Kernel& kernel_;
+  os::Process* sender_proc_;
+  os::Process* receiver_proc_;
+  ChannelConfig cfg_;
+  uint64_t buf_stride_ = 0;  // page-rounded buf_bytes
+  hw::DomainTag ctrl_tag_ = hw::kInvalidDomainTag;
+  hw::DomainTag data_tag_ = hw::kInvalidDomainTag;
+  hw::DomainTag rt_tag_ = hw::kInvalidDomainTag;
+  Segment data_seg_;
+  Segment cap_seg_;
+  std::unique_ptr<MpmcQueue> desc_;  // packed {index, len} descriptors
+  std::unique_ptr<MpmcQueue> free_;  // free buffer indices
+  // In-flight ownership capabilities, by buffer index (the registers hold
+  // the architecturally visible copies; these drive revocation).
+  std::vector<std::optional<codoms::Capability>> sender_caps_;
+  std::vector<std::optional<codoms::Capability>> receiver_caps_;
+  base::ErrorCode broken_ = base::ErrorCode::kOk;
+  uint64_t sends_ = 0;
+  uint64_t recvs_ = 0;
+};
+
+// fd-table endpoints, so channel ends can be delegated between processes
+// (SCM_RIGHTS-style or returned from a dIPC entry call; §5.2.2).
+class SenderEndpoint : public os::KernelObject {
+ public:
+  explicit SenderEndpoint(std::shared_ptr<Channel> ch) : ch_(std::move(ch)) {}
+  std::string_view type_name() const override { return "chan[send]"; }
+  Channel& channel() { return *ch_; }
+  std::shared_ptr<Channel> shared() { return ch_; }
+
+  sim::Task<base::Result<SendBuf>> AcquireBuf(os::Env env) { return ch_->AcquireBuf(env); }
+  sim::Task<base::Status> Send(os::Env env, const SendBuf& buf, uint64_t len) {
+    return ch_->Send(env, buf, len);
+  }
+  void Close() { ch_->Close(); }
+
+ private:
+  std::shared_ptr<Channel> ch_;
+};
+
+class ReceiverEndpoint : public os::KernelObject {
+ public:
+  explicit ReceiverEndpoint(std::shared_ptr<Channel> ch) : ch_(std::move(ch)) {}
+  std::string_view type_name() const override { return "chan[recv]"; }
+  Channel& channel() { return *ch_; }
+  std::shared_ptr<Channel> shared() { return ch_; }
+
+  sim::Task<base::Result<Msg>> Recv(os::Env env) { return ch_->Recv(env); }
+  sim::Task<base::Status> Release(os::Env env, const Msg& msg) { return ch_->Release(env, msg); }
+
+ private:
+  std::shared_ptr<Channel> ch_;
+};
+
+}  // namespace dipc::chan
+
+#endif  // DIPC_CHAN_CHANNEL_H_

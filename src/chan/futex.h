@@ -1,0 +1,47 @@
+// Futex-style block/wake for the user-level channel primitives.
+//
+// The uncontended paths of the ring/queue/channel never enter the kernel;
+// these helpers model the contended slow path: FUTEX_WAIT (syscall + kernel
+// futex work + park on a FIFO wait queue) and FUTEX_WAKE (syscall + kernel
+// work + IPI when the waiter sits on another CPU). Costs mirror
+// os::Semaphore so the channel's blocking behavior stays calibrated to the
+// same §2.2 anchors.
+#ifndef DIPC_CHAN_FUTEX_H_
+#define DIPC_CHAN_FUTEX_H_
+
+#include "os/kernel.h"
+#include "os/semaphore.h"
+#include "sim/task.h"
+
+namespace dipc::chan {
+
+// Parks the calling thread on `q` through the futex wait path. The caller
+// re-checks its predicate after resumption (standard futex loop).
+inline sim::Task<void> FutexBlock(os::Env env, os::WaitQueue& q) {
+  os::Kernel& k = *env.kernel;
+  co_await k.SyscallEnter(env);
+  co_await k.Spend(*env.self, os::Semaphore::kFutexWaitKernel, os::TimeCat::kKernel);
+  co_await q.Wait(env);
+  co_await k.SyscallExit(env);
+}
+
+// Wakes one thread parked on `q`, if any, paying the futex wake syscall and
+// any cross-CPU IPI cost on the waker's side.
+inline sim::Task<void> FutexWakeOne(os::Env env, os::WaitQueue& q) {
+  os::Kernel& k = *env.kernel;
+  os::Thread* waiter = q.WakeOneThread();
+  if (waiter == nullptr) {
+    co_return;
+  }
+  co_await k.SyscallEnter(env);
+  co_await k.Spend(*env.self, os::Semaphore::kFutexWakeKernel, os::TimeCat::kKernel);
+  sim::Duration ipi = k.MakeRunnable(*waiter, env.self->last_cpu());
+  if (ipi > sim::Duration::Zero()) {
+    co_await k.Spend(*env.self, ipi, os::TimeCat::kKernel);
+  }
+  co_await k.SyscallExit(env);
+}
+
+}  // namespace dipc::chan
+
+#endif  // DIPC_CHAN_FUTEX_H_

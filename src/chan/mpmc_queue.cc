@@ -1,0 +1,122 @@
+#include "chan/mpmc_queue.h"
+
+#include <cstring>
+
+#include "chan/futex.h"
+
+namespace dipc::chan {
+
+using os::TimeCat;
+
+namespace {
+
+std::span<const std::byte> ValueBytes(const uint64_t& v) {
+  return std::as_bytes(std::span(&v, 1));
+}
+
+}  // namespace
+
+MpmcQueue::MpmcQueue(os::Kernel& kernel, os::Process& proc, uint32_t capacity, hw::DomainTag tag)
+    : kernel_(kernel), pt_(&proc.page_table()), capacity_(capacity) {
+  DIPC_CHECK(capacity > 0);
+  auto seg = MapSegment(kernel, proc, uint64_t{capacity} * kSlotBytes, tag);
+  DIPC_CHECK(seg.ok());
+  seg_ = seg.value();
+}
+
+void MpmcQueue::Prime(uint64_t value) {
+  DIPC_CHECK(count_ < capacity_);
+  // Setup-time direct store through physical memory: no thread context, no
+  // cost. Slots never straddle pages (8-byte slots, page-aligned base).
+  auto pa = pt_->Translate(SlotVa(tail_));
+  DIPC_CHECK(pa.has_value());
+  kernel_.machine().mem().Write(*pa, ValueBytes(value));
+  ++tail_;
+  ++count_;
+}
+
+sim::Task<base::Status> MpmcQueue::Push(os::Env env, uint64_t value) {
+  os::Kernel& k = *env.kernel;
+  os::Thread& self = *env.self;
+  co_await k.Spend(self, k.costs().chan_fast_path, TimeCat::kUser);
+  while (count_ == capacity_) {
+    if (closed_) {
+      co_return code_;
+    }
+    ++blocked_pushes_;
+    co_await FutexBlock(env, producers_);
+  }
+  if (closed_) {
+    co_return code_;
+  }
+  hw::VirtAddr va = SlotVa(tail_);
+  auto cost = k.UserAccessCost(self, va, kSlotBytes, hw::AccessType::kWrite);
+  if (!cost.ok()) {
+    co_return cost.status();
+  }
+  base::Status ws = k.UserWrite(self, va, ValueBytes(value));
+  DIPC_CHECK(ws.ok());
+  co_await k.Spend(self, cost.value(), TimeCat::kUser);
+  ++tail_;
+  ++count_;
+  co_await FutexWakeOne(env, consumers_);
+  co_return base::Status::Ok();
+}
+
+sim::Task<base::Result<uint64_t>> MpmcQueue::Pop(os::Env env) {
+  os::Kernel& k = *env.kernel;
+  os::Thread& self = *env.self;
+  co_await k.Spend(self, k.costs().chan_fast_path, TimeCat::kUser);
+  while (count_ == 0) {
+    if (closed_) {
+      co_return code_;
+    }
+    ++blocked_pops_;
+    co_await FutexBlock(env, consumers_);
+  }
+  if (!drain_allowed_) {
+    co_return code_;
+  }
+  hw::VirtAddr va = SlotVa(head_);
+  auto cost = k.UserAccessCost(self, va, kSlotBytes, hw::AccessType::kRead);
+  if (!cost.ok()) {
+    co_return cost.status();
+  }
+  uint64_t value = 0;
+  base::Status rs = k.UserRead(self, va, std::as_writable_bytes(std::span(&value, 1)));
+  DIPC_CHECK(rs.ok());
+  co_await k.Spend(self, cost.value(), TimeCat::kUser);
+  ++head_;
+  --count_;
+  co_await FutexWakeOne(env, producers_);
+  co_return value;
+}
+
+void MpmcQueue::Close(base::ErrorCode code) {
+  if (closed_) {
+    return;
+  }
+  closed_ = true;
+  code_ = code;
+  WakeAllNoEnv();
+}
+
+void MpmcQueue::Fail(base::ErrorCode code) {
+  closed_ = true;
+  drain_allowed_ = false;
+  code_ = code;
+  WakeAllNoEnv();
+}
+
+void MpmcQueue::WakeAllNoEnv() {
+  // Close/Fail have no Env (they may run from teardown hooks); wakeups go
+  // through the scheduler with no waker-side cost, like Pipe close.
+  while (os::Thread* t = producers_.WakeOneThread()) {
+    (void)kernel_.MakeRunnable(*t, std::nullopt);
+  }
+  while (os::Thread* t = consumers_.WakeOneThread()) {
+    (void)kernel_.MakeRunnable(*t, std::nullopt);
+  }
+}
+
+}  // namespace dipc::chan

@@ -1,0 +1,75 @@
+// MPMC slot queue in a VAS-mapped shared segment.
+//
+// A bounded queue of 8-byte slots (values or packed descriptors) shared by
+// any number of producer/consumer threads across dIPC processes. The
+// uncontended path is user-level (atomics on head/tail plus one slot
+// access); full/empty block through the futex path with FIFO wakeups, which
+// makes consumer scheduling fair and deterministic under the event queue.
+//
+// Closing is two-flavored, mirroring pipe EOF vs. peer crash:
+//   - Close(): producers fail immediately, consumers drain then see the
+//     close code (orderly shutdown);
+//   - Fail(code): every operation fails immediately and all blocked threads
+//     wake with `code` (dead-peer teardown).
+#ifndef DIPC_CHAN_MPMC_QUEUE_H_
+#define DIPC_CHAN_MPMC_QUEUE_H_
+
+#include <cstdint>
+
+#include "base/result.h"
+#include "chan/segment.h"
+#include "os/kernel.h"
+#include "sim/task.h"
+
+namespace dipc::chan {
+
+class MpmcQueue {
+ public:
+  static constexpr uint64_t kSlotBytes = 8;
+
+  // Maps a `capacity`-slot segment through `proc`, tagged `tag` (callers
+  // grant `tag` to every participating domain).
+  MpmcQueue(os::Kernel& kernel, os::Process& proc, uint32_t capacity, hw::DomainTag tag);
+
+  // Setup-time enqueue: no cost, no blocking (used to pre-fill free lists).
+  void Prime(uint64_t value);
+
+  // Blocking push; fails with the close/fail code once closed.
+  sim::Task<base::Status> Push(os::Env env, uint64_t value);
+
+  // Blocking pop. After Close() it drains remaining slots, then fails with
+  // the close code; after Fail() it fails immediately.
+  sim::Task<base::Result<uint64_t>> Pop(os::Env env);
+
+  void Close(base::ErrorCode code = base::ErrorCode::kBrokenChannel);
+  void Fail(base::ErrorCode code);
+
+  uint64_t size() const { return count_; }
+  uint32_t capacity() const { return capacity_; }
+  bool closed() const { return closed_; }
+  uint64_t blocked_pushes() const { return blocked_pushes_; }
+  uint64_t blocked_pops() const { return blocked_pops_; }
+
+ private:
+  hw::VirtAddr SlotVa(uint64_t pos) const { return seg_.base + (pos % capacity_) * kSlotBytes; }
+  void WakeAllNoEnv();
+
+  os::Kernel& kernel_;
+  hw::PageTable* pt_;  // the page table the segment was mapped through
+  Segment seg_;
+  uint32_t capacity_;
+  uint64_t head_ = 0;
+  uint64_t tail_ = 0;
+  uint64_t count_ = 0;
+  bool closed_ = false;
+  bool drain_allowed_ = true;
+  base::ErrorCode code_ = base::ErrorCode::kBrokenChannel;
+  uint64_t blocked_pushes_ = 0;
+  uint64_t blocked_pops_ = 0;
+  os::WaitQueue producers_;
+  os::WaitQueue consumers_;
+};
+
+}  // namespace dipc::chan
+
+#endif  // DIPC_CHAN_MPMC_QUEUE_H_

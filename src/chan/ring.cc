@@ -1,0 +1,144 @@
+#include "chan/ring.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "chan/futex.h"
+
+namespace dipc::chan {
+
+using os::TimeCat;
+
+Ring::Ring(os::Kernel& kernel, os::Process& proc, uint64_t capacity, hw::DomainTag tag)
+    : kernel_(kernel), capacity_(capacity) {
+  DIPC_CHECK(capacity > 0);
+  auto seg = MapSegment(kernel, proc, capacity, tag);
+  DIPC_CHECK(seg.ok());
+  seg_ = seg.value();
+}
+
+sim::Task<base::Status> Ring::CopyIn(os::Env env, hw::VirtAddr src, uint64_t len) {
+  os::Kernel& k = *env.kernel;
+  os::Thread& self = *env.self;
+  uint64_t off = wpos_ % capacity_;
+  sim::Duration cost;
+  std::vector<std::byte> tmp(len);
+  base::Status rs = k.UserRead(self, src, tmp);
+  if (!rs.ok()) {
+    co_return rs;
+  }
+  auto src_cost = k.UserAccessCost(self, src, len, hw::AccessType::kRead);
+  if (!src_cost.ok()) {
+    co_return src_cost.status();
+  }
+  cost += src_cost.value();
+  uint64_t first = std::min(len, capacity_ - off);
+  for (auto [dst, span_off, span_len] :
+       {std::tuple{seg_.base + off, uint64_t{0}, first},
+        std::tuple{seg_.base, first, len - first}}) {
+    if (span_len == 0) {
+      continue;
+    }
+    auto dst_cost = k.UserAccessCost(self, dst, span_len, hw::AccessType::kWrite);
+    if (!dst_cost.ok()) {
+      co_return dst_cost.status();
+    }
+    cost += dst_cost.value();
+    base::Status ws = k.UserWrite(
+        self, dst, std::span<const std::byte>(tmp.data() + span_off, span_len));
+    DIPC_CHECK(ws.ok());
+  }
+  co_await k.Spend(self, cost, TimeCat::kUser);
+  wpos_ += len;
+  fill_ += len;
+  co_return base::Status::Ok();
+}
+
+sim::Task<base::Status> Ring::CopyOut(os::Env env, hw::VirtAddr dst, uint64_t len) {
+  os::Kernel& k = *env.kernel;
+  os::Thread& self = *env.self;
+  uint64_t off = rpos_ % capacity_;
+  sim::Duration cost;
+  std::vector<std::byte> tmp(len);
+  uint64_t first = std::min(len, capacity_ - off);
+  for (auto [src, span_off, span_len] :
+       {std::tuple{seg_.base + off, uint64_t{0}, first},
+        std::tuple{seg_.base, first, len - first}}) {
+    if (span_len == 0) {
+      continue;
+    }
+    auto src_cost = k.UserAccessCost(self, src, span_len, hw::AccessType::kRead);
+    if (!src_cost.ok()) {
+      co_return src_cost.status();
+    }
+    cost += src_cost.value();
+    base::Status rs =
+        k.UserRead(self, src, std::span<std::byte>(tmp.data() + span_off, span_len));
+    DIPC_CHECK(rs.ok());
+  }
+  auto dst_cost = k.UserAccessCost(self, dst, len, hw::AccessType::kWrite);
+  if (!dst_cost.ok()) {
+    co_return dst_cost.status();
+  }
+  cost += dst_cost.value();
+  base::Status ws = k.UserWrite(self, dst, tmp);
+  if (!ws.ok()) {
+    co_return ws;
+  }
+  co_await k.Spend(self, cost, TimeCat::kUser);
+  rpos_ += len;
+  fill_ -= len;
+  co_return base::Status::Ok();
+}
+
+sim::Task<base::Result<uint64_t>> Ring::Write(os::Env env, hw::VirtAddr src, uint64_t len) {
+  os::Kernel& k = *env.kernel;
+  co_await k.Spend(*env.self, k.costs().chan_fast_path, TimeCat::kUser);
+  uint64_t done = 0;
+  while (done < len) {
+    while (fill_ == capacity_) {
+      co_await FutexBlock(env, writers_);
+    }
+    uint64_t chunk = std::min(len - done, capacity_ - fill_);
+    auto s = co_await CopyIn(env, src + done, chunk);
+    if (!s.ok()) {
+      co_return s.code();
+    }
+    done += chunk;
+    co_await FutexWakeOne(env, readers_);
+  }
+  co_return done;
+}
+
+sim::Task<base::Result<uint64_t>> Ring::Read(os::Env env, hw::VirtAddr dst, uint64_t len) {
+  os::Kernel& k = *env.kernel;
+  if (len == 0) {
+    // A 0-byte read would be indistinguishable from the EOF return.
+    co_return base::ErrorCode::kInvalidArgument;
+  }
+  co_await k.Spend(*env.self, k.costs().chan_fast_path, TimeCat::kUser);
+  while (fill_ == 0) {
+    if (write_closed_) {
+      co_return uint64_t{0};  // EOF
+    }
+    co_await FutexBlock(env, readers_);
+  }
+  uint64_t chunk = std::min(len, fill_);
+  auto s = co_await CopyOut(env, dst, chunk);
+  if (!s.ok()) {
+    co_return s.code();
+  }
+  co_await FutexWakeOne(env, writers_);
+  co_return chunk;
+}
+
+void Ring::CloseWriteEnd() {
+  write_closed_ = true;
+  // Blocked readers must observe EOF; there is no Env at close time, so the
+  // wakeups go through the scheduler with no waker-side cost (cf. Pipe).
+  while (os::Thread* r = readers_.WakeOneThread()) {
+    (void)kernel_.MakeRunnable(*r, std::nullopt);
+  }
+}
+
+}  // namespace dipc::chan

@@ -1,0 +1,61 @@
+// SPSC byte ring in a VAS-mapped shared segment (zeroipc-style design
+// point): data moves producer->consumer entirely at user level, with
+// cache/TLB costs charged through the memory hierarchy and *no* per-byte
+// kernel copy. Only blocking (ring full/empty) enters the kernel, through
+// the futex path.
+//
+// Requires both endpoint threads to run in processes sharing one page table
+// (the dIPC global VAS) with APL access to the ring segment's tag.
+#ifndef DIPC_CHAN_RING_H_
+#define DIPC_CHAN_RING_H_
+
+#include <cstdint>
+
+#include "base/result.h"
+#include "chan/segment.h"
+#include "os/kernel.h"
+#include "sim/task.h"
+
+namespace dipc::chan {
+
+class Ring {
+ public:
+  // Maps a `capacity`-byte data segment through `proc`, tagged `tag`.
+  // Callers grant `tag` to both endpoint domains.
+  Ring(os::Kernel& kernel, os::Process& proc, uint64_t capacity, hw::DomainTag tag);
+
+  // Blocking write of the full `len` bytes from `src` (loops at the wrap
+  // point and when the ring fills). Returns `len` on success.
+  sim::Task<base::Result<uint64_t>> Write(os::Env env, hw::VirtAddr src, uint64_t len);
+
+  // Blocking read of up to `len` bytes into `dst`; returns 0 at EOF
+  // (producer closed and the ring drained). `len` must be nonzero (a
+  // 0-byte read would alias the EOF return).
+  sim::Task<base::Result<uint64_t>> Read(os::Env env, hw::VirtAddr dst, uint64_t len);
+
+  void CloseWriteEnd();
+
+  uint64_t capacity() const { return capacity_; }
+  uint64_t fill() const { return fill_; }
+  hw::VirtAddr data_base() const { return seg_.base; }
+
+ private:
+  // User-level byte moves between `va` and the ring, split at the wrap
+  // point; charges both sides' protection/TLB/cache costs as user time.
+  sim::Task<base::Status> CopyIn(os::Env env, hw::VirtAddr src, uint64_t len);
+  sim::Task<base::Status> CopyOut(os::Env env, hw::VirtAddr dst, uint64_t len);
+
+  os::Kernel& kernel_;
+  Segment seg_;
+  uint64_t capacity_;
+  uint64_t rpos_ = 0;
+  uint64_t wpos_ = 0;
+  uint64_t fill_ = 0;
+  bool write_closed_ = false;
+  os::WaitQueue readers_;
+  os::WaitQueue writers_;
+};
+
+}  // namespace dipc::chan
+
+#endif  // DIPC_CHAN_RING_H_

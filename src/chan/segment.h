@@ -1,0 +1,43 @@
+// Shared-memory segments for the channel subsystem.
+//
+// A segment is a page-rounded anonymous mapping in the global VAS, tagged
+// with a CODOMs domain of the creator's choosing. Because dIPC-enabled
+// processes share one page table (§6.1.3), a segment mapped through either
+// endpoint process is visible to both; *access* is controlled purely by the
+// tag's APL grants and by capabilities, never by mapping visibility.
+#ifndef DIPC_CHAN_SEGMENT_H_
+#define DIPC_CHAN_SEGMENT_H_
+
+#include <cstdint>
+
+#include "base/result.h"
+#include "hw/types.h"
+#include "os/kernel.h"
+
+namespace dipc::chan {
+
+struct Segment {
+  hw::VirtAddr base = 0;
+  uint64_t bytes = 0;  // page-rounded
+  hw::DomainTag tag = hw::kInvalidDomainTag;
+};
+
+// Maps `bytes` (page-rounded) of fresh shared memory into `proc`'s address
+// space, tagged `tag`. `cap_storage` marks the pages as capability-storage
+// (§4.2) so channel descriptors can carry capabilities through memory.
+inline base::Result<Segment> MapSegment(os::Kernel& kernel, os::Process& proc, uint64_t bytes,
+                                        hw::DomainTag tag, bool cap_storage = false) {
+  if (bytes == 0) {
+    return base::ErrorCode::kInvalidArgument;
+  }
+  auto va = kernel.MapAnonymous(proc, bytes,
+                                hw::PageFlags{.writable = true, .cap_storage = cap_storage}, tag);
+  if (!va.ok()) {
+    return va.code();
+  }
+  return Segment{va.value(), hw::PageRoundUp(bytes), tag};
+}
+
+}  // namespace dipc::chan
+
+#endif  // DIPC_CHAN_SEGMENT_H_

@@ -8,6 +8,14 @@ Dipc::Dipc(os::Kernel& kernel) : kernel_(kernel), vas_(kernel.machine()) {}
 
 Dipc::~Dipc() = default;
 
+void Dipc::KillProcess(os::Process& proc) {
+  if (!proc.alive()) {
+    return;
+  }
+  proc.MarkDead();
+  std::erase_if(death_hooks_, [&proc](const ProcessDeathHook& hook) { return !hook(proc); });
+}
+
 // ---- Processes ----
 
 os::Process& Dipc::CreateDipcProcess(const std::string& name) {

@@ -5,6 +5,7 @@
 #ifndef DIPC_DIPC_DIPC_H_
 #define DIPC_DIPC_DIPC_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -91,8 +92,17 @@ class Dipc {
   // while inside its current domain (unwinds the KCS, §5.2.1).
   [[noreturn]] static void Crash(base::ErrorCode code = base::ErrorCode::kCalleeFailed);
 
-  // Kills a process: in-flight calls into it unwind to live callers.
-  void KillProcess(os::Process& proc) { proc.MarkDead(); }
+  // Kills a process: in-flight calls into it unwind to live callers, and
+  // registered teardown hooks fire (e.g. channel endpoints surface
+  // dead-peer errors to blocked threads).
+  void KillProcess(os::Process& proc);
+
+  // Registers a hook fired whenever KillProcess reaps a process. Used by
+  // the chan subsystem for dead-peer channel teardown. A hook returning
+  // false is unregistered (so per-object hooks don't accumulate after the
+  // object they watch is gone).
+  using ProcessDeathHook = std::function<bool(os::Process&)>;
+  void AddDeathHook(ProcessDeathHook hook) { death_hooks_.push_back(std::move(hook)); }
 
   // ---- Internal state (used by Proxy; exposed for tests/benches) ----
 
@@ -133,6 +143,7 @@ class Dipc {
   std::unordered_map<uint64_t, std::unique_ptr<ThreadDipcState>> thread_state_;  // by tid
   std::unordered_map<hw::DomainTag, hw::VirtAddr> domain_code_;
   std::vector<std::unique_ptr<Proxy>> proxies_;
+  std::vector<ProcessDeathHook> death_hooks_;
   // Proxy code pages are owned by the runtime, not any process; allocate
   // their VAs from a dedicated block.
   hw::VirtAddr proxy_region_next_ = 0;

@@ -88,6 +88,14 @@ struct CostModel {
   // "less than a L1 cache hit".
   Duration hw_tag_lookup = Duration::Nanos(0.5);
 
+  // ---- Zero-copy channel runtime (src/chan/) ----
+  // Bumping an async capability's revocation counter (§4.2: "immediate
+  // revocation through revocation counters"): one store to the counter word.
+  Duration cap_revoke = Duration::Nanos(1.0);
+  // Channel descriptor fast path per op: head/tail atomics + slot
+  // bookkeeping in the shared control segment.
+  Duration chan_fast_path = Duration::Nanos(6.0);
+
   // ---- dIPC proxy internals (§6.1.2) ----
   // Fast-path per-thread cache-array lookup in track_process_call.
   Duration tracker_fast_lookup = Duration::Nanos(4.0);

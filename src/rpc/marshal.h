@@ -18,6 +18,22 @@
 
 namespace dipc::rpc {
 
+using ProcId = uint32_t;
+
+// Wire header for the socket RPC protocol: xid, procedure, body length —
+// three 4-byte XDR units. The on-wire size is derived from the struct
+// itself (and pinned by the static_assert) so the layout and the constant
+// can never drift apart.
+struct WireHeader {
+  uint32_t xid;
+  ProcId proc;
+  uint32_t len;
+};
+inline constexpr uint64_t kHeaderBytes = sizeof(WireHeader);
+static_assert(kHeaderBytes == 12 && sizeof(WireHeader) == 3 * sizeof(uint32_t),
+              "WireHeader must stay exactly three packed XDR units; fix every "
+              "Pack/Unpack site before changing the wire layout");
+
 // Calibration: XDR walks encode trees field by field; ~150 ns fixed per
 // message plus ~0.25 ns/byte (4-byte units, bounds checks, byte swaps),
 // anchored so the full rpcgen round trip lands on Fig. 5's ~6.9 us.

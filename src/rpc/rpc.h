@@ -24,15 +24,8 @@
 
 namespace dipc::rpc {
 
-using ProcId = uint32_t;
-
-// Wire header: xid, procedure, body length (12 bytes, XDR-aligned).
-struct WireHeader {
-  uint32_t xid;
-  ProcId proc;
-  uint32_t len;
-};
-inline constexpr uint64_t kHeaderBytes = 12;
+// ProcId, WireHeader and kHeaderBytes live in rpc/marshal.h (single
+// static_assert'd source of truth for the wire layout).
 
 // Calibration: rpcgen stub entry/exit, clnt_call bookkeeping, timeout setup
 // on the client; svc_getreqset, xprt handling and dispatch on the server.

@@ -1,0 +1,443 @@
+// Unit tests for the zero-copy channel subsystem (src/chan/): SPSC ring
+// wrap-around, futex-style blocking, MPMC fairness, capability move
+// semantics (sender revocation), and dead-peer teardown.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "chan/channel.h"
+#include "chan/mpmc_queue.h"
+#include "chan/ring.h"
+#include "codoms/codoms.h"
+#include "dipc/dipc.h"
+#include "hw/machine.h"
+#include "os/kernel.h"
+
+namespace dipc::chan {
+namespace {
+
+using base::ErrorCode;
+using sim::Duration;
+
+class ChanTest : public ::testing::Test {
+ protected:
+  ChanTest() : machine_(4), codoms_(machine_), kernel_(machine_, codoms_), dipc_(kernel_) {}
+
+  hw::VirtAddr MapBuf(os::Process& proc, uint64_t len) {
+    auto va = kernel_.MapAnonymous(proc, len, hw::PageFlags{.writable = true});
+    DIPC_CHECK(va.ok());
+    return va.value();
+  }
+
+  hw::Machine machine_;
+  codoms::Codoms codoms_;
+  os::Kernel kernel_;
+  core::Dipc dipc_;
+};
+
+// --- SPSC ring ---
+
+TEST_F(ChanTest, RingTransfersBytesAcrossWrapBoundary) {
+  os::Process& proc = dipc_.CreateDipcProcess("p");
+  // Capacity 256 with 200-byte messages: the second message wraps.
+  Ring ring(kernel_, proc, 256, proc.default_domain());
+  hw::VirtAddr src = MapBuf(proc, hw::kPageSize);
+  hw::VirtAddr dst = MapBuf(proc, hw::kPageSize);
+  constexpr uint64_t kMsg = 200;
+  std::vector<std::string> got;
+  kernel_.Spawn(proc, "producer", [&](os::Env env) -> sim::Task<void> {
+    for (int round = 0; round < 3; ++round) {
+      std::string payload(kMsg, static_cast<char>('a' + round));
+      EXPECT_TRUE(
+          env.kernel->UserWrite(*env.self, src, std::as_bytes(std::span(payload))).ok());
+      auto n = co_await ring.Write(env, src, kMsg);
+      EXPECT_TRUE(n.ok());
+      EXPECT_EQ(n.value(), kMsg);
+    }
+    ring.CloseWriteEnd();
+  });
+  kernel_.Spawn(proc, "consumer", [&](os::Env env) -> sim::Task<void> {
+    while (true) {
+      uint64_t have = 0;
+      while (have < kMsg) {
+        auto n = co_await ring.Read(env, dst + have, kMsg - have);
+        EXPECT_TRUE(n.ok());
+        if (n.value() == 0) {
+          EXPECT_EQ(have, 0u);  // EOF lands on a message boundary here
+          co_return;
+        }
+        have += n.value();
+      }
+      std::vector<char> buf(kMsg);
+      EXPECT_TRUE(
+          env.kernel->UserRead(*env.self, dst, std::as_writable_bytes(std::span(buf))).ok());
+      got.emplace_back(buf.begin(), buf.end());
+    }
+  });
+  kernel_.Run();
+  ASSERT_EQ(got.size(), 3u);
+  for (int round = 0; round < 3; ++round) {
+    EXPECT_EQ(got[round], std::string(kMsg, static_cast<char>('a' + round)));
+  }
+}
+
+TEST_F(ChanTest, RingUncontendedStaysInUserSpace) {
+  os::Process& proc = dipc_.CreateDipcProcess("p");
+  Ring ring(kernel_, proc, 4096, proc.default_domain());
+  hw::VirtAddr buf = MapBuf(proc, hw::kPageSize);
+  kernel_.Spawn(proc, "t", [&](os::Env env) -> sim::Task<void> {
+    auto w = co_await ring.Write(env, buf, 512);
+    EXPECT_TRUE(w.ok());
+    auto r = co_await ring.Read(env, buf, 512);
+    EXPECT_TRUE(r.ok());
+    EXPECT_EQ(r.value(), 512u);
+  });
+  kernel_.Run();
+  // No peer ever blocked, so the futex path (and the kernel) never ran.
+  os::TimeBreakdown b = kernel_.accounting().Summed();
+  EXPECT_EQ(b[os::TimeCat::kSyscallCrossing], Duration::Zero());
+  EXPECT_EQ(b[os::TimeCat::kKernel], Duration::Zero());
+}
+
+TEST_F(ChanTest, RingBlocksWriterWhenFullUntilReaderDrains) {
+  os::Process& proc = dipc_.CreateDipcProcess("p");
+  Ring ring(kernel_, proc, 1024, proc.default_domain());
+  hw::VirtAddr src = MapBuf(proc, hw::kPageSize);
+  hw::VirtAddr dst = MapBuf(proc, hw::kPageSize);
+  double write_done_at = 0;
+  kernel_.Spawn(proc, "writer", [&](os::Env env) -> sim::Task<void> {
+    auto n = co_await ring.Write(env, src, 2048);  // twice the capacity
+    EXPECT_TRUE(n.ok());
+    EXPECT_EQ(n.value(), 2048u);
+    write_done_at = env.kernel->now().micros();
+    ring.CloseWriteEnd();
+  });
+  uint64_t read_total = 0;
+  kernel_.Spawn(proc, "reader", [&](os::Env env) -> sim::Task<void> {
+    co_await env.kernel->Sleep(env, Duration::Micros(50));  // let the ring fill
+    while (true) {
+      auto n = co_await ring.Read(env, dst, 512);
+      EXPECT_TRUE(n.ok());
+      if (n.value() == 0) {
+        co_return;
+      }
+      read_total += n.value();
+    }
+  });
+  kernel_.Run();
+  EXPECT_EQ(read_total, 2048u);
+  EXPECT_GE(write_done_at, 50.0);  // writer had to wait for the sleeping reader
+}
+
+// --- MPMC queue ---
+
+TEST_F(ChanTest, MpmcBlockingPushOnFullAndPopOnEmpty) {
+  os::Process& proc = dipc_.CreateDipcProcess("p");
+  MpmcQueue q(kernel_, proc, 2, proc.default_domain());
+  std::vector<uint64_t> popped;
+  kernel_.Spawn(proc, "producer", [&](os::Env env) -> sim::Task<void> {
+    for (uint64_t v = 1; v <= 5; ++v) {
+      EXPECT_TRUE((co_await q.Push(env, v)).ok());
+    }
+    q.Close();
+  });
+  kernel_.Spawn(proc, "consumer", [&](os::Env env) -> sim::Task<void> {
+    co_await env.kernel->Sleep(env, Duration::Micros(20));  // force pushes to block
+    while (true) {
+      auto v = co_await q.Pop(env);
+      if (!v.ok()) {
+        EXPECT_EQ(v.code(), ErrorCode::kBrokenChannel);
+        co_return;
+      }
+      popped.push_back(v.value());
+    }
+  });
+  kernel_.Run();
+  EXPECT_EQ(popped, (std::vector<uint64_t>{1, 2, 3, 4, 5}));
+  EXPECT_GT(q.blocked_pushes(), 0u);  // capacity 2 forced producer blocking
+}
+
+TEST_F(ChanTest, MpmcFifoWakeupsAreFairAcrossConsumers) {
+  os::Process& proc = dipc_.CreateDipcProcess("p");
+  MpmcQueue q(kernel_, proc, 4, proc.default_domain());
+  constexpr uint64_t kItems = 10;
+  std::vector<uint64_t> got_a, got_b;
+  auto consumer = [&](std::vector<uint64_t>& out) {
+    return [&q, &out](os::Env env) -> sim::Task<void> {
+      while (true) {
+        auto v = co_await q.Pop(env);
+        if (!v.ok()) {
+          co_return;
+        }
+        out.push_back(v.value());
+      }
+    };
+  };
+  kernel_.Spawn(proc, "consumer-a", consumer(got_a), /*pin_cpu=*/1);
+  kernel_.Spawn(proc, "consumer-b", consumer(got_b), /*pin_cpu=*/2);
+  kernel_.Spawn(
+      proc, "producer",
+      [&](os::Env env) -> sim::Task<void> {
+        co_await env.kernel->Sleep(env, Duration::Micros(10));  // park both consumers first
+        for (uint64_t v = 0; v < kItems; ++v) {
+          EXPECT_TRUE((co_await q.Push(env, v)).ok());
+        }
+        q.Close();
+      },
+      /*pin_cpu=*/0);
+  kernel_.Run();
+  EXPECT_EQ(got_a.size() + got_b.size(), kItems);
+  // FIFO futex wakeups under the deterministic event queue split the work
+  // evenly; neither consumer may starve.
+  EXPECT_GE(got_a.size(), 3u) << "consumer-a starved";
+  EXPECT_GE(got_b.size(), 3u) << "consumer-b starved";
+}
+
+// --- Channel: zero-copy ownership transfer ---
+
+TEST_F(ChanTest, ChannelRoundTripIsZeroCopy) {
+  os::Process& prod = dipc_.CreateDipcProcess("producer");
+  os::Process& cons = dipc_.CreateDipcProcess("consumer");
+  auto ch = Channel::Create(dipc_, prod, cons, {.slots = 4, .buf_bytes = 4096});
+  ASSERT_TRUE(ch.ok());
+  Channel& chan = *ch.value();
+  const std::string payload = "granted, not copied";
+  std::string received;
+  hw::VirtAddr sent_va = 0;
+  hw::VirtAddr recv_va = 0;
+  kernel_.Spawn(prod, "producer", [&](os::Env env) -> sim::Task<void> {
+    auto buf = co_await chan.AcquireBuf(env);
+    EXPECT_TRUE(buf.ok());
+    sent_va = buf.value().va;
+    EXPECT_TRUE(
+        env.kernel->UserWrite(*env.self, buf.value().va, std::as_bytes(std::span(payload)))
+            .ok());
+    EXPECT_TRUE((co_await chan.Send(env, buf.value(), payload.size())).ok());
+  });
+  kernel_.Spawn(cons, "consumer", [&](os::Env env) -> sim::Task<void> {
+    auto msg = co_await chan.Recv(env);
+    EXPECT_TRUE(msg.ok());
+    recv_va = msg.value().va;
+    std::vector<char> buf(msg.value().len);
+    EXPECT_TRUE(
+        env.kernel->UserRead(*env.self, msg.value().va, std::as_writable_bytes(std::span(buf)))
+            .ok());
+    received.assign(buf.begin(), buf.end());
+    EXPECT_TRUE((co_await chan.Release(env, msg.value())).ok());
+  });
+  kernel_.Run();
+  EXPECT_EQ(received, payload);
+  // Zero copy: the receiver reads the exact buffer the sender wrote.
+  EXPECT_EQ(sent_va, recv_va);
+  EXPECT_EQ(chan.sends(), 1u);
+  EXPECT_EQ(chan.recvs(), 1u);
+}
+
+TEST_F(ChanTest, SenderAccessFaultsAfterSend) {
+  os::Process& prod = dipc_.CreateDipcProcess("producer");
+  os::Process& cons = dipc_.CreateDipcProcess("consumer");
+  auto ch = Channel::Create(dipc_, prod, cons, {.slots = 2, .buf_bytes = 4096});
+  ASSERT_TRUE(ch.ok());
+  Channel& chan = *ch.value();
+  ErrorCode before = ErrorCode::kOk;
+  ErrorCode after = ErrorCode::kOk;
+  kernel_.Spawn(prod, "producer", [&](os::Env env) -> sim::Task<void> {
+    auto buf = co_await chan.AcquireBuf(env);
+    EXPECT_TRUE(buf.ok());
+    hw::VirtAddr va = buf.value().va;
+    auto pre = co_await env.kernel->TouchUser(env, va, 64, hw::AccessType::kWrite);
+    before = pre.code();
+    EXPECT_TRUE((co_await chan.Send(env, buf.value(), 64)).ok());
+    // Ownership moved: the sender's capability was revoked, and its domain
+    // never had APL access to the data domain.
+    auto post = co_await env.kernel->TouchUser(env, va, 64, hw::AccessType::kWrite);
+    after = post.code();
+  });
+  kernel_.Run();
+  EXPECT_EQ(before, ErrorCode::kOk);
+  EXPECT_EQ(after, ErrorCode::kFault);
+}
+
+TEST_F(ChanTest, ReceiverViewIsReadOnly) {
+  os::Process& prod = dipc_.CreateDipcProcess("producer");
+  os::Process& cons = dipc_.CreateDipcProcess("consumer");
+  auto ch = Channel::Create(dipc_, prod, cons, {.slots = 2, .buf_bytes = 4096});
+  ASSERT_TRUE(ch.ok());
+  Channel& chan = *ch.value();
+  ErrorCode read_code = ErrorCode::kFault;
+  ErrorCode write_code = ErrorCode::kOk;
+  kernel_.Spawn(prod, "producer", [&](os::Env env) -> sim::Task<void> {
+    auto buf = co_await chan.AcquireBuf(env);
+    EXPECT_TRUE(buf.ok());
+    EXPECT_TRUE((co_await chan.Send(env, buf.value(), 128)).ok());
+  });
+  kernel_.Spawn(cons, "consumer", [&](os::Env env) -> sim::Task<void> {
+    auto msg = co_await chan.Recv(env);
+    EXPECT_TRUE(msg.ok());
+    auto r = co_await env.kernel->TouchUser(env, msg.value().va, 128, hw::AccessType::kRead);
+    read_code = r.code();
+    // Published messages are immutable (§3): the receiver's capability is
+    // read-only, so writes fault.
+    auto w = co_await env.kernel->TouchUser(env, msg.value().va, 128, hw::AccessType::kWrite);
+    write_code = w.code();
+  });
+  kernel_.Run();
+  EXPECT_EQ(read_code, ErrorCode::kOk);
+  EXPECT_EQ(write_code, ErrorCode::kFault);
+}
+
+TEST_F(ChanTest, AcquireBlocksWhenAllBuffersInFlight) {
+  os::Process& prod = dipc_.CreateDipcProcess("producer");
+  os::Process& cons = dipc_.CreateDipcProcess("consumer");
+  auto ch = Channel::Create(dipc_, prod, cons, {.slots = 2, .buf_bytes = 4096});
+  ASSERT_TRUE(ch.ok());
+  Channel& chan = *ch.value();
+  double third_acquire_at = 0;
+  kernel_.Spawn(prod, "producer", [&](os::Env env) -> sim::Task<void> {
+    for (int i = 0; i < 3; ++i) {
+      auto buf = co_await chan.AcquireBuf(env);  // third call blocks: 2 slots
+      EXPECT_TRUE(buf.ok());
+      if (i == 2) {
+        third_acquire_at = env.kernel->now().micros();
+      }
+      EXPECT_TRUE((co_await chan.Send(env, buf.value(), 32)).ok());
+    }
+    chan.Close();
+  });
+  kernel_.Spawn(cons, "consumer", [&](os::Env env) -> sim::Task<void> {
+    co_await env.kernel->Sleep(env, Duration::Micros(30));
+    while (true) {
+      auto msg = co_await chan.Recv(env);
+      if (!msg.ok()) {
+        EXPECT_EQ(msg.code(), ErrorCode::kBrokenChannel);  // orderly close
+        co_return;
+      }
+      EXPECT_TRUE((co_await chan.Release(env, msg.value())).ok());
+    }
+  });
+  kernel_.Run();
+  // The third acquire had to wait for the consumer's first Release.
+  EXPECT_GE(third_acquire_at, 30.0);
+}
+
+TEST_F(ChanTest, RecvOnDeadPeerSurfacesError) {
+  os::Process& prod = dipc_.CreateDipcProcess("producer");
+  os::Process& cons = dipc_.CreateDipcProcess("consumer");
+  auto ch = Channel::Create(dipc_, prod, cons, {.slots = 2, .buf_bytes = 4096});
+  ASSERT_TRUE(ch.ok());
+  Channel& chan = *ch.value();
+  ErrorCode blocked_recv = ErrorCode::kOk;
+  ErrorCode later_recv = ErrorCode::kOk;
+  kernel_.Spawn(cons, "consumer", [&](os::Env env) -> sim::Task<void> {
+    auto msg = co_await chan.Recv(env);  // blocks: nothing was ever sent
+    blocked_recv = msg.code();
+    auto again = co_await chan.Recv(env);  // fails immediately once broken
+    later_recv = again.code();
+  });
+  os::Process& killer_proc = dipc_.CreateDipcProcess("killer");
+  kernel_.Spawn(killer_proc, "killer", [&](os::Env env) -> sim::Task<void> {
+    co_await env.kernel->Sleep(env, Duration::Micros(25));
+    dipc_.KillProcess(prod);  // producer crashes with the consumer parked
+  });
+  kernel_.Run();
+  EXPECT_EQ(blocked_recv, ErrorCode::kCalleeFailed);
+  EXPECT_EQ(later_recv, ErrorCode::kCalleeFailed);
+  EXPECT_EQ(chan.broken(), ErrorCode::kCalleeFailed);
+}
+
+TEST_F(ChanTest, PeerDeathRevokesInFlightCapabilities) {
+  os::Process& prod = dipc_.CreateDipcProcess("producer");
+  os::Process& cons = dipc_.CreateDipcProcess("consumer");
+  auto ch = Channel::Create(dipc_, prod, cons, {.slots = 2, .buf_bytes = 4096});
+  ASSERT_TRUE(ch.ok());
+  Channel& chan = *ch.value();
+  ErrorCode touch_after_death = ErrorCode::kOk;
+  kernel_.Spawn(cons, "consumer", [&](os::Env env) -> sim::Task<void> {
+    auto msg = co_await chan.Recv(env);
+    EXPECT_TRUE(msg.ok());
+    co_await env.kernel->Sleep(env, Duration::Micros(50));  // killer runs here
+    auto s = co_await env.kernel->TouchUser(env, msg.value().va, 16, hw::AccessType::kRead);
+    touch_after_death = s.code();
+    // Releasing a message whose peer died must surface the crash, not a
+    // caller error (the teardown already revoked the capability).
+    auto rel = co_await chan.Release(env, msg.value());
+    EXPECT_EQ(rel.code(), ErrorCode::kCalleeFailed);
+  });
+  kernel_.Spawn(prod, "producer", [&](os::Env env) -> sim::Task<void> {
+    auto buf = co_await chan.AcquireBuf(env);
+    EXPECT_TRUE(buf.ok());
+    EXPECT_TRUE((co_await chan.Send(env, buf.value(), 16)).ok());
+  });
+  os::Process& killer_proc = dipc_.CreateDipcProcess("killer");
+  kernel_.Spawn(killer_proc, "killer", [&](os::Env env) -> sim::Task<void> {
+    co_await env.kernel->Sleep(env, Duration::Micros(25));
+    dipc_.KillProcess(prod);
+  });
+  kernel_.Run();
+  // The crash unwound every outstanding grant, including the receiver's.
+  EXPECT_EQ(touch_after_death, ErrorCode::kFault);
+}
+
+TEST_F(ChanTest, EndpointsExchangeThroughEntryRequest) {
+  // The consumer publishes an "open" entry; the producer entry_requests it
+  // and receives a SenderEndpoint fd through the call — the dIPC-native way
+  // to hand out channel ends (§5.2.2 delegation).
+  os::Process& prod = dipc_.CreateDipcProcess("producer");
+  os::Process& cons = dipc_.CreateDipcProcess("consumer");
+  std::shared_ptr<Channel> chan;
+  core::EntryDesc entry;
+  entry.name = "chan.open";
+  entry.signature = core::EntrySignature{.in_regs = 1, .out_regs = 1, .stack_bytes = 0};
+  entry.policy = core::IsolationPolicy::Low();
+  entry.fn = [&](os::Env env, core::CallArgs) -> sim::Task<uint64_t> {
+    auto ch = Channel::Create(dipc_, prod, cons, {.slots = 4, .buf_bytes = 4096});
+    DIPC_CHECK(ch.ok());
+    chan = ch.value();
+    os::Fd fd = prod.fds().Insert(std::make_shared<SenderEndpoint>(chan));
+    (void)env;
+    co_return static_cast<uint64_t>(fd);
+  };
+  auto handle = dipc_.EntryRegister(cons, *dipc_.DomDefault(cons), {entry});
+  ASSERT_TRUE(handle.ok());
+  auto req = dipc_.EntryRequest(prod, *handle.value(),
+                                {{entry.signature, core::IsolationPolicy::Low()}});
+  ASSERT_TRUE(req.ok());
+  ASSERT_TRUE(dipc_.GrantCreate(*dipc_.DomDefault(prod), *req.value().proxy_domain).ok());
+  core::ProxyRef proxy = req.value().proxies[0];
+
+  std::string received;
+  kernel_.Spawn(prod, "producer", [&](os::Env env) -> sim::Task<void> {
+    uint64_t fd = co_await proxy.Call(env, core::CallArgs{});
+    EXPECT_EQ(env.self->TakeError(), ErrorCode::kOk);
+    auto ep = prod.fds().GetAs<SenderEndpoint>(static_cast<os::Fd>(fd));
+    EXPECT_NE(ep, nullptr);
+    auto buf = co_await ep->AcquireBuf(env);
+    EXPECT_TRUE(buf.ok());
+    const std::string msg = "hello over entry_request";
+    EXPECT_TRUE(
+        env.kernel->UserWrite(*env.self, buf.value().va, std::as_bytes(std::span(msg))).ok());
+    EXPECT_TRUE((co_await ep->Send(env, buf.value(), msg.size())).ok());
+    ep->Close();
+  });
+  kernel_.Spawn(cons, "consumer", [&](os::Env env) -> sim::Task<void> {
+    while (chan == nullptr) {  // wait for the producer's open call
+      co_await env.kernel->Sleep(env, Duration::Micros(5));
+    }
+    ReceiverEndpoint ep(chan);
+    auto msg = co_await ep.Recv(env);
+    EXPECT_TRUE(msg.ok());
+    std::vector<char> buf(msg.value().len);
+    EXPECT_TRUE(
+        env.kernel->UserRead(*env.self, msg.value().va, std::as_writable_bytes(std::span(buf)))
+            .ok());
+    received.assign(buf.begin(), buf.end());
+    EXPECT_TRUE((co_await ep.Release(env, msg.value())).ok());
+  });
+  kernel_.Run();
+  EXPECT_EQ(received, "hello over entry_request");
+}
+
+}  // namespace
+}  // namespace dipc::chan
