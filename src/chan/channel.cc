@@ -131,6 +131,13 @@ sim::Task<base::Result<SendBuf>> Channel::AcquireBuf(os::Env env) {
     co_return cap.code();
   }
   co_await k.Spend(*env.self, cost, TimeCat::kUser);
+  if (broken_ != base::ErrorCode::kOk) {
+    // The peer died during the Spend: teardown has already swept
+    // sender_caps_, so recording the grant now would leave it unrevoked
+    // forever. Revoke it ourselves and surface the crash.
+    DIPC_CHECK(k.codoms().CapRevoke(cap.value()).ok());
+    co_return broken_;
+  }
   env.self->cap_ctx().regs.Set(kSenderCapReg, cap.value());
   sender_caps_[index] = cap.value();
   co_return SendBuf{buf_va(index), cfg_.buf_bytes, index};
@@ -160,6 +167,9 @@ sim::Task<base::Status> Channel::Send(os::Env env, const SendBuf& buf, uint64_t 
                                             env.self->cap_ctx(), CapSlotVa(buf.index),
                                             rcap.value(), &store_cost);
   if (!stored.ok()) {
+    // The minted read grant is not yet referenced anywhere; revoke it so no
+    // unreachable-but-valid capability over the buffer leaks.
+    DIPC_CHECK(k.codoms().CapRevoke(rcap.value()).ok());
     co_return stored;
   }
   cost += store_cost;
@@ -171,9 +181,23 @@ sim::Task<base::Status> Channel::Send(os::Env env, const SendBuf& buf, uint64_t 
   cost += cm.cap_revoke;
   sender_caps_[buf.index].reset();
   co_await k.Spend(*env.self, cost, TimeCat::kUser);
+  if (broken_ != base::ErrorCode::kOk) {
+    // The peer died during the Spend above: OnProcessDeath has already swept
+    // receiver_caps_, so recording rcap now would leave a live grant over the
+    // data domain that teardown never sees. Revoke it ourselves.
+    DIPC_CHECK(k.codoms().CapRevoke(rcap.value()).ok());
+    co_return broken_;
+  }
   receiver_caps_[buf.index] = rcap.value();
   auto pushed = co_await desc_->Push(env, PackDesc(buf.index, len));
   if (!pushed.ok()) {
+    if (broken_ == base::ErrorCode::kOk && receiver_caps_[buf.index].has_value()) {
+      // Orderly Close raced the publish: the descriptor never reached the
+      // receiver and no teardown will run, so revoke the recorded read
+      // grant here or it stays live forever.
+      DIPC_CHECK(k.codoms().CapRevoke(*receiver_caps_[buf.index]).ok());
+      receiver_caps_[buf.index].reset();
+    }
     co_return broken_ != base::ErrorCode::kOk ? broken_ : pushed.code();
   }
   ++sends_;
@@ -198,6 +222,12 @@ sim::Task<base::Result<Msg>> Channel::Recv(os::Env env) {
     co_return cap.code();
   }
   co_await k.Spend(*env.self, cost, TimeCat::kUser);
+  if (broken_ != base::ErrorCode::kOk) {
+    // The peer died during the Spend and teardown already revoked the
+    // loaded capability; handing the dead grant to the consumer would make
+    // its payload read fault instead of surfacing the crash.
+    co_return broken_;
+  }
   env.self->cap_ctx().regs.Set(kReceiverCapReg, cap.value());
   ++recvs_;
   co_return Msg{buf_va(index), len, index};

@@ -15,13 +15,19 @@
 
 namespace dipc::chan {
 
-// Parks the calling thread on `q` through the futex wait path. The caller
+// Parks the calling thread on `q` through the futex wait path — unless
+// `still_blocked()` turned false while entering the kernel (the futex value
+// re-check, cf. os::Semaphore::Wait: a wake issued in that window finds no
+// parked thread, so parking anyway would lose it and deadlock). The caller
 // re-checks its predicate after resumption (standard futex loop).
-inline sim::Task<void> FutexBlock(os::Env env, os::WaitQueue& q) {
+template <typename Pred>
+inline sim::Task<void> FutexBlock(os::Env env, os::WaitQueue& q, Pred still_blocked) {
   os::Kernel& k = *env.kernel;
   co_await k.SyscallEnter(env);
   co_await k.Spend(*env.self, os::Semaphore::kFutexWaitKernel, os::TimeCat::kKernel);
-  co_await q.Wait(env);
+  if (still_blocked()) {
+    co_await q.Wait(env);
+  }
   co_await k.SyscallExit(env);
 }
 

@@ -44,11 +44,14 @@ sim::Task<base::Status> MpmcQueue::Push(os::Env env, uint64_t value) {
       co_return code_;
     }
     ++blocked_pushes_;
-    co_await FutexBlock(env, producers_);
+    co_await FutexBlock(env, producers_, [&] { return count_ == capacity_ && !closed_; });
   }
   if (closed_) {
     co_return code_;
   }
+  // The slot write and the tail_/count_ update must stay in one synchronous
+  // block with the full check above: a co_await in between is a scheduling
+  // point where a second producer could claim the same slot.
   hw::VirtAddr va = SlotVa(tail_);
   auto cost = k.UserAccessCost(self, va, kSlotBytes, hw::AccessType::kWrite);
   if (!cost.ok()) {
@@ -56,9 +59,9 @@ sim::Task<base::Status> MpmcQueue::Push(os::Env env, uint64_t value) {
   }
   base::Status ws = k.UserWrite(self, va, ValueBytes(value));
   DIPC_CHECK(ws.ok());
-  co_await k.Spend(self, cost.value(), TimeCat::kUser);
   ++tail_;
   ++count_;
+  co_await k.Spend(self, cost.value(), TimeCat::kUser);
   co_await FutexWakeOne(env, consumers_);
   co_return base::Status::Ok();
 }
@@ -72,11 +75,16 @@ sim::Task<base::Result<uint64_t>> MpmcQueue::Pop(os::Env env) {
       co_return code_;
     }
     ++blocked_pops_;
-    co_await FutexBlock(env, consumers_);
+    co_await FutexBlock(env, consumers_, [&] { return count_ == 0 && !closed_; });
   }
   if (!drain_allowed_) {
     co_return code_;
   }
+  // Mirror of Push: read the slot and retire head_/count_ synchronously with
+  // the empty check, then pay the access cost. Suspending before the claim
+  // would let a second consumer pop the same slot; suspending between the
+  // claim and the read would let a producer overwrite it (a freed slot is
+  // immediately reusable when the queue was full).
   hw::VirtAddr va = SlotVa(head_);
   auto cost = k.UserAccessCost(self, va, kSlotBytes, hw::AccessType::kRead);
   if (!cost.ok()) {
@@ -85,9 +93,9 @@ sim::Task<base::Result<uint64_t>> MpmcQueue::Pop(os::Env env) {
   uint64_t value = 0;
   base::Status rs = k.UserRead(self, va, std::as_writable_bytes(std::span(&value, 1)));
   DIPC_CHECK(rs.ok());
-  co_await k.Spend(self, cost.value(), TimeCat::kUser);
   ++head_;
   --count_;
+  co_await k.Spend(self, cost.value(), TimeCat::kUser);
   co_await FutexWakeOne(env, producers_);
   co_return value;
 }

@@ -97,7 +97,7 @@ sim::Task<base::Result<uint64_t>> Ring::Write(os::Env env, hw::VirtAddr src, uin
   uint64_t done = 0;
   while (done < len) {
     while (fill_ == capacity_) {
-      co_await FutexBlock(env, writers_);
+      co_await FutexBlock(env, writers_, [&] { return fill_ == capacity_; });
     }
     uint64_t chunk = std::min(len - done, capacity_ - fill_);
     auto s = co_await CopyIn(env, src + done, chunk);
@@ -121,7 +121,7 @@ sim::Task<base::Result<uint64_t>> Ring::Read(os::Env env, hw::VirtAddr dst, uint
     if (write_closed_) {
       co_return uint64_t{0};  // EOF
     }
-    co_await FutexBlock(env, readers_);
+    co_await FutexBlock(env, readers_, [&] { return fill_ == 0 && !write_closed_; });
   }
   uint64_t chunk = std::min(len, fill_);
   auto s = co_await CopyOut(env, dst, chunk);

@@ -49,6 +49,10 @@ class RevocationTable {
     ++counters_[id];
   }
 
+  // Number of ids handed out; lets tests assert "every async grant was
+  // revoked" (an epoch still at 0 is a leaked capability).
+  uint64_t size() const { return counters_.size(); }
+
  private:
   std::vector<uint64_t> counters_;
 };

@@ -1,5 +1,6 @@
 #include "dipc/dipc.h"
 
+#include <exception>
 #include <utility>
 
 namespace dipc::core {
@@ -9,11 +10,61 @@ Dipc::Dipc(os::Kernel& kernel) : kernel_(kernel), vas_(kernel.machine()) {}
 Dipc::~Dipc() = default;
 
 void Dipc::KillProcess(os::Process& proc) {
-  if (!proc.alive()) {
+  // Hooks may reentrantly kill further processes; defer nested kills to the
+  // outermost call so each one is swept with the complete hook list (a hook
+  // skipped mid-cascade would never learn its watched process died).
+  pending_kills_.push_back(&proc);
+  if (in_kill_sweep_) {
     return;
   }
-  proc.MarkDead();
-  std::erase_if(death_hooks_, [&proc](const ProcessDeathHook& hook) { return !hook(proc); });
+  in_kill_sweep_ = true;
+  // Hooks are arbitrary std::functions: one that throws must not skip the
+  // remaining hooks, drop queued nested kills, or leave the sweep flag
+  // wedged. So nothing unwinds mid-sweep — the first exception is captured,
+  // every queued death is still swept through every hook, and the exception
+  // resurfaces only once the machinery is back at rest (later throws are
+  // subsumed by the first).
+  std::exception_ptr first_error;
+  for (size_t next_kill = 0; next_kill < pending_kills_.size(); ++next_kill) {
+    os::Process* dead = pending_kills_[next_kill];
+    if (!dead->alive()) {
+      continue;
+    }
+    dead->MarkDead();
+    // Hooks may also reentrantly register hooks; run the sweep on a
+    // swapped-out list (AddDeathHook appends to the fresh one) and merge
+    // the survivors back before the next queued kill drains.
+    std::vector<ProcessDeathHook> hooks;
+    hooks.swap(death_hooks_);
+    size_t kept = 0;
+    for (size_t i = 0; i < hooks.size(); ++i) {
+      bool keep = true;
+      try {
+        keep = hooks[i](*dead);
+      } catch (...) {
+        if (first_error == nullptr) {
+          first_error = std::current_exception();
+        }
+        // A throwing hook stays registered.
+      }
+      if (keep) {
+        if (kept != i) {
+          hooks[kept] = std::move(hooks[i]);
+        }
+        ++kept;
+      }
+    }
+    hooks.resize(kept);
+    for (ProcessDeathHook& added : death_hooks_) {  // registered mid-sweep
+      hooks.push_back(std::move(added));
+    }
+    death_hooks_ = std::move(hooks);
+  }
+  pending_kills_.clear();
+  in_kill_sweep_ = false;
+  if (first_error != nullptr) {
+    std::rethrow_exception(first_error);
+  }
 }
 
 // ---- Processes ----

@@ -144,6 +144,10 @@ class Dipc {
   std::unordered_map<hw::DomainTag, hw::VirtAddr> domain_code_;
   std::vector<std::unique_ptr<Proxy>> proxies_;
   std::vector<ProcessDeathHook> death_hooks_;
+  // Kill-sweep reentrancy state: nested KillProcess calls queue here and the
+  // outermost call drains them (see KillProcess).
+  std::vector<os::Process*> pending_kills_;
+  bool in_kill_sweep_ = false;
   // Proxy code pages are owned by the runtime, not any process; allocate
   // their VAs from a dedicated block.
   hw::VirtAddr proxy_region_next_ = 0;

@@ -3,6 +3,7 @@
 // semantics (sender revocation), and dead-peer teardown.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
 #include <string>
 #include <vector>
@@ -195,6 +196,104 @@ TEST_F(ChanTest, MpmcFifoWakeupsAreFairAcrossConsumers) {
   EXPECT_GE(got_b.size(), 3u) << "consumer-b starved";
 }
 
+TEST_F(ChanTest, MpmcTightCapacityStressLosesNoWakeups) {
+  // Regression: FutexBlock used to park unconditionally after its syscall
+  // suspension points, so a wake issued while the blocker was still
+  // entering the kernel found no parked thread and was lost — both sides
+  // could park forever. Capacity 1 with peers on different CPUs crosses
+  // that window on every item; a lost wake leaves the sim idle with items
+  // undelivered.
+  os::Process& proc = dipc_.CreateDipcProcess("p");
+  MpmcQueue q(kernel_, proc, 1, proc.default_domain());
+  constexpr uint64_t kItems = 64;
+  std::vector<uint64_t> popped;
+  kernel_.Spawn(
+      proc, "producer",
+      [&](os::Env env) -> sim::Task<void> {
+        for (uint64_t v = 0; v < kItems; ++v) {
+          EXPECT_TRUE((co_await q.Push(env, v)).ok());
+        }
+        q.Close();
+      },
+      /*pin_cpu=*/0);
+  kernel_.Spawn(
+      proc, "consumer",
+      [&](os::Env env) -> sim::Task<void> {
+        while (true) {
+          auto v = co_await q.Pop(env);
+          if (!v.ok()) {
+            co_return;
+          }
+          popped.push_back(v.value());
+        }
+      },
+      /*pin_cpu=*/1);
+  kernel_.Run();
+  ASSERT_EQ(popped.size(), kItems);
+  for (uint64_t v = 0; v < kItems; ++v) {
+    EXPECT_EQ(popped[v], v);
+  }
+}
+
+TEST_F(ChanTest, MpmcConcurrentProducersNeverDoubleClaimASlot) {
+  // Regression: Push used to suspend (co_await Spend) between the full check
+  // and the tail_/count_ update, so two producers resuming at the same sim
+  // time could both pass the check and write the same slot. With capacity 1
+  // the second producer must block instead, and both values must survive.
+  os::Process& proc = dipc_.CreateDipcProcess("p");
+  MpmcQueue q(kernel_, proc, 1, proc.default_domain());
+  auto producer = [&q](uint64_t v) {
+    return [&q, v](os::Env env) -> sim::Task<void> {
+      EXPECT_TRUE((co_await q.Push(env, v)).ok());
+    };
+  };
+  kernel_.Spawn(proc, "producer-a", producer(1), /*pin_cpu=*/0);
+  kernel_.Spawn(proc, "producer-b", producer(2), /*pin_cpu=*/1);
+  std::vector<uint64_t> popped;
+  kernel_.Spawn(
+      proc, "consumer",
+      [&](os::Env env) -> sim::Task<void> {
+        co_await env.kernel->Sleep(env, Duration::Micros(20));  // let the producers race
+        for (int i = 0; i < 2; ++i) {
+          auto v = co_await q.Pop(env);
+          EXPECT_TRUE(v.ok());
+          popped.push_back(v.value());
+        }
+      },
+      /*pin_cpu=*/2);
+  kernel_.Run();
+  std::sort(popped.begin(), popped.end());
+  EXPECT_EQ(popped, (std::vector<uint64_t>{1, 2}));  // nothing lost or duplicated
+}
+
+TEST_F(ChanTest, MpmcConcurrentConsumersNeverPopTheSameSlot) {
+  // Regression, consumer side: with one value queued and two consumers
+  // racing, Pop used to let both pass the empty check before either retired
+  // head_/count_, handing the same slot to both. Now one must block until
+  // the producer publishes the second value.
+  os::Process& proc = dipc_.CreateDipcProcess("p");
+  MpmcQueue q(kernel_, proc, 4, proc.default_domain());
+  q.Prime(7);  // exactly one value available when the consumers race
+  std::vector<uint64_t> got;
+  auto consumer = [&q, &got](os::Env env) -> sim::Task<void> {
+    auto v = co_await q.Pop(env);
+    EXPECT_TRUE(v.ok());
+    got.push_back(v.value());
+  };
+  kernel_.Spawn(proc, "consumer-a", consumer, /*pin_cpu=*/1);
+  kernel_.Spawn(proc, "consumer-b", consumer, /*pin_cpu=*/2);
+  kernel_.Spawn(
+      proc, "producer",
+      [&](os::Env env) -> sim::Task<void> {
+        co_await env.kernel->Sleep(env, Duration::Micros(20));  // let the consumers race
+        EXPECT_TRUE((co_await q.Push(env, 9)).ok());
+      },
+      /*pin_cpu=*/0);
+  kernel_.Run();
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(got, (std::vector<uint64_t>{7, 9}));  // no duplicate delivery
+}
+
 // --- Channel: zero-copy ownership transfer ---
 
 TEST_F(ChanTest, ChannelRoundTripIsZeroCopy) {
@@ -378,6 +477,153 @@ TEST_F(ChanTest, PeerDeathRevokesInFlightCapabilities) {
   kernel_.Run();
   // The crash unwound every outstanding grant, including the receiver's.
   EXPECT_EQ(touch_after_death, ErrorCode::kFault);
+}
+
+// --- Peer death swept across every suspension window ---
+//
+// The sim is deterministic, so sweeping the kill time at finer granularity
+// than any single Spend lands the death inside every suspension point of the
+// send/recv paths (AcquireBuf's, Send's and Recv's Spends, the CapStore, the
+// descriptor push). Whatever window is hit, two invariants must hold: an
+// operation never reports success while handing out a dead or unrecorded
+// grant, and after the dust settles every async capability ever minted has
+// been revoked (epoch >= 1 in the revocation table — only the channel mints
+// async caps here, so an epoch still at 0 is a leaked grant).
+
+TEST_F(ChanTest, SenderWindowsSweptByPeerDeathLeakNoGrant) {
+  for (int step = 1; step <= 80; ++step) {
+    hw::Machine machine(4);
+    codoms::Codoms codoms(machine);
+    os::Kernel kernel(machine, codoms);
+    core::Dipc dipc(kernel);
+    os::Process& prod = dipc.CreateDipcProcess("producer");
+    os::Process& cons = dipc.CreateDipcProcess("consumer");
+    auto ch = Channel::Create(dipc, prod, cons, {.slots = 2, .buf_bytes = 4096});
+    ASSERT_TRUE(ch.ok());
+    Channel& chan = *ch.value();
+    kernel.Spawn(
+        prod, "producer",
+        [&](os::Env env) -> sim::Task<void> {
+          hw::VirtAddr last_va = 0;
+          while (true) {
+            auto buf = co_await chan.AcquireBuf(env);
+            if (!buf.ok()) {
+              EXPECT_EQ(buf.code(), ErrorCode::kCalleeFailed) << "kill step " << step;
+              break;
+            }
+            last_va = buf.value().va;
+            auto sent = co_await chan.Send(env, buf.value(), 64);
+            if (!sent.ok()) {
+              EXPECT_EQ(sent.code(), ErrorCode::kCalleeFailed) << "kill step " << step;
+              break;
+            }
+          }
+          if (last_va != 0) {
+            // Whether the death landed before or after the last Send, the
+            // sender must have lost access; a surviving write grant is the
+            // exact leak the broken_ re-checks exist to prevent.
+            auto touch =
+                co_await env.kernel->TouchUser(env, last_va, 16, hw::AccessType::kWrite);
+            EXPECT_EQ(touch.code(), ErrorCode::kFault) << "kill step " << step;
+          }
+        },
+        /*pin_cpu=*/0);
+    kernel.Spawn(
+        cons, "consumer",
+        [&](os::Env env) -> sim::Task<void> {
+          while (true) {
+            auto msg = co_await chan.Recv(env);
+            if (!msg.ok()) {
+              co_return;  // this side is the one being killed
+            }
+            (void)co_await chan.Release(env, msg.value());
+          }
+        },
+        /*pin_cpu=*/1);
+    os::Process& killer = dipc.CreateDipcProcess("killer");
+    kernel.Spawn(
+        killer, "killer",
+        [&](os::Env env) -> sim::Task<void> {
+          co_await env.kernel->Sleep(env, Duration::Nanos(step * 37.0));
+          dipc.KillProcess(cons);
+        },
+        /*pin_cpu=*/2);
+    kernel.Run();
+    codoms::RevocationTable& rt = codoms.revocations();
+    for (uint64_t id = 0; id < rt.size(); ++id) {
+      EXPECT_GE(rt.Epoch(id), 1u) << "unrevoked capability " << id << ", kill step " << step;
+    }
+  }
+}
+
+TEST_F(ChanTest, ReceiverWindowsSweptByPeerDeathLeakNoGrant) {
+  for (int step = 1; step <= 80; ++step) {
+    hw::Machine machine(4);
+    codoms::Codoms codoms(machine);
+    os::Kernel kernel(machine, codoms);
+    core::Dipc dipc(kernel);
+    os::Process& prod = dipc.CreateDipcProcess("producer");
+    os::Process& cons = dipc.CreateDipcProcess("consumer");
+    auto ch = Channel::Create(dipc, prod, cons, {.slots = 2, .buf_bytes = 4096});
+    ASSERT_TRUE(ch.ok());
+    Channel& chan = *ch.value();
+    kernel.Spawn(
+        prod, "producer",
+        [&](os::Env env) -> sim::Task<void> {
+          while (true) {  // this side is the one being killed
+            auto buf = co_await chan.AcquireBuf(env);
+            if (!buf.ok()) {
+              co_return;
+            }
+            if (!(co_await chan.Send(env, buf.value(), 64)).ok()) {
+              co_return;
+            }
+          }
+        },
+        /*pin_cpu=*/0);
+    kernel.Spawn(
+        cons, "consumer",
+        [&](os::Env env) -> sim::Task<void> {
+          while (true) {
+            auto msg = co_await chan.Recv(env);
+            if (!msg.ok()) {
+              EXPECT_EQ(msg.code(), ErrorCode::kCalleeFailed) << "kill step " << step;
+              co_return;
+            }
+            // Tasks resume by symmetric transfer, so no death can interleave
+            // between Recv's internal broken_ check and this statement: an
+            // ok Recv on an already-broken channel means Recv handed out a
+            // grant that teardown had revoked.
+            EXPECT_EQ(chan.broken(), ErrorCode::kOk) << "kill step " << step;
+            auto r = co_await env.kernel->TouchUser(env, msg.value().va, 16,
+                                                    hw::AccessType::kRead);
+            if (chan.broken() == ErrorCode::kOk) {
+              EXPECT_EQ(r.code(), ErrorCode::kOk) << "kill step " << step;
+            }
+            // else: the peer died inside the touch itself; the in-flight
+            // grant was legitimately revoked and a fault is correct.
+            auto rel = co_await chan.Release(env, msg.value());
+            if (!rel.ok()) {
+              EXPECT_EQ(rel.code(), ErrorCode::kCalleeFailed) << "kill step " << step;
+              co_return;
+            }
+          }
+        },
+        /*pin_cpu=*/1);
+    os::Process& killer = dipc.CreateDipcProcess("killer");
+    kernel.Spawn(
+        killer, "killer",
+        [&](os::Env env) -> sim::Task<void> {
+          co_await env.kernel->Sleep(env, Duration::Nanos(step * 37.0));
+          dipc.KillProcess(prod);
+        },
+        /*pin_cpu=*/2);
+    kernel.Run();
+    codoms::RevocationTable& rt = codoms.revocations();
+    for (uint64_t id = 0; id < rt.size(); ++id) {
+      EXPECT_GE(rt.Epoch(id), 1u) << "unrevoked capability " << id << ", kill step " << step;
+    }
+  }
 }
 
 TEST_F(ChanTest, EndpointsExchangeThroughEntryRequest) {

@@ -6,6 +6,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "codoms/codoms.h"
 #include "dipc/dipc.h"
@@ -448,6 +449,87 @@ TEST_F(DipcTest, CrashSkipsDeadCallersInChain) {
   // The unwind skipped dead `mid` and resumed web with the flag (P3/§5.2.1).
   EXPECT_FALSE(mid_resumed);
   EXPECT_EQ(web_err, ErrorCode::kCalleeFailed);
+}
+
+TEST_F(DipcTest, DeathHooksMayReenterDuringKill) {
+  // A hook may kill another process or register new hooks while a sweep is
+  // running. Nested kills are queued and drained by the outermost
+  // KillProcess, so every hook — including one added mid-sweep — still
+  // observes every death, and the hook list is never mutated mid-iteration.
+  os::Process& a = dipc_.CreateDipcProcess("hook-a");
+  os::Process& b = dipc_.CreateDipcProcess("hook-b");
+  std::vector<std::string> deaths;
+  int late_fired = 0;
+  dipc_.AddDeathHook([&](os::Process& dead) {
+    if (&dead == &a) {
+      dipc_.KillProcess(b);  // reentrant kill from inside the sweep
+      dipc_.AddDeathHook([&](os::Process&) {
+        ++late_fired;
+        return true;
+      });
+    }
+    deaths.push_back(dead.name());
+    return true;
+  });
+  dipc_.KillProcess(a);
+  EXPECT_FALSE(a.alive());
+  EXPECT_FALSE(b.alive());
+  // The cascaded kill was deferred past a's sweep, then swept with the full
+  // merged hook list — a subsystem watching b must not miss b's death.
+  EXPECT_EQ(deaths, (std::vector<std::string>{"hook-a", "hook-b"}));
+  EXPECT_EQ(late_fired, 1);
+}
+
+TEST_F(DipcTest, ThrowingDeathHookDoesNotWedgeKills) {
+  // Hooks are arbitrary callbacks; one that throws must propagate without
+  // dropping the other registered hooks or leaving the kill machinery
+  // permanently disarmed.
+  os::Process& a = dipc_.CreateDipcProcess("throw-a");
+  os::Process& b = dipc_.CreateDipcProcess("throw-b");
+  bool arm_throw = true;
+  int benign_fired = 0;
+  dipc_.AddDeathHook([&](os::Process&) -> bool {
+    if (arm_throw) {
+      arm_throw = false;
+      throw CalleeCrash{ErrorCode::kCalleeFailed};
+    }
+    return true;
+  });
+  dipc_.AddDeathHook([&](os::Process&) {
+    ++benign_fired;
+    return true;
+  });
+  EXPECT_THROW(dipc_.KillProcess(a), CalleeCrash);
+  EXPECT_FALSE(a.alive());     // marked dead before the sweep started
+  EXPECT_EQ(benign_fired, 1);  // later hooks still ran despite the throw
+  dipc_.KillProcess(b);        // machinery recovered: both hooks fire again
+  EXPECT_FALSE(b.alive());
+  EXPECT_EQ(benign_fired, 2);
+}
+
+TEST_F(DipcTest, NestedKillSurvivesThrowingHook) {
+  // A hook queues a nested kill and a later hook throws: the queued death
+  // must still be swept through every hook (the exception resurfaces only
+  // after the machinery is back at rest).
+  os::Process& a = dipc_.CreateDipcProcess("nest-a");
+  os::Process& b = dipc_.CreateDipcProcess("nest-b");
+  std::vector<std::string> deaths;
+  dipc_.AddDeathHook([&](os::Process& dead) {
+    if (&dead == &a) {
+      dipc_.KillProcess(b);
+    }
+    deaths.push_back(dead.name());
+    return true;
+  });
+  dipc_.AddDeathHook([&](os::Process& dead) -> bool {
+    if (&dead == &a) {
+      throw CalleeCrash{ErrorCode::kCalleeFailed};
+    }
+    return true;
+  });
+  EXPECT_THROW(dipc_.KillProcess(a), CalleeCrash);
+  EXPECT_FALSE(b.alive());
+  EXPECT_EQ(deaths, (std::vector<std::string>{"nest-a", "nest-b"}));
 }
 
 TEST_F(DipcTest, KcsDepthTracksNesting) {
