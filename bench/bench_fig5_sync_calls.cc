@@ -22,12 +22,15 @@ using dipc::bench::MeasureSemaphore;
 using dipc::bench::MeasureSyscall;
 using dipc::bench::MicroConfig;
 
+using dipc::bench::JsonEmitter;
+
 struct Row {
   const char* name;
+  const char* key;
   double ns;
 };
 
-void PrintFig5Table() {
+void PrintFig5Table(JsonEmitter& json) {
   MicroConfig same{.arg_bytes = 1, .rounds = 400, .cross_cpu = false};
   MicroConfig cross{.arg_bytes = 1, .rounds = 400, .cross_cpu = true};
 
@@ -58,25 +61,28 @@ void PrintFig5Table() {
   std::printf("=== Figure 5: synchronous calls, 1-byte argument ===\n");
   std::printf("%-28s %12s %10s\n", "primitive", "time [ns]", "x func");
   Row rows[] = {
-      {"Func.", func},
-      {"Syscall", sys},
-      {"dIPC - Low (=CPU)", dipc_low},
-      {"dIPC - High (=CPU)", dipc_high},
-      {"Sem. (=CPU)", sem_same},
-      {"Sem. (!=CPU)", sem_cross},
-      {"Pipe (=CPU)", pipe_same},
-      {"Pipe (!=CPU)", pipe_cross},
-      {"dIPC +proc - Low (=CPU)", proc_low},
-      {"dIPC +proc - High (=CPU)", proc_high},
-      {"L4 (=CPU)", l4_same},
-      {"L4 (!=CPU)", l4_cross},
-      {"Local RPC (=CPU)", rpc_same},
-      {"Local RPC (!=CPU)", rpc_cross},
-      {"dIPC - User RPC (!=CPU)", user_rpc},
+      {"Func.", "func", func},
+      {"Syscall", "syscall", sys},
+      {"dIPC - Low (=CPU)", "dipc_low", dipc_low},
+      {"dIPC - High (=CPU)", "dipc_high", dipc_high},
+      {"Sem. (=CPU)", "sem_same", sem_same},
+      {"Sem. (!=CPU)", "sem_cross", sem_cross},
+      {"Pipe (=CPU)", "pipe_same", pipe_same},
+      {"Pipe (!=CPU)", "pipe_cross", pipe_cross},
+      {"dIPC +proc - Low (=CPU)", "dipc_proc_low", proc_low},
+      {"dIPC +proc - High (=CPU)", "dipc_proc_high", proc_high},
+      {"L4 (=CPU)", "l4_same", l4_same},
+      {"L4 (!=CPU)", "l4_cross", l4_cross},
+      {"Local RPC (=CPU)", "rpc_same", rpc_same},
+      {"Local RPC (!=CPU)", "rpc_cross", rpc_cross},
+      {"dIPC - User RPC (!=CPU)", "dipc_user_rpc", user_rpc},
   };
   for (const Row& r : rows) {
     std::printf("%-28s %12.1f %9.0fx\n", r.name, r.ns, r.ns / func);
+    json.Row(r.key, 0, r.ns);
   }
+  json.Row("dipc_proc_low_notls", 0, proc_low_notls);
+  json.Row("dipc_proc_high_notls", 0, proc_high_notls);
   std::printf("\n--- paper anchors (measured vs paper) ---\n");
   std::printf("RPC(=CPU) / dIPC+proc-High : %7.2fx   (paper: 64.12x)\n", rpc_same / proc_high);
   std::printf("L4(=CPU)  / dIPC+proc-High : %7.2fx   (paper:  8.87x)\n", l4_same / proc_high);
@@ -129,7 +135,8 @@ BENCHMARK(BM_LocalRpc)->UseManualTime()->Iterations(1);
 }  // namespace
 
 int main(int argc, char** argv) {
-  PrintFig5Table();
+  JsonEmitter json("fig5_sync_calls", &argc, argv);
+  PrintFig5Table(json);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -3,12 +3,14 @@
 // configurations across 4..512 threads per component. The paper reports
 // dIPC speedups up to 3.18x (on-disk) and 5.12x (in-memory), always >= 94%
 // of the Ideal configuration's efficiency.
+// Pass --json to also write BENCH_fig8_oltp.json.
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
 #include <map>
 
 #include "apps/oltp/oltp.h"
+#include "micro_harness.h"
 
 namespace {
 
@@ -17,6 +19,7 @@ using dipc::apps::OltpConfig;
 using dipc::apps::OltpMode;
 using dipc::apps::OltpResult;
 using dipc::apps::RunOltp;
+using dipc::bench::JsonEmitter;
 
 constexpr int kThreadSweep[] = {4, 16, 64, 256, 512};
 
@@ -30,29 +33,40 @@ OltpConfig Fig8Config(OltpMode mode, DbStorage storage, int threads) {
   return c;
 }
 
-void PrintPanel(DbStorage storage) {
+void PrintPanel(JsonEmitter& json, DbStorage storage) {
+  const char* skey = storage == DbStorage::kDisk ? "disk" : "mem";
   std::printf("--- %s DB ---\n", storage == DbStorage::kDisk ? "on-disk" : "in-memory");
-  std::printf("%8s %14s %14s %14s %10s %10s %8s\n", "threads", "Linux[op/m]", "dIPC[op/m]",
-              "Ideal[op/m]", "dIPC x", "Ideal x", "dIPC eff");
+  std::printf("%8s %14s %14s %14s %14s %10s %10s %8s\n", "threads", "Linux[op/m]", "Chan[op/m]",
+              "dIPC[op/m]", "Ideal[op/m]", "dIPC x", "Ideal x", "dIPC eff");
   for (int threads : kThreadSweep) {
     OltpResult linux_r = RunOltp(Fig8Config(OltpMode::kLinuxIpc, storage, threads));
+    OltpResult chan_r = RunOltp(Fig8Config(OltpMode::kChan, storage, threads));
     OltpResult dipc_r = RunOltp(Fig8Config(OltpMode::kDipc, storage, threads));
     OltpResult ideal_r = RunOltp(Fig8Config(OltpMode::kIdeal, storage, threads));
-    std::printf("%8d %14.0f %14.0f %14.0f %9.2fx %9.2fx %7.0f%%\n", threads, linux_r.ops_per_min,
-                dipc_r.ops_per_min, ideal_r.ops_per_min,
+    std::printf("%8d %14.0f %14.0f %14.0f %14.0f %9.2fx %9.2fx %7.0f%%\n", threads,
+                linux_r.ops_per_min, chan_r.ops_per_min, dipc_r.ops_per_min, ideal_r.ops_per_min,
                 dipc_r.ops_per_min / linux_r.ops_per_min,
                 ideal_r.ops_per_min / linux_r.ops_per_min,
                 100.0 * dipc_r.ops_per_min / ideal_r.ops_per_min);
+    auto per_op_ns = [](const OltpResult& r) {
+      return r.operations > 0 ? r.wall_seconds * 1e9 / static_cast<double>(r.operations) : 0.0;
+    };
+    json.Row(std::string("linux_") + skey, threads, per_op_ns(linux_r));
+    json.Row(std::string("chan_") + skey, threads, per_op_ns(chan_r));
+    json.Row(std::string("dipc_") + skey, threads, per_op_ns(dipc_r));
+    json.Row(std::string("ideal_") + skey, threads, per_op_ns(ideal_r));
   }
   std::printf("\n");
 }
 
-void PrintFig8() {
+void PrintFig8(JsonEmitter& json) {
   std::printf("=== Figure 8: dynamic web serving throughput (4 CPUs) ===\n");
-  PrintPanel(DbStorage::kDisk);
-  PrintPanel(DbStorage::kMemory);
+  PrintPanel(json, DbStorage::kDisk);
+  PrintPanel(json, DbStorage::kMemory);
   std::printf("paper: dIPC up to 3.18x (disk) / 5.12x (memory) over Linux;\n");
-  std::printf("       speedups peak at 16 threads; dIPC >= 94%% of Ideal everywhere.\n\n");
+  std::printf("       speedups peak at 16 threads; dIPC >= 94%% of Ideal everywhere.\n");
+  std::printf("(Chan: Linux thread structure over zero-copy channels; JSON rows are\n");
+  std::printf(" per-operation wall time in ns)\n\n");
 }
 
 void BM_Oltp(benchmark::State& state) {
@@ -78,7 +92,8 @@ BENCHMARK(BM_Oltp)
 }  // namespace
 
 int main(int argc, char** argv) {
-  PrintFig8();
+  JsonEmitter json("fig8_oltp", &argc, argv);
+  PrintFig8(json);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

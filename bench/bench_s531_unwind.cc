@@ -5,10 +5,17 @@
 // error path instead of always saving registers.
 //
 // This is the one benchmark in the suite measuring *real* host time.
+//
+// Pass --json to also write BENCH_s531_unwind.json (a short chrono-timed
+// run of both variants, since google-benchmark's own output bypasses the
+// emitter).
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <csetjmp>
 #include <cstdio>
+
+#include "micro_harness.h"
 
 namespace {
 
@@ -48,12 +55,50 @@ void BM_TryGuardedCall(benchmark::State& state) {
 }
 BENCHMARK(BM_TryGuardedCall);
 
+// Host-timed per-call ns for the JSON trajectory (median-free quick run;
+// the google-benchmark entries below remain the precise measurement).
+template <typename Fn>
+double TimePerCallNs(Fn&& fn) {
+  constexpr int kIters = 2000000;
+  auto t0 = std::chrono::steady_clock::now();
+  int acc = 0;
+  for (int i = 0; i < kIters; ++i) {
+    acc = fn(acc);
+  }
+  benchmark::DoNotOptimize(acc);
+  auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::nano>(t1 - t0).count() / kIters;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  dipc::bench::JsonEmitter json("s531_unwind", &argc, argv);
   std::printf("=== §5.3.1: setjmp vs C++ try recovery around a simple call ===\n");
   std::printf("paper: try-based code ~2.5x faster (compiler co-optimization).\n");
   std::printf("compare BM_SetjmpGuardedCall vs BM_TryGuardedCall below.\n\n");
+  if (json.enabled()) {
+    double setjmp_ns = TimePerCallNs([](int acc) {
+      std::jmp_buf env;
+      if (setjmp(env) == 0) {
+        acc += SimpleFunction(acc);
+      } else {
+        acc = 0;
+      }
+      return acc;
+    });
+    double try_ns = TimePerCallNs([](int acc) {
+      try {
+        acc += SimpleFunction(acc);
+      } catch (...) {
+        acc = 0;
+      }
+      return acc;
+    });
+    json.Row("setjmp_guarded_call", 0, setjmp_ns);
+    json.Row("try_guarded_call", 0, try_ns);
+    json.Row("setjmp_over_try_x1000", 0, try_ns > 0 ? setjmp_ns / try_ns * 1000.0 : 0);
+  }
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

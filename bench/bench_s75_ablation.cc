@@ -7,6 +7,7 @@
 //      cross-domain memory access models ~12% throughput overhead, still
 //      leaving ~1.59x over Linux.
 //  Also reports the measured cross-domain calls per operation (~211).
+// Pass --json to also write BENCH_s75_ablation.json.
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
@@ -17,6 +18,7 @@
 #include "dipc/dipc.h"
 #include "dipc/proxy.h"
 #include "hw/machine.h"
+#include "micro_harness.h"
 #include "os/kernel.h"
 
 namespace {
@@ -26,6 +28,11 @@ using dipc::apps::OltpConfig;
 using dipc::apps::OltpMode;
 using dipc::apps::OltpResult;
 using dipc::apps::RunOltp;
+using dipc::bench::JsonEmitter;
+
+double PerOpNs(const OltpResult& r) {
+  return r.operations > 0 ? r.wall_seconds * 1e9 / static_cast<double>(r.operations) : 0.0;
+}
 
 OltpConfig BaseConfig(OltpMode mode) {
   OltpConfig c;
@@ -37,10 +44,11 @@ OltpConfig BaseConfig(OltpMode mode) {
   return c;
 }
 
-void PrintAblation() {
+void PrintAblation(JsonEmitter& json) {
   OltpResult linux_r = RunOltp(BaseConfig(OltpMode::kLinuxIpc));
   std::printf("=== §7.5 ablations (in-memory DB, 256 threads) ===\n");
   std::printf("Linux baseline: %.0f ops/min\n\n", linux_r.ops_per_min);
+  json.Row("linux_per_op", 0, PerOpNs(linux_r));
 
   std::printf("(a) proxy-cost sensitivity\n");
   std::printf("%12s %14s %12s\n", "multiplier", "dIPC[op/m]", "vs Linux");
@@ -50,6 +58,7 @@ void PrintAblation() {
     OltpResult r = RunOltp(c);
     std::printf("%11.0fx %14.0f %11.2fx\n", scale, r.ops_per_min,
                 r.ops_per_min / linux_r.ops_per_min);
+    json.Row("dipc_per_op_vs_proxy_scale", static_cast<uint64_t>(scale), PerOpNs(r));
   }
   std::printf("paper: benefit survives up to ~14x slower cross-domain calls.\n\n");
 
@@ -65,6 +74,8 @@ void PrintAblation() {
               r_caps.ops_per_min, r_caps.ops_per_min / linux_r.ops_per_min,
               100.0 * (1.0 - r_caps.ops_per_min / r_base.ops_per_min));
   std::printf("paper: ~12%% modeled overhead, 1.59x speedup retained.\n\n");
+  json.Row("dipc_per_op", 0, PerOpNs(r_base));
+  json.Row("dipc_worst_case_caps_per_op", 0, PerOpNs(r_caps));
 
   double calls_per_op = r_base.operations > 0
                             ? static_cast<double>(r_base.cross_domain_calls) /
@@ -115,13 +126,15 @@ double MeasureAplPressure(int num_domains) {
   return per_call;
 }
 
-void PrintAplPressure() {
+void PrintAplPressure(JsonEmitter& json) {
   std::printf("(c) APL-cache pressure (32 entries per hardware thread)\n");
   std::printf("%14s %16s\n", "domains cycled", "ns/call (Low)");
   // Each call touches caller + proxy + callee-domain APL entries, so the
   // cache covers roughly 32/3 concurrently-cycling entry points.
   for (int n : {2, 4, 8, 10, 16, 32}) {
-    std::printf("%14d %16.1f\n", n, MeasureAplPressure(n));
+    double ns = MeasureAplPressure(n);
+    std::printf("%14d %16.1f\n", n, ns);
+    json.Row("apl_pressure_ns_per_call", static_cast<uint64_t>(n), ns);
   }
   std::printf("paper: misses never occur in its benchmarks (7 domains);\n");
   std::printf("beyond the cache the 300 ns refill exception dominates.\n\n");
@@ -146,8 +159,9 @@ BENCHMARK(BM_ProxyScale)->Arg(1)->Arg(14)->UseManualTime()->Iterations(1)
 }  // namespace
 
 int main(int argc, char** argv) {
-  PrintAblation();
-  PrintAplPressure();
+  JsonEmitter json("s75_ablation", &argc, argv);
+  PrintAblation(json);
+  PrintAplPressure(json);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

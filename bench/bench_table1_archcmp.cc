@@ -7,14 +7,18 @@
 //   MMP:          2 pipeline flushes, data via pre-shared buffer copy or
 //                 privileged protection-table writes.
 //   CODOMs:       call + return, capability setup for data.
+// Pass --json to also write BENCH_table1_archcmp.json.
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <string>
 
 #include "hw/cost_model.h"
+#include "micro_harness.h"
 
 namespace {
 
+using dipc::bench::JsonEmitter;
 using dipc::hw::CostModel;
 using dipc::sim::Duration;
 
@@ -55,19 +59,22 @@ ArchCosts Codoms(const CostModel& cm) {
   return {sw, cm.cap_setup.nanos(), cm.cap_setup.nanos()};
 }
 
-void PrintTable1() {
+void PrintTable1(JsonEmitter& json) {
   CostModel cm;
   std::printf("=== Table 1: best-case round-trip domain switch + bulk data [ns] ===\n");
   std::printf("%-16s %12s %12s %12s %14s\n", "architecture", "switch", "64B data", "4KB data",
               "switch+4KB");
-  auto row = [](const char* name, ArchCosts c) {
+  auto row = [&json](const char* name, const char* key, ArchCosts c) {
     std::printf("%-16s %12.1f %12.1f %12.1f %14.1f\n", name, c.switch_ns, c.data64_ns, c.data4k_ns,
                 c.switch_ns + c.data4k_ns);
+    json.Row(std::string(key) + "_switch", 0, c.switch_ns);
+    json.Row(std::string(key) + "_data64", 0, c.data64_ns);
+    json.Row(std::string(key) + "_data4k", 0, c.data4k_ns);
   };
-  row("Conventional", Conventional(cm));
-  row("CHERI", Cheri(cm));
-  row("MMP", Mmp(cm));
-  row("CODOMs", Codoms(cm));
+  row("Conventional", "conventional", Conventional(cm));
+  row("CHERI", "cheri", Cheri(cm));
+  row("MMP", "mmp", Mmp(cm));
+  row("CODOMs", "codoms", Codoms(cm));
   std::printf("(CODOMs: call+return with capability setup; no traps, no flushes)\n\n");
 }
 
@@ -89,7 +96,8 @@ BENCHMARK(BM_ArchSwitch)->Arg(0)->Arg(1)->Arg(2)->Arg(3)->UseManualTime()->Itera
 }  // namespace
 
 int main(int argc, char** argv) {
-  PrintTable1();
+  JsonEmitter json("table1_archcmp", &argc, argv);
+  PrintTable1(json);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -54,6 +54,21 @@ MicroResult MeasureDipcUserRpc(const MicroConfig& config);
 // grant, so the transfer cost is O(1) in arg_bytes.
 MicroResult MeasureChannel(const MicroConfig& config);
 
+// Streaming (pipelined) channel transfer: the producer keeps `batch`
+// messages in flight per batched publish, the consumer drains batches.
+// batch == 1 uses the single-message API (per-message queue ops, wakes and
+// accounting); batch > 1 uses AcquireBufBatch/SendBatch/RecvBatch/
+// ReleaseBatch, which pay the fixed software toll once per batch. Epoch
+// caching warms during the warmup rotation either way. Returns the
+// steady-state *per-message* cost in ns.
+struct ChanStreamConfig {
+  uint64_t payload_bytes = 64;
+  int batch = 1;
+  int messages = 2048;
+  bool cross_cpu = true;
+};
+double MeasureChannelStream(const ChanStreamConfig& config);
+
 // --json flag support: benches record (series, x, value) rows and, when the
 // flag was passed, write them to BENCH_<name>.json on destruction — the
 // machine-readable perf trajectory consumed by CI. The constructor strips

@@ -14,6 +14,11 @@
 //   kSemaphore   — driver service thread in another process, shared-memory
 //                  requests, futex signalling (no payload copies).
 //   kPipe        — same, but requests and payloads cross a pipe (copies).
+//   kChannel     — same, but requests cross a zero-copy capability channel
+//                  pair (src/chan/): ownership grants instead of copies,
+//                  wake-suppressed futex signalling, and — when `burst` > 1
+//                  — batched descriptor publication (SendBatch/RecvBatch)
+//                  amortizing the per-request software toll.
 #ifndef DIPC_APPS_NETPIPE_NETPIPE_H_
 #define DIPC_APPS_NETPIPE_NETPIPE_H_
 
@@ -29,6 +34,7 @@ enum class DriverIsolation {
   kKernel,
   kSemaphore,
   kPipe,
+  kChannel,
 };
 
 constexpr std::string_view DriverIsolationName(DriverIsolation d) {
@@ -39,6 +45,7 @@ constexpr std::string_view DriverIsolationName(DriverIsolation d) {
     case DriverIsolation::kKernel: return "Kernel";
     case DriverIsolation::kSemaphore: return "Semaphore (=CPU)";
     case DriverIsolation::kPipe: return "Pipe (=CPU)";
+    case DriverIsolation::kChannel: return "Chan (=CPU)";
   }
   return "?";
 }
@@ -47,6 +54,10 @@ struct NetpipeConfig {
   DriverIsolation isolation = DriverIsolation::kInline;
   uint64_t transfer_bytes = 64;
   int rounds = 128;
+  // kChannel only: driver requests posted per batched publish. 1 keeps the
+  // NPtcp ping-pong semantics; >1 models the streaming mode, where post_send
+  // requests are batched toward the driver (doorbell batching).
+  int burst = 1;
 };
 
 struct NetpipeResult {

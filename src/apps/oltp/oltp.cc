@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "apps/oltp/disk.h"
+#include "chan/channel.h"
 #include "codoms/codoms.h"
 #include "dipc/dipc.h"
 #include "dipc/proxy.h"
@@ -148,6 +149,71 @@ sim::Task<base::Status> SockCall(os::Env env, os::UnixStreamEnd& sock, hw::VirtA
   co_return base::Status::Ok();
 }
 
+// ---- Channel-mode plumbing ----
+
+// A per-worker connection between two tiers: a request channel and a
+// response channel (channels are unidirectional).
+struct ChanConn {
+  std::shared_ptr<chan::Channel> req;
+  std::shared_ptr<chan::Channel> resp;
+};
+
+// Fixed-size request/response over a channel pair. The request is produced
+// directly into the owned buffer and consumed in place on the other side —
+// zero copies and zero (de)marshalling glue, unlike SockCall: the protocol
+// overhead left is purely the channel fast path plus the thread switches.
+sim::Task<base::Status> ChanCall(os::Env env, const ChanConn& conn, uint64_t req_bytes,
+                                 uint64_t resp_bytes) {
+  os::Kernel& k = *env.kernel;
+  auto buf = co_await conn.req->AcquireBuf(env);
+  if (!buf.ok()) {
+    co_return buf.code();
+  }
+  auto produced = co_await k.TouchUser(env, buf.value().va, req_bytes, hw::AccessType::kWrite);
+  if (!produced.ok()) {
+    co_return produced;
+  }
+  auto sent = co_await conn.req->Send(env, buf.value(), req_bytes);
+  if (!sent.ok()) {
+    co_return sent;
+  }
+  auto reply = co_await conn.resp->Recv(env);
+  if (!reply.ok()) {
+    co_return reply.code();
+  }
+  auto consumed =
+      co_await k.TouchUser(env, reply.value().va, reply.value().len, hw::AccessType::kRead);
+  (void)consumed;  // a dead peer surfaces through Release below
+  co_return co_await conn.resp->Release(env, reply.value());
+}
+
+// Channel-mode service loop: receive requests, run `handler`, respond —
+// the zero-copy analogue of ServiceLoop (no glue charges: nothing is
+// marshalled, demultiplexing is the descriptor pop itself).
+sim::Task<void> ChanServiceLoop(os::Env env, Ctx& ctx, ChanConn conn, uint64_t resp_bytes,
+                                std::function<sim::Task<uint64_t>(os::Env)> handler) {
+  os::Kernel& k = *env.kernel;
+  while (!ctx.stopped) {
+    auto msg = co_await conn.req->Recv(env);
+    if (!msg.ok()) {
+      co_return;
+    }
+    (void)co_await k.TouchUser(env, msg.value().va, msg.value().len, hw::AccessType::kRead);
+    (void)co_await handler(env);
+    if (!(co_await conn.req->Release(env, msg.value())).ok()) {
+      co_return;
+    }
+    auto buf = co_await conn.resp->AcquireBuf(env);
+    if (!buf.ok()) {
+      co_return;
+    }
+    (void)co_await k.TouchUser(env, buf.value().va, resp_bytes, hw::AccessType::kWrite);
+    if (!(co_await conn.resp->Send(env, buf.value(), resp_bytes)).ok()) {
+      co_return;
+    }
+  }
+}
+
 // Service loop: receive fixed-size requests, run `handler`, send responses.
 sim::Task<void> ServiceLoop(os::Env env, Ctx& ctx, std::shared_ptr<os::UnixStreamEnd> sock,
                             uint64_t req_bytes, uint64_t resp_bytes,
@@ -181,9 +247,10 @@ OltpResult RunOltp(const OltpConfig& config) {
   Ctx ctx;
   ctx.config = &config;
   ctx.kernel = &kernel;
-  if (config.mode == OltpMode::kLinuxIpc) {
+  if (config.mode == OltpMode::kLinuxIpc || config.mode == OltpMode::kChan) {
     // Wakeup-to-dispatch latency of a loaded Linux box (runqueue delay,
-    // imperfect wake balancing; §7.4). dIPC/Ideal make no IPC wakeups.
+    // imperfect wake balancing; §7.4). dIPC/Ideal make no IPC wakeups;
+    // channel mode keeps the service threads and therefore the wakeups.
     kernel.set_wake_latency(Duration::Micros(1.0));
   }
   std::unique_ptr<Disk> disk;
@@ -285,6 +352,76 @@ OltpResult RunOltp(const OltpConfig& config) {
             core::CallArgs args;
             args.regs[0] = v;
             co_return co_await php_proxy.Call(e, args);
+          };
+          co_await WebWorker(env, ctx, php_edge);
+        });
+      }
+      break;
+    }
+
+    case OltpMode::kChan: {
+      // Same process and service-thread structure as kLinuxIpc, but every
+      // hop is a zero-copy capability channel: requests and responses move
+      // by ownership grant, with no socket copies and no marshalling glue.
+      // What remains of the Linux overhead is the false concurrency itself
+      // (thread switches + wakeup latency), which isolates the copy+glue
+      // share when compared against the kLinuxIpc line.
+      os::Process& web = dipc.CreateDipcProcess("apache");
+      os::Process& php = dipc.CreateDipcProcess("php-fcgi");
+      os::Process& db = dipc.CreateDipcProcess("mariadb");
+      codoms::AplTable& apl = codoms.apl_table();
+      // One domain-tag trio per tier direction, shared by all workers'
+      // channels, so the per-CPU APL cache (32 entries) stays warm at high
+      // thread counts. The trust relationship per direction is identical
+      // across workers, so sharing loses no isolation.
+      struct Trio {
+        hw::DomainTag ctrl, data, rt;
+      };
+      auto make_trio = [&apl] {
+        return Trio{apl.AllocateTag(), apl.AllocateTag(), apl.AllocateTag()};
+      };
+      const Trio web_php_t = make_trio(), php_web_t = make_trio(), php_db_t = make_trio(),
+                 db_php_t = make_trio();
+      auto make_chan = [&dipc](os::Process& s, os::Process& r, uint64_t bytes, const Trio& t) {
+        auto ch = chan::Channel::Create(dipc, s, r,
+                                        {.slots = 4,
+                                         .buf_bytes = bytes,
+                                         .ctrl_tag = t.ctrl,
+                                         .data_tag = t.data,
+                                         .rt_tag = t.rt});
+        DIPC_CHECK(ch.ok());
+        return ch.value();
+      };
+      for (int i = 0; i < config.threads; ++i) {
+        ChanConn web_php{make_chan(web, php, kPhpReqBytes, web_php_t),
+                         make_chan(php, web, kPhpRespBytes, php_web_t)};
+        ChanConn php_db{make_chan(php, db, kDbReqBytes, php_db_t),
+                        make_chan(db, php, kDbRespBytes, db_php_t)};
+        kernel.Spawn(db, "db-svc", [&ctx, php_db](os::Env env) -> sim::Task<void> {
+          co_await ChanServiceLoop(env, ctx, php_db, kDbRespBytes,
+                                   [&ctx](os::Env e) -> sim::Task<uint64_t> {
+                                     co_return co_await DbInteraction(e, ctx, 0);
+                                   });
+        });
+        kernel.Spawn(php, "php-svc",
+                     [&ctx, web_php, php_db](os::Env env) -> sim::Task<void> {
+                       Edge db_edge = [&ctx, php_db](os::Env e,
+                                                     uint64_t v) -> sim::Task<uint64_t> {
+                         auto s = co_await ChanCall(e, php_db, kDbReqBytes, kDbRespBytes);
+                         (void)s;
+                         co_return v + 1;
+                       };
+                       co_await ChanServiceLoop(
+                           env, ctx, web_php, kPhpRespBytes,
+                           [&ctx, &db_edge](os::Env e) -> sim::Task<uint64_t> {
+                             co_return co_await PhpRequest(e, ctx, db_edge, 0);
+                           });
+                     });
+        kernel.Spawn(web, "worker", [&ctx, web_php](os::Env env) -> sim::Task<void> {
+          Edge php_edge = [&ctx, web_php](os::Env e, uint64_t v) -> sim::Task<uint64_t> {
+            auto s = co_await ChanCall(e, web_php, kPhpReqBytes, kPhpRespBytes);
+            (void)s;
+            co_return v;
           };
           co_await WebWorker(env, ctx, php_edge);
         });

@@ -5,6 +5,12 @@
 //   kLinuxIpc — each tier a separate process; tiers talk over UNIX sockets
 //               (FastCGI-style web<->php, client/server protocol php<->db)
 //               with per-tier service-thread pools (§2.3's false concurrency).
+//   kChan     — same process/thread structure, but the tiers talk over
+//               zero-copy capability channels (src/chan/): requests and
+//               responses move by ownership grant instead of per-byte socket
+//               copies, and there is no marshalling glue (arguments live in
+//               the shared buffer). Isolates the copy+glue share of the
+//               Linux overhead from the thread-switch share.
 //   kDipc     — tiers are dIPC processes; calls cross tiers in place through
 //               generated proxies, arguments by reference, no service threads.
 //   kIdeal    — all tiers in one process, plain function calls (the unsafe
@@ -29,6 +35,7 @@ namespace dipc::apps {
 
 enum class OltpMode {
   kLinuxIpc,
+  kChan,
   kDipc,
   kIdeal,
 };
@@ -41,6 +48,7 @@ enum class DbStorage {
 constexpr std::string_view OltpModeName(OltpMode m) {
   switch (m) {
     case OltpMode::kLinuxIpc: return "Linux";
+    case OltpMode::kChan: return "Chan (zero-copy)";
     case OltpMode::kDipc: return "dIPC";
     case OltpMode::kIdeal: return "Ideal (unsafe)";
   }

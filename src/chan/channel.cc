@@ -50,9 +50,9 @@ base::Result<std::shared_ptr<Channel>> Channel::Create(core::Dipc& dipc, os::Pro
   os::Kernel& kernel = dipc.kernel();
   auto ch = std::shared_ptr<Channel>(new Channel(dipc, sender, receiver, cfg));
   codoms::AplTable& apl = kernel.codoms().apl_table();
-  ch->ctrl_tag_ = apl.AllocateTag();
-  ch->data_tag_ = apl.AllocateTag();
-  ch->rt_tag_ = apl.AllocateTag();
+  ch->ctrl_tag_ = cfg.ctrl_tag != hw::kInvalidDomainTag ? cfg.ctrl_tag : apl.AllocateTag();
+  ch->data_tag_ = cfg.data_tag != hw::kInvalidDomainTag ? cfg.data_tag : apl.AllocateTag();
+  ch->rt_tag_ = cfg.rt_tag != hw::kInvalidDomainTag ? cfg.rt_tag : apl.AllocateTag();
   // One-time APL setup (creation is rare; per-message paths never touch
   // APLs, so APL-cache entries stay warm): both endpoints may use the
   // control segment, both may *call into* the runtime domain, and only the
@@ -82,6 +82,8 @@ base::Result<std::shared_ptr<Channel>> Channel::Create(core::Dipc& dipc, os::Pro
   }
   ch->sender_caps_.resize(cfg.slots);
   ch->receiver_caps_.resize(cfg.slots);
+  ch->wcap_tmpl_.resize(cfg.slots);
+  ch->rcap_tmpl_.resize(cfg.slots);
 
   std::weak_ptr<Channel> weak = ch;
   dipc.AddDeathHook([weak](os::Process& dead) {
@@ -95,170 +97,340 @@ base::Result<std::shared_ptr<Channel>> Channel::Create(core::Dipc& dipc, os::Pro
   return ch;
 }
 
-base::Result<codoms::Capability> Channel::RuntimeMintCap(os::Env env, hw::VirtAddr base,
-                                                         uint64_t size, codoms::Perm rights,
-                                                         sim::Duration* cost) {
+base::Result<codoms::Capability> Channel::GrantCap(os::Env env, uint32_t index,
+                                                   codoms::Perm rights, sim::Duration* cost) {
+  const bool write = rights == codoms::Perm::kWrite;
+  std::optional<codoms::Capability>& tmpl = write ? wcap_tmpl_[index] : rcap_tmpl_[index];
   codoms::ThreadCapContext& ctx = env.self->cap_ctx();
-  const hw::CostModel& cm = env.kernel->costs();
-  // Cross-domain call into the runtime's code and back: two implicit domain
-  // switches at plain-call cost (§4: "negligible performance impact").
-  *cost += cm.function_call + cm.domain_switch * 2;
   hw::DomainTag saved = ctx.current_domain;
   ctx.current_domain = rt_tag_;
-  sim::Duration mint_cost;
-  auto cap = env.kernel->codoms().CapFromApl(env.self->last_cpu(),
-                                             env.self->process().page_table(), ctx, base, size,
-                                             rights, codoms::CapType::kAsync, &mint_cost);
+  sim::Duration c;
+  base::Result<codoms::Capability> cap = base::ErrorCode::kFault;
+  if (tmpl.has_value()) {
+    // Warm path: re-snapshot the cached capability against its counter —
+    // no mint, no APL traversal (§4.2 revocation counters as an ownership
+    // rotation mechanism).
+    cap = env.kernel->codoms().CapRebind(*tmpl, ctx, &c);
+  } else {
+    // Cold path, once per slot per direction: full mint through the
+    // runtime's APL grant over the data domain.
+    ++cold_mints_;
+    cap = env.kernel->codoms().CapFromApl(env.self->last_cpu(),
+                                          env.self->process().page_table(), ctx, buf_va(index),
+                                          buf_stride_, rights, codoms::CapType::kAsync, &c);
+  }
   ctx.current_domain = saved;
-  *cost += mint_cost;
+  *cost += c;
+  if (cap.ok()) {
+    tmpl = cap.value();
+  }
   return cap;
 }
 
 sim::Task<base::Result<SendBuf>> Channel::AcquireBuf(os::Env env) {
+  auto batch = co_await AcquireBufBatch(env, 1);
+  if (!batch.ok()) {
+    co_return batch.code();
+  }
+  co_return batch.value()[0];
+}
+
+sim::Task<base::Result<std::vector<SendBuf>>> Channel::AcquireBufBatch(os::Env env,
+                                                                       uint32_t max_n) {
   os::Kernel& k = *env.kernel;
+  if (max_n == 0) {
+    co_return base::ErrorCode::kInvalidArgument;
+  }
   if (broken_ != base::ErrorCode::kOk) {
     co_return broken_;
   }
-  auto idx = co_await free_->Pop(env);
-  if (!idx.ok()) {
-    co_return broken_ != base::ErrorCode::kOk ? broken_ : idx.code();
+  std::vector<uint64_t> indices(std::min<uint32_t>(max_n, cfg_.slots));
+  auto popped = co_await free_->PopN(env, std::span(indices));
+  if (!popped.ok()) {
+    co_return broken_ != base::ErrorCode::kOk ? broken_ : popped.code();
   }
-  auto index = static_cast<uint32_t>(idx.value());
-  sim::Duration cost;
-  auto cap = RuntimeMintCap(env, buf_va(index), buf_stride_, codoms::Perm::kWrite, &cost);
-  if (!cap.ok()) {
-    (void)co_await free_->Push(env, index);  // don't leak the slot
-    co_return cap.code();
+  indices.resize(popped.value());
+  // One cross-domain call into the runtime covers the whole batch.
+  sim::Duration cost = k.costs().function_call + k.costs().domain_switch * 2;
+  std::vector<codoms::Capability> caps;
+  caps.reserve(indices.size());
+  for (uint64_t idx : indices) {
+    auto cap = GrantCap(env, static_cast<uint32_t>(idx), codoms::Perm::kWrite, &cost);
+    if (!cap.ok()) {
+      // Undo: revoke what was granted and return every slot to the pool.
+      for (const auto& granted : caps) {
+        DIPC_CHECK(k.codoms().CapRevoke(granted).ok());
+      }
+      (void)co_await free_->PushN(env, std::span(indices));  // don't leak the slots
+      co_return cap.code();
+    }
+    caps.push_back(cap.value());
   }
   co_await k.Spend(*env.self, cost, TimeCat::kUser);
   if (broken_ != base::ErrorCode::kOk) {
     // The peer died during the Spend: teardown has already swept
-    // sender_caps_, so recording the grant now would leave it unrevoked
-    // forever. Revoke it ourselves and surface the crash.
-    DIPC_CHECK(k.codoms().CapRevoke(cap.value()).ok());
+    // sender_caps_, so recording the grants now would leave them unrevoked
+    // forever. Revoke them ourselves and surface the crash.
+    for (const auto& granted : caps) {
+      DIPC_CHECK(k.codoms().CapRevoke(granted).ok());
+    }
     co_return broken_;
   }
-  env.self->cap_ctx().regs.Set(kSenderCapReg, cap.value());
-  sender_caps_[index] = cap.value();
-  co_return SendBuf{buf_va(index), cfg_.buf_bytes, index};
+  std::vector<SendBuf> out;
+  out.reserve(indices.size());
+  for (size_t j = 0; j < indices.size(); ++j) {
+    auto index = static_cast<uint32_t>(indices[j]);
+    sender_caps_[index] = caps[j];
+    out.push_back(SendBuf{buf_va(index), cfg_.buf_bytes, index});
+  }
+  env.self->cap_ctx().regs.Set(kSenderCapReg, caps.back());
+  co_return out;
+}
+
+void Channel::BindSendCap(os::Thread& t, const SendBuf& buf) const {
+  if (buf.index < cfg_.slots && sender_caps_[buf.index].has_value()) {
+    t.cap_ctx().regs.Set(kSenderCapReg, *sender_caps_[buf.index]);
+  }
+}
+
+void Channel::BindRecvCap(os::Thread& t, const Msg& msg) const {
+  if (msg.index < cfg_.slots && receiver_caps_[msg.index].has_value()) {
+    t.cap_ctx().regs.Set(kReceiverCapReg, *receiver_caps_[msg.index]);
+  }
 }
 
 sim::Task<base::Status> Channel::Send(os::Env env, const SendBuf& buf, uint64_t len) {
+  SendItem item{buf, len};
+  co_return co_await SendBatch(env, std::span(&item, 1));
+}
+
+sim::Task<base::Status> Channel::SendBatch(os::Env env, std::span<const SendItem> items) {
   os::Kernel& k = *env.kernel;
   const hw::CostModel& cm = k.costs();
   if (broken_ != base::ErrorCode::kOk) {
     co_return broken_;
   }
-  if (buf.index >= cfg_.slots || len == 0 || len > cfg_.buf_bytes ||
-      !sender_caps_[buf.index].has_value()) {
+  if (items.empty()) {
     co_return base::ErrorCode::kInvalidArgument;
   }
-  sim::Duration cost = cm.chan_fast_path;
-  // Mint the receiver's read-only view (immutability: a published message
-  // can never be modified again, by anyone) and publish it through the
-  // capability-storage descriptor slot. Errors here leave the sender owning
-  // the buffer — the slot must not leak.
-  auto rcap = RuntimeMintCap(env, buf.va, len, codoms::Perm::kRead, &cost);
-  if (!rcap.ok()) {
-    co_return rcap.code();
+  // Pairwise duplicate check: batches are small (<= slots, typically <= 64),
+  // so O(N^2) beats allocating an O(slots) table on every Send (N=1 is the
+  // single-message hot path and must stay allocation-light).
+  for (size_t j = 0; j < items.size(); ++j) {
+    const SendItem& it = items[j];
+    if (it.buf.index >= cfg_.slots || it.len == 0 || it.len > cfg_.buf_bytes ||
+        !sender_caps_[it.buf.index].has_value()) {
+      co_return base::ErrorCode::kInvalidArgument;
+    }
+    for (size_t i = 0; i < j; ++i) {
+      if (items[i].buf.index == it.buf.index) {
+        co_return base::ErrorCode::kInvalidArgument;
+      }
+    }
   }
-  sim::Duration store_cost;
-  base::Status stored = k.codoms().CapStore(env.self->process().page_table(),
-                                            env.self->cap_ctx(), CapSlotVa(buf.index),
-                                            rcap.value(), &store_cost);
-  if (!stored.ok()) {
-    // The minted read grant is not yet referenced anywhere; revoke it so no
-    // unreachable-but-valid capability over the buffer leaks.
-    DIPC_CHECK(k.codoms().CapRevoke(rcap.value()).ok());
-    co_return stored;
+  // One fast-path charge and one runtime entry for the whole batch.
+  sim::Duration cost = cm.chan_fast_path + cm.function_call + cm.domain_switch * 2;
+  // Phase 1 (no suspension): grant the read-only views (immutability: a
+  // published message can never be modified again, by anyone) and publish
+  // them through the capability-storage descriptor slots. An error here
+  // leaves the sender owning every buffer — nothing leaks, nothing moves.
+  std::vector<codoms::Capability> rcaps;
+  rcaps.reserve(items.size());
+  for (const SendItem& it : items) {
+    auto rcap = GrantCap(env, it.buf.index, codoms::Perm::kRead, &cost);
+    if (!rcap.ok()) {
+      for (const auto& granted : rcaps) {
+        DIPC_CHECK(k.codoms().CapRevoke(granted).ok());
+      }
+      co_return rcap.code();
+    }
+    sim::Duration store_cost;
+    base::Status stored = k.codoms().CapStore(env.self->process().page_table(),
+                                              env.self->cap_ctx(), CapSlotVa(it.buf.index),
+                                              rcap.value(), &store_cost);
+    if (!stored.ok()) {
+      // The minted read grants are not yet referenced anywhere; revoke them
+      // so no unreachable-but-valid capability over the buffers leaks.
+      DIPC_CHECK(k.codoms().CapRevoke(rcap.value()).ok());
+      for (const auto& granted : rcaps) {
+        DIPC_CHECK(k.codoms().CapRevoke(granted).ok());
+      }
+      co_return stored;
+    }
+    cost += store_cost;
+    rcaps.push_back(rcap.value());
   }
-  cost += store_cost;
-  // Move semantics: the sender's ownership ends *before* the receiver can
-  // observe the message (the descriptor push below is what publishes it).
-  // Revocation is one unprivileged counter bump.
-  ClearRegIfHolds(*env.self, kSenderCapReg, *sender_caps_[buf.index]);
-  DIPC_CHECK(k.codoms().CapRevoke(*sender_caps_[buf.index]).ok());
-  cost += cm.cap_revoke;
-  sender_caps_[buf.index].reset();
+  // Move semantics: the sender's ownership of the whole batch ends *before*
+  // the receiver can observe any of it (the descriptor push below is what
+  // publishes). Revocation is one unprivileged counter bump per buffer.
+  for (const SendItem& it : items) {
+    ClearRegIfHolds(*env.self, kSenderCapReg, *sender_caps_[it.buf.index]);
+    DIPC_CHECK(k.codoms().CapRevoke(*sender_caps_[it.buf.index]).ok());
+    cost += cm.cap_revoke;
+    sender_caps_[it.buf.index].reset();
+  }
   co_await k.Spend(*env.self, cost, TimeCat::kUser);
   if (broken_ != base::ErrorCode::kOk) {
     // The peer died during the Spend above: OnProcessDeath has already swept
-    // receiver_caps_, so recording rcap now would leave a live grant over the
-    // data domain that teardown never sees. Revoke it ourselves.
-    DIPC_CHECK(k.codoms().CapRevoke(rcap.value()).ok());
+    // receiver_caps_, so recording the rcaps now would leave live grants
+    // over the data domain that teardown never sees. Revoke them ourselves.
+    for (const auto& granted : rcaps) {
+      DIPC_CHECK(k.codoms().CapRevoke(granted).ok());
+    }
     co_return broken_;
   }
-  receiver_caps_[buf.index] = rcap.value();
-  auto pushed = co_await desc_->Push(env, PackDesc(buf.index, len));
+  std::vector<uint64_t> descs;
+  descs.reserve(items.size());
+  for (size_t j = 0; j < items.size(); ++j) {
+    receiver_caps_[items[j].buf.index] = rcaps[j];
+    descs.push_back(PackDesc(items[j].buf.index, items[j].len));
+  }
+  uint64_t published = 0;
+  auto pushed = co_await desc_->PushN(env, std::span(descs), &published);
   if (!pushed.ok()) {
-    if (broken_ == base::ErrorCode::kOk && receiver_caps_[buf.index].has_value()) {
-      // Orderly Close raced the publish: the descriptor never reached the
-      // receiver and no teardown will run, so revoke the recorded read
-      // grant here or it stays live forever.
-      DIPC_CHECK(k.codoms().CapRevoke(*receiver_caps_[buf.index]).ok());
-      receiver_caps_[buf.index].reset();
+    if (broken_ == base::ErrorCode::kOk) {
+      // Orderly Close raced the publish: the unpublished descriptors never
+      // reached the receiver and no teardown will run, so revoke their
+      // recorded read grants here or they stay live forever.
+      for (size_t j = published; j < items.size(); ++j) {
+        uint32_t index = items[j].buf.index;
+        if (receiver_caps_[index].has_value()) {
+          DIPC_CHECK(k.codoms().CapRevoke(*receiver_caps_[index]).ok());
+          receiver_caps_[index].reset();
+        }
+      }
     }
+    sends_ += published;
     co_return broken_ != base::ErrorCode::kOk ? broken_ : pushed.code();
   }
-  ++sends_;
+  sends_ += items.size();
   co_return base::Status::Ok();
 }
 
 sim::Task<base::Result<Msg>> Channel::Recv(os::Env env) {
+  auto batch = co_await RecvBatch(env, 1);
+  if (!batch.ok()) {
+    co_return batch.code();
+  }
+  co_return batch.value()[0];
+}
+
+sim::Task<base::Result<std::vector<Msg>>> Channel::RecvBatch(os::Env env, uint32_t max_n) {
   os::Kernel& k = *env.kernel;
+  if (max_n == 0) {
+    co_return base::ErrorCode::kInvalidArgument;
+  }
   if (broken_ != base::ErrorCode::kOk) {
     co_return broken_;
   }
-  auto desc = co_await desc_->Pop(env);
-  if (!desc.ok()) {
-    co_return broken_ != base::ErrorCode::kOk ? broken_ : desc.code();
+  std::vector<uint64_t> descs(std::min<uint32_t>(max_n, cfg_.slots));
+  auto popped = co_await desc_->PopN(env, std::span(descs));
+  if (!popped.ok()) {
+    co_return broken_ != base::ErrorCode::kOk ? broken_ : popped.code();
   }
-  auto index = static_cast<uint32_t>(desc.value() >> kLenBits);
-  uint64_t len = desc.value() & kLenMask;
+  descs.resize(popped.value());
+  // One accounting charge covers every capability load of the batch.
   sim::Duration cost;
-  auto cap = k.codoms().CapLoad(env.self->process().page_table(), env.self->cap_ctx(),
-                                CapSlotVa(index), &cost);
-  if (!cap.ok()) {
-    co_return cap.code();
+  std::vector<Msg> out;
+  std::vector<codoms::Capability> caps;
+  std::vector<uint64_t> corrupted;  // slots whose stored capability is gone
+  out.reserve(descs.size());
+  caps.reserve(descs.size());
+  for (uint64_t desc : descs) {
+    auto index = static_cast<uint32_t>(desc >> kLenBits);
+    uint64_t len = desc & kLenMask;
+    sim::Duration load_cost;
+    auto cap = k.codoms().CapLoad(env.self->process().page_table(), env.self->cap_ctx(),
+                                  CapSlotVa(index), &load_cost);
+    cost += load_cost;
+    if (!cap.ok()) {
+      // A plain write destroyed the stored capability (unforgeability,
+      // §4.2). Dropping the whole batch here would forfeit the healthy
+      // messages AND leak every popped slot from the free pool; instead the
+      // corrupted slot is recycled below and the rest are delivered.
+      corrupted.push_back(index);
+      continue;
+    }
+    caps.push_back(cap.value());
+    out.push_back(Msg{buf_va(index), len, index});
   }
   co_await k.Spend(*env.self, cost, TimeCat::kUser);
   if (broken_ != base::ErrorCode::kOk) {
     // The peer died during the Spend and teardown already revoked the
-    // loaded capability; handing the dead grant to the consumer would make
-    // its payload read fault instead of surfacing the crash.
+    // loaded capabilities; handing the dead grants to the consumer would
+    // make its payload reads fault instead of surfacing the crash.
     co_return broken_;
   }
-  env.self->cap_ctx().regs.Set(kReceiverCapReg, cap.value());
-  ++recvs_;
-  co_return Msg{buf_va(index), len, index};
+  if (!corrupted.empty()) {
+    // Recycle the corrupted slots: revoke the read grant recorded at Send
+    // (nobody can ever load it again) and return the buffers to the pool.
+    for (uint64_t index : corrupted) {
+      if (receiver_caps_[index].has_value()) {
+        DIPC_CHECK(k.codoms().CapRevoke(*receiver_caps_[index]).ok());
+        receiver_caps_[index].reset();
+      }
+    }
+    (void)co_await free_->PushN(env, std::span(corrupted));
+    if (broken_ != base::ErrorCode::kOk) {
+      co_return broken_;
+    }
+  }
+  if (out.empty()) {
+    co_return base::ErrorCode::kFault;  // every descriptor was corrupted
+  }
+  env.self->cap_ctx().regs.Set(kReceiverCapReg, caps.front());
+  recvs_ += out.size();
+  co_return out;
 }
 
 sim::Task<base::Status> Channel::Release(os::Env env, const Msg& msg) {
+  co_return co_await ReleaseBatch(env, std::span(&msg, 1));
+}
+
+sim::Task<base::Status> Channel::ReleaseBatch(os::Env env, std::span<const Msg> msgs) {
   os::Kernel& k = *env.kernel;
   const hw::CostModel& cm = k.costs();
-  if (msg.index >= cfg_.slots) {
+  if (msgs.empty()) {
     co_return base::ErrorCode::kInvalidArgument;
+  }
+  for (size_t j = 0; j < msgs.size(); ++j) {
+    if (msgs[j].index >= cfg_.slots) {
+      co_return base::ErrorCode::kInvalidArgument;
+    }
+    for (size_t i = 0; i < j; ++i) {
+      if (msgs[i].index == msgs[j].index) {
+        co_return base::ErrorCode::kInvalidArgument;
+      }
+    }
   }
   if (broken_ != base::ErrorCode::kOk) {
     // Dead-peer teardown already revoked the in-flight capabilities; a
     // crash must surface as the broken code, not as a caller bug.
     co_return broken_;
   }
-  if (!receiver_caps_[msg.index].has_value()) {
-    co_return base::ErrorCode::kInvalidArgument;
+  for (const Msg& msg : msgs) {
+    if (!receiver_caps_[msg.index].has_value()) {
+      co_return base::ErrorCode::kInvalidArgument;
+    }
   }
-  sim::Duration cost = cm.chan_fast_path + cm.cap_revoke;
-  ClearRegIfHolds(*env.self, kReceiverCapReg, *receiver_caps_[msg.index]);
-  DIPC_CHECK(k.codoms().CapRevoke(*receiver_caps_[msg.index]).ok());
-  receiver_caps_[msg.index].reset();
+  sim::Duration cost = cm.chan_fast_path;
+  std::vector<uint64_t> indices;
+  indices.reserve(msgs.size());
+  for (const Msg& msg : msgs) {
+    ClearRegIfHolds(*env.self, kReceiverCapReg, *receiver_caps_[msg.index]);
+    DIPC_CHECK(k.codoms().CapRevoke(*receiver_caps_[msg.index]).ok());
+    cost += cm.cap_revoke;
+    receiver_caps_[msg.index].reset();
+    indices.push_back(msg.index);
+  }
   co_await k.Spend(*env.self, cost, TimeCat::kUser);
   if (broken_ != base::ErrorCode::kOk) {
     co_return broken_;
   }
-  auto pushed = co_await free_->Push(env, msg.index);
+  auto pushed = co_await free_->PushN(env, std::span(indices));
   if (!pushed.ok()) {
-    // After an orderly Close the free list is retired; the revocation above
-    // is all that matters. Only dead-peer errors surface.
+    // After an orderly Close the free list is retired; the revocations above
+    // are all that matters. Only dead-peer errors surface.
     co_return broken_ != base::ErrorCode::kOk ? base::Status(broken_) : base::Status::Ok();
   }
   co_return base::Status::Ok();
@@ -267,6 +439,19 @@ sim::Task<base::Status> Channel::Release(os::Env env, const Msg& msg) {
 void Channel::Close() {
   desc_->Close(base::ErrorCode::kBrokenChannel);
   free_->Close(base::ErrorCode::kBrokenChannel);
+}
+
+uint64_t Channel::LiveGrantCount() const {
+  const codoms::RevocationTable& rt = kernel_.codoms().revocations();
+  uint64_t live = 0;
+  for (const auto* side : {&sender_caps_, &receiver_caps_}) {
+    for (const auto& cap : *side) {
+      if (cap.has_value() && rt.Epoch(cap->revocation_id) == cap->revocation_epoch) {
+        ++live;
+      }
+    }
+  }
+  return live;
 }
 
 void Channel::OnProcessDeath(os::Process& proc) {
@@ -279,7 +464,10 @@ void Channel::OnProcessDeath(os::Process& proc) {
   broken_ = base::ErrorCode::kCalleeFailed;
   // KCS-style unwind: revoke every in-flight ownership capability so no
   // stale grant survives the crash, then fail both queues — blocked peers
-  // wake and surface the error code.
+  // wake and surface the error code. Cached templates need no sweep of
+  // their own: a template not recorded in-flight is already epoch-stale
+  // (its counter was bumped when ownership last rotated away), and broken_
+  // gates every future rebind.
   for (auto& cap : sender_caps_) {
     if (cap.has_value()) {
       DIPC_CHECK(kernel_.codoms().CapRevoke(*cap).ok());

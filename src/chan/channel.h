@@ -13,12 +13,28 @@
 //     trusted-intermediary pattern as dIPC's proxies, entered by a plain
 //     cross-domain call at function-call cost.
 //   - Send revokes the sender's write capability (one revocation-counter
-//     bump: immediate, unprivileged) and publishes a fresh *read-only*
-//     capability for the receiver through a capability-storage descriptor
-//     slot. The payload never moves; cost is O(1) in message size.
+//     bump: immediate, unprivileged) and publishes a *read-only* capability
+//     for the receiver through a capability-storage descriptor slot. The
+//     payload never moves; cost is O(1) in message size.
 //   - Control flow (descriptor queue + free-buffer queue) is an MpmcQueue
 //     pair in a control segment both endpoint domains can access; blocking
 //     uses the futex path, so an idle endpoint costs nothing.
+//
+// Epoch-cached grants: each buffer's write and read capabilities are minted
+// through the runtime's APL exactly once (first use) and then *cached*.
+// Ownership rotates by revocation-counter arithmetic alone — Send/Release
+// bump the loser's counter (revoke) and the runtime re-snapshots the cached
+// capability against the counter's current value when the buffer changes
+// hands again (epoch rebind, Codoms::CapRebind). The steady-state hot path
+// therefore touches no mint and no APL traversal. The cached read view
+// covers the whole buffer (the descriptor carries the message length); the
+// immutability guarantee is unchanged since the view is read-only.
+//
+// Batching: AcquireBufBatch/SendBatch/RecvBatch/ReleaseBatch move N
+// messages per call, paying one control-queue operation, one
+// cost-accounting charge, one runtime entry and at most one futex wake per
+// batch — O(1/batch) software overhead instead of O(1/message). The
+// single-message Send/Recv are the batch paths with N=1.
 //
 // Dead peers: channels register a teardown hook with core::Dipc. When
 // KillProcess reaps an endpoint process, every in-flight capability is
@@ -30,6 +46,7 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "base/result.h"
@@ -45,6 +62,14 @@ namespace dipc::chan {
 struct ChannelConfig {
   uint32_t slots = 8;            // in-flight message buffers
   uint64_t buf_bytes = 1 << 16;  // payload capacity per buffer
+  // Optional pre-allocated domain-tag trio, shared between channels that
+  // express the same trust relationship (e.g. many per-worker channels
+  // between the same two tiers). Sharing keeps the per-CPU APL cache (32
+  // entries, §4.3) from thrashing when a workload opens hundreds of
+  // channels. kInvalidDomainTag (the default) allocates a fresh trio.
+  hw::DomainTag ctrl_tag = hw::kInvalidDomainTag;
+  hw::DomainTag data_tag = hw::kInvalidDomainTag;
+  hw::DomainTag rt_tag = hw::kInvalidDomainTag;
 };
 
 // A buffer the sender owns (write capability in register kSenderCapReg).
@@ -52,6 +77,12 @@ struct SendBuf {
   hw::VirtAddr va = 0;
   uint64_t capacity = 0;
   uint32_t index = 0;
+};
+
+// A buffer plus its payload length, for SendBatch.
+struct SendItem {
+  SendBuf buf;
+  uint64_t len = 0;
 };
 
 // A received message (read capability in register kReceiverCapReg).
@@ -76,14 +107,33 @@ class Channel : public std::enable_shared_from_this<Channel> {
 
   // ---- Sender side ----
 
-  // Blocks until a free buffer is available, mints a write capability for
-  // it, and hands it to the calling thread.
+  // Blocks until a free buffer is available, grants the calling thread a
+  // write capability for it (epoch rebind on the warm path), and hands it
+  // over.
   sim::Task<base::Result<SendBuf>> AcquireBuf(os::Env env);
+
+  // Batched acquire: blocks for the first free buffer, then takes up to
+  // `max_n` without blocking again. One queue op, one runtime entry and one
+  // accounting charge for the whole batch. The write capability of the
+  // *last* buffer is loaded into kSenderCapReg; use BindSendCap to switch
+  // between the batch's buffers while filling them.
+  sim::Task<base::Result<std::vector<SendBuf>>> AcquireBufBatch(os::Env env, uint32_t max_n);
 
   // Publishes `len` bytes of `buf` to the receiver: revokes the sender's
   // capability (subsequent sender access faults) and grants a read-only
   // capability to the receiving side. O(1) in `len`.
   sim::Task<base::Status> Send(os::Env env, const SendBuf& buf, uint64_t len);
+
+  // Batched publish: grants and publishes every item's read view, ends the
+  // sender's ownership of all of them, then pushes all descriptors with one
+  // queue operation and at most one futex wake. All-or-nothing up to the
+  // publish: on a pre-publish error the sender still owns every buffer.
+  sim::Task<base::Status> SendBatch(os::Env env, std::span<const SendItem> items);
+
+  // Re-loads `buf`'s write capability into kSenderCapReg (a capability
+  // register move — no cost, no blocking). Needed when filling a batch of
+  // acquired buffers, since the register holds one capability at a time.
+  void BindSendCap(os::Thread& t, const SendBuf& buf) const;
 
   // Orderly shutdown: the receiver drains in-flight messages, then Recv
   // fails with kBrokenChannel.
@@ -96,9 +146,23 @@ class Channel : public std::enable_shared_from_this<Channel> {
   // or kCalleeFailed immediately if a peer process died.
   sim::Task<base::Result<Msg>> Recv(os::Env env);
 
+  // Batched receive: blocks for the first message, then drains up to
+  // `max_n` in-flight messages without blocking again. One queue op and one
+  // accounting charge cover all the capability loads. The *first* message's
+  // capability lands in kReceiverCapReg; use BindRecvCap to walk the batch.
+  sim::Task<base::Result<std::vector<Msg>>> RecvBatch(os::Env env, uint32_t max_n);
+
   // Returns the buffer to the free pool: revokes the receiver's capability
   // and unblocks a sender waiting in AcquireBuf.
   sim::Task<base::Status> Release(os::Env env, const Msg& msg);
+
+  // Batched release: one revoke per message but one queue operation, one
+  // accounting charge and at most one futex wake for the whole batch.
+  sim::Task<base::Status> ReleaseBatch(os::Env env, std::span<const Msg> msgs);
+
+  // Re-loads `msg`'s read capability into kReceiverCapReg (register move —
+  // no cost). Needed when consuming a RecvBatch result message by message.
+  void BindRecvCap(os::Thread& t, const Msg& msg) const;
 
   // ---- Introspection ----
 
@@ -108,6 +172,12 @@ class Channel : public std::enable_shared_from_this<Channel> {
   base::ErrorCode broken() const { return broken_; }
   uint64_t sends() const { return sends_; }
   uint64_t recvs() const { return recvs_; }
+  // Full capability mints performed by this channel (2 per slot over a
+  // channel's lifetime once warm: one write + one read template).
+  uint64_t cold_mints() const { return cold_mints_; }
+  // Recorded in-flight grants whose epoch is still live — 0 after teardown
+  // means the crash unwound every grant (test support).
+  uint64_t LiveGrantCount() const;
   hw::VirtAddr buf_va(uint32_t index) const { return data_seg_.base + index * buf_stride_; }
 
   // Dead-peer teardown (fired via the core::Dipc death hook).
@@ -116,11 +186,13 @@ class Channel : public std::enable_shared_from_this<Channel> {
  private:
   Channel(core::Dipc& dipc, os::Process& sender, os::Process& receiver, ChannelConfig cfg);
 
-  // Simulates the cross-domain call into the trusted channel runtime that
-  // mints an async capability over [base, base+size) (§4.2). Pure user
-  // level: two domain switches (function-call cost) plus cap creation.
-  base::Result<codoms::Capability> RuntimeMintCap(os::Env env, hw::VirtAddr base, uint64_t size,
-                                                  codoms::Perm rights, sim::Duration* cost);
+  // Grants ownership of slot `index` with `rights`, inside the runtime
+  // domain: a full CapFromApl mint on first use (APL traversal), an epoch
+  // rebind of the cached capability afterwards. Accumulates the capability
+  // cost only — callers charge the cross-domain call into the runtime once
+  // per batch.
+  base::Result<codoms::Capability> GrantCap(os::Env env, uint32_t index, codoms::Perm rights,
+                                            sim::Duration* cost);
 
   hw::VirtAddr CapSlotVa(uint32_t index) const {
     return cap_seg_.base + index * codoms::kCapMemBytes;
@@ -142,9 +214,14 @@ class Channel : public std::enable_shared_from_this<Channel> {
   // the architecturally visible copies; these drive revocation).
   std::vector<std::optional<codoms::Capability>> sender_caps_;
   std::vector<std::optional<codoms::Capability>> receiver_caps_;
+  // Epoch-cached per-slot capability templates, minted once through the
+  // runtime's APL and re-snapshotted (never re-minted) on every rotation.
+  std::vector<std::optional<codoms::Capability>> wcap_tmpl_;
+  std::vector<std::optional<codoms::Capability>> rcap_tmpl_;
   base::ErrorCode broken_ = base::ErrorCode::kOk;
   uint64_t sends_ = 0;
   uint64_t recvs_ = 0;
+  uint64_t cold_mints_ = 0;
 };
 
 // fd-table endpoints, so channel ends can be delegated between processes
@@ -157,9 +234,16 @@ class SenderEndpoint : public os::KernelObject {
   std::shared_ptr<Channel> shared() { return ch_; }
 
   sim::Task<base::Result<SendBuf>> AcquireBuf(os::Env env) { return ch_->AcquireBuf(env); }
+  sim::Task<base::Result<std::vector<SendBuf>>> AcquireBufBatch(os::Env env, uint32_t max_n) {
+    return ch_->AcquireBufBatch(env, max_n);
+  }
   sim::Task<base::Status> Send(os::Env env, const SendBuf& buf, uint64_t len) {
     return ch_->Send(env, buf, len);
   }
+  sim::Task<base::Status> SendBatch(os::Env env, std::span<const SendItem> items) {
+    return ch_->SendBatch(env, items);
+  }
+  void BindSendCap(os::Thread& t, const SendBuf& buf) const { ch_->BindSendCap(t, buf); }
   void Close() { ch_->Close(); }
 
  private:
@@ -174,7 +258,14 @@ class ReceiverEndpoint : public os::KernelObject {
   std::shared_ptr<Channel> shared() { return ch_; }
 
   sim::Task<base::Result<Msg>> Recv(os::Env env) { return ch_->Recv(env); }
+  sim::Task<base::Result<std::vector<Msg>>> RecvBatch(os::Env env, uint32_t max_n) {
+    return ch_->RecvBatch(env, max_n);
+  }
   sim::Task<base::Status> Release(os::Env env, const Msg& msg) { return ch_->Release(env, msg); }
+  sim::Task<base::Status> ReleaseBatch(os::Env env, std::span<const Msg> msgs) {
+    return ch_->ReleaseBatch(env, msgs);
+  }
+  void BindRecvCap(os::Thread& t, const Msg& msg) const { ch_->BindRecvCap(t, msg); }
 
  private:
   std::shared_ptr<Channel> ch_;

@@ -48,6 +48,26 @@ inline sim::Task<void> FutexWakeOne(os::Env env, os::WaitQueue& q) {
   co_await k.SyscallExit(env);
 }
 
+// Wake-suppressed flavor: the caller already consulted a user-level waiter
+// counter and committed to waking, so the FUTEX_WAKE syscall cost is paid
+// unconditionally — exactly like a real futex, where the kernel cannot be
+// asked for free whether anyone is parked. When the race left nobody parked
+// (the waiter was still entering the kernel), the wake is wasted but not
+// lost: the waiter re-checks its predicate before parking (FutexBlock).
+inline sim::Task<void> FutexWakeCommitted(os::Env env, os::WaitQueue& q) {
+  os::Kernel& k = *env.kernel;
+  co_await k.SyscallEnter(env);
+  co_await k.Spend(*env.self, os::Semaphore::kFutexWakeKernel, os::TimeCat::kKernel);
+  os::Thread* waiter = q.WakeOneThread();
+  if (waiter != nullptr) {
+    sim::Duration ipi = k.MakeRunnable(*waiter, env.self->last_cpu());
+    if (ipi > sim::Duration::Zero()) {
+      co_await k.Spend(*env.self, ipi, os::TimeCat::kKernel);
+    }
+  }
+  co_await k.SyscallExit(env);
+}
+
 }  // namespace dipc::chan
 
 #endif  // DIPC_CHAN_FUTEX_H_

@@ -1,5 +1,6 @@
 #include "chan/mpmc_queue.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "chan/futex.h"
@@ -7,14 +8,6 @@
 namespace dipc::chan {
 
 using os::TimeCat;
-
-namespace {
-
-std::span<const std::byte> ValueBytes(const uint64_t& v) {
-  return std::as_bytes(std::span(&v, 1));
-}
-
-}  // namespace
 
 MpmcQueue::MpmcQueue(os::Kernel& kernel, os::Process& proc, uint32_t capacity, hw::DomainTag tag)
     : kernel_(kernel), pt_(&proc.page_table()), capacity_(capacity) {
@@ -30,74 +23,163 @@ void MpmcQueue::Prime(uint64_t value) {
   // cost. Slots never straddle pages (8-byte slots, page-aligned base).
   auto pa = pt_->Translate(SlotVa(tail_));
   DIPC_CHECK(pa.has_value());
-  kernel_.machine().mem().Write(*pa, ValueBytes(value));
+  kernel_.machine().mem().Write(*pa, std::as_bytes(std::span(&value, 1)));
   ++tail_;
   ++count_;
+}
+
+sim::Task<void> MpmcQueue::WakeIfWaiting(os::Env env, os::WaitQueue& q,
+                                         const uint64_t& live_waiters) {
+  if (live_waiters == 0) {
+    co_return;  // suppressed: no syscall, no kernel work
+  }
+  ++futex_wakes_;
+  co_await FutexWakeCommitted(env, q);
+}
+
+base::Status MpmcQueue::AccessSlots(os::Env env, uint64_t pos, std::span<const uint64_t> values,
+                                    std::span<uint64_t> out, sim::Duration* cost) {
+  os::Kernel& k = *env.kernel;
+  os::Thread& self = *env.self;
+  const bool writing = !values.empty();
+  const uint64_t n = writing ? values.size() : out.size();
+  uint64_t off = pos % capacity_;
+  uint64_t first = std::min(n, capacity_ - off);
+  for (auto [start, span_off, span_n] :
+       {std::tuple{off, uint64_t{0}, first}, std::tuple{uint64_t{0}, first, n - first}}) {
+    if (span_n == 0) {
+      continue;
+    }
+    hw::VirtAddr va = seg_.base + start * kSlotBytes;
+    auto c = k.UserAccessCost(self, va, span_n * kSlotBytes,
+                              writing ? hw::AccessType::kWrite : hw::AccessType::kRead);
+    if (!c.ok()) {
+      return c.status();
+    }
+    *cost += c.value();
+    if (writing) {
+      base::Status ws =
+          k.UserWrite(self, va, std::as_bytes(values.subspan(span_off, span_n)));
+      DIPC_CHECK(ws.ok());
+    } else {
+      base::Status rs =
+          k.UserRead(self, va, std::as_writable_bytes(out.subspan(span_off, span_n)));
+      DIPC_CHECK(rs.ok());
+    }
+  }
+  return base::Status::Ok();
 }
 
 sim::Task<base::Status> MpmcQueue::Push(os::Env env, uint64_t value) {
-  os::Kernel& k = *env.kernel;
-  os::Thread& self = *env.self;
-  co_await k.Spend(self, k.costs().chan_fast_path, TimeCat::kUser);
-  while (count_ == capacity_) {
-    if (closed_) {
-      co_return code_;
-    }
-    ++blocked_pushes_;
-    co_await FutexBlock(env, producers_, [&] { return count_ == capacity_ && !closed_; });
-  }
-  if (closed_) {
-    co_return code_;
-  }
-  // The slot write and the tail_/count_ update must stay in one synchronous
-  // block with the full check above: a co_await in between is a scheduling
-  // point where a second producer could claim the same slot.
-  hw::VirtAddr va = SlotVa(tail_);
-  auto cost = k.UserAccessCost(self, va, kSlotBytes, hw::AccessType::kWrite);
-  if (!cost.ok()) {
-    co_return cost.status();
-  }
-  base::Status ws = k.UserWrite(self, va, ValueBytes(value));
-  DIPC_CHECK(ws.ok());
-  ++tail_;
-  ++count_;
-  co_await k.Spend(self, cost.value(), TimeCat::kUser);
-  co_await FutexWakeOne(env, consumers_);
-  co_return base::Status::Ok();
+  co_return co_await PushN(env, std::span(&value, 1));
 }
 
 sim::Task<base::Result<uint64_t>> MpmcQueue::Pop(os::Env env) {
+  uint64_t value = 0;
+  auto n = co_await PopN(env, std::span(&value, 1));
+  if (!n.ok()) {
+    co_return n.code();
+  }
+  co_return value;
+}
+
+sim::Task<base::Status> MpmcQueue::PushN(os::Env env, std::span<const uint64_t> values,
+                                         uint64_t* pushed) {
   os::Kernel& k = *env.kernel;
   os::Thread& self = *env.self;
+  if (pushed != nullptr) {
+    *pushed = 0;
+  }
+  if (values.empty()) {
+    co_return base::ErrorCode::kInvalidArgument;
+  }
+  // The fixed fast-path toll (head/tail atomics + bookkeeping) is paid once
+  // per batch — the O(1/batch) half of the batching argument.
+  co_await k.Spend(self, k.costs().chan_fast_path, TimeCat::kUser);
+  uint64_t done = 0;
+  while (done < values.size()) {
+    while (count_ == capacity_) {
+      if (closed_) {
+        co_return code_;
+      }
+      ++blocked_pushes_;
+      ++waiting_pushes_;
+      co_await FutexBlock(env, producers_, [&] { return count_ == capacity_ && !closed_; });
+      --waiting_pushes_;
+    }
+    if (closed_) {
+      co_return code_;
+    }
+    // Claim up to the free room in one synchronous block with the full check
+    // above: a co_await between the check and the tail_/count_ update is a
+    // scheduling point where another producer could claim the same slots.
+    uint64_t n = std::min<uint64_t>(values.size() - done, capacity_ - count_);
+    sim::Duration cost;
+    base::Status s = AccessSlots(env, tail_, values.subspan(done, n), {}, &cost);
+    if (!s.ok()) {
+      co_return s;
+    }
+    tail_ += n;
+    count_ += n;
+    done += n;
+    if (pushed != nullptr) {
+      *pushed = done;
+    }
+    co_await k.Spend(self, cost, TimeCat::kUser);
+    // One (suppressed) wake per chunk; the woken consumer chains further
+    // wakes while a backlog remains (see PopN), so one is enough.
+    co_await WakeIfWaiting(env, consumers_, waiting_pops_);
+  }
+  // Wake chaining, producer side: when a consumer freed a multi-slot run it
+  // woke only one producer; if room remains after this push, pass the wake
+  // on so parked peers don't wait for the next pop.
+  if (count_ < capacity_ && !closed_) {
+    co_await WakeIfWaiting(env, producers_, waiting_pushes_);
+  }
+  co_return base::Status::Ok();
+}
+
+sim::Task<base::Result<uint64_t>> MpmcQueue::PopN(os::Env env, std::span<uint64_t> out) {
+  os::Kernel& k = *env.kernel;
+  os::Thread& self = *env.self;
+  if (out.empty()) {
+    co_return base::ErrorCode::kInvalidArgument;
+  }
   co_await k.Spend(self, k.costs().chan_fast_path, TimeCat::kUser);
   while (count_ == 0) {
     if (closed_) {
       co_return code_;
     }
     ++blocked_pops_;
+    ++waiting_pops_;
     co_await FutexBlock(env, consumers_, [&] { return count_ == 0 && !closed_; });
+    --waiting_pops_;
   }
   if (!drain_allowed_) {
     co_return code_;
   }
-  // Mirror of Push: read the slot and retire head_/count_ synchronously with
-  // the empty check, then pay the access cost. Suspending before the claim
-  // would let a second consumer pop the same slot; suspending between the
-  // claim and the read would let a producer overwrite it (a freed slot is
-  // immediately reusable when the queue was full).
-  hw::VirtAddr va = SlotVa(head_);
-  auto cost = k.UserAccessCost(self, va, kSlotBytes, hw::AccessType::kRead);
-  if (!cost.ok()) {
-    co_return cost.status();
+  // Mirror of PushN: claim the run and retire head_/count_ synchronously
+  // with the empty check, then pay the (batched) access cost. Suspending
+  // before the claim would let a second consumer pop the same slots;
+  // suspending between the claim and the read would let a producer
+  // overwrite them (freed slots are immediately reusable when the queue was
+  // full). Never blocks for a full batch: drains what is there.
+  uint64_t n = std::min<uint64_t>(out.size(), count_);
+  sim::Duration cost;
+  base::Status s = AccessSlots(env, head_, {}, out.subspan(0, n), &cost);
+  if (!s.ok()) {
+    co_return s.code();
   }
-  uint64_t value = 0;
-  base::Status rs = k.UserRead(self, va, std::as_writable_bytes(std::span(&value, 1)));
-  DIPC_CHECK(rs.ok());
-  ++head_;
-  --count_;
-  co_await k.Spend(self, cost.value(), TimeCat::kUser);
-  co_await FutexWakeOne(env, producers_);
-  co_return value;
+  head_ += n;
+  count_ -= n;
+  co_await k.Spend(self, cost, TimeCat::kUser);
+  co_await WakeIfWaiting(env, producers_, waiting_pushes_);
+  // Wake chaining, consumer side: a batched push woke only one consumer; if
+  // a backlog remains, pass the wake on to the next parked consumer.
+  if (count_ > 0) {
+    co_await WakeIfWaiting(env, consumers_, waiting_pops_);
+  }
+  co_return n;
 }
 
 void MpmcQueue::Close(base::ErrorCode code) {

@@ -6,6 +6,15 @@
 // access); full/empty block through the futex path with FIFO wakeups, which
 // makes consumer scheduling fair and deterministic under the event queue.
 //
+// Batching: PushN/PopN move N slots per call, paying the fixed per-op
+// software toll (fast-path accounting + at most one futex wake) once per
+// batch instead of once per slot. Wakes are *suppressed* through live
+// waiter counters kept next to the queue words (the user-level futex
+// convention): a waker that reads a zero counter skips the FUTEX_WAKE
+// syscall entirely, and a woken thread chains the wake onward when work or
+// space remains for further parked peers, so one wake per batch is enough
+// for liveness.
+//
 // Closing is two-flavored, mirroring pipe EOF vs. peer crash:
 //   - Close(): producers fail immediately, consumers drain then see the
 //     close code (orderly shutdown);
@@ -15,6 +24,7 @@
 #define DIPC_CHAN_MPMC_QUEUE_H_
 
 #include <cstdint>
+#include <span>
 
 #include "base/result.h"
 #include "chan/segment.h"
@@ -41,6 +51,19 @@ class MpmcQueue {
   // the close code; after Fail() it fails immediately.
   sim::Task<base::Result<uint64_t>> Pop(os::Env env);
 
+  // Batched push of all of `values` (blocking for space between chunks when
+  // the batch exceeds the free room). One fast-path accounting charge and at
+  // most one futex wake per chunk — one per call in the common non-blocking
+  // case. On failure, `*pushed` (when non-null) reports how many values were
+  // published before the queue closed under the call.
+  sim::Task<base::Status> PushN(os::Env env, std::span<const uint64_t> values,
+                                uint64_t* pushed = nullptr);
+
+  // Batched pop of up to `out.size()` slots: blocks until at least one slot
+  // is available, then drains what is there (never blocks for a full batch).
+  // Returns the number popped. Same close/fail semantics as Pop.
+  sim::Task<base::Result<uint64_t>> PopN(os::Env env, std::span<uint64_t> out);
+
   void Close(base::ErrorCode code = base::ErrorCode::kBrokenChannel);
   void Fail(base::ErrorCode code);
 
@@ -49,10 +72,18 @@ class MpmcQueue {
   bool closed() const { return closed_; }
   uint64_t blocked_pushes() const { return blocked_pushes_; }
   uint64_t blocked_pops() const { return blocked_pops_; }
+  uint64_t futex_wakes() const { return futex_wakes_; }
 
  private:
   hw::VirtAddr SlotVa(uint64_t pos) const { return seg_.base + (pos % capacity_) * kSlotBytes; }
   void WakeAllNoEnv();
+  // Wake-suppression gate: pays the FUTEX_WAKE only when the live waiter
+  // counter says someone is (or is about to be) parked on `q`.
+  sim::Task<void> WakeIfWaiting(os::Env env, os::WaitQueue& q, const uint64_t& live_waiters);
+  // Copies `n` values between `values` and the ring starting at `pos`,
+  // split at the wrap point; accumulates the (batched) slot access cost.
+  base::Status AccessSlots(os::Env env, uint64_t pos, std::span<const uint64_t> values,
+                           std::span<uint64_t> out, sim::Duration* cost);
 
   os::Kernel& kernel_;
   hw::PageTable* pt_;  // the page table the segment was mapped through
@@ -64,8 +95,14 @@ class MpmcQueue {
   bool closed_ = false;
   bool drain_allowed_ = true;
   base::ErrorCode code_ = base::ErrorCode::kBrokenChannel;
-  uint64_t blocked_pushes_ = 0;
-  uint64_t blocked_pops_ = 0;
+  uint64_t blocked_pushes_ = 0;  // cumulative (stats)
+  uint64_t blocked_pops_ = 0;    // cumulative (stats)
+  // Live waiter counts (the user-level futex counters): incremented before
+  // the kernel entry of a park, decremented on resume. A waker reading zero
+  // skips the wake syscall; reading nonzero commits to paying it.
+  uint64_t waiting_pushes_ = 0;
+  uint64_t waiting_pops_ = 0;
+  uint64_t futex_wakes_ = 0;  // wake syscalls actually issued (stats)
   os::WaitQueue producers_;
   os::WaitQueue consumers_;
 };

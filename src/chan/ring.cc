@@ -96,8 +96,14 @@ sim::Task<base::Result<uint64_t>> Ring::Write(os::Env env, hw::VirtAddr src, uin
   co_await k.Spend(*env.self, k.costs().chan_fast_path, TimeCat::kUser);
   uint64_t done = 0;
   while (done < len) {
-    while (fill_ == capacity_) {
-      co_await FutexBlock(env, writers_, [&] { return fill_ == capacity_; });
+    // The full-ring predicate must be read-close-aware: a writer parked on
+    // a full ring whose reader died would otherwise never wake — nobody is
+    // left to drain the ring (the EPIPE analogue).
+    while (fill_ == capacity_ && !read_closed_) {
+      co_await FutexBlock(env, writers_, [&] { return fill_ == capacity_ && !read_closed_; });
+    }
+    if (read_closed_) {
+      co_return base::ErrorCode::kBrokenChannel;
     }
     uint64_t chunk = std::min(len - done, capacity_ - fill_);
     auto s = co_await CopyIn(env, src + done, chunk);
@@ -117,11 +123,18 @@ sim::Task<base::Result<uint64_t>> Ring::Read(os::Env env, hw::VirtAddr dst, uint
     co_return base::ErrorCode::kInvalidArgument;
   }
   co_await k.Spend(*env.self, k.costs().chan_fast_path, TimeCat::kUser);
+  if (read_closed_) {
+    co_return base::ErrorCode::kBrokenChannel;  // reading from a closed read end
+  }
   while (fill_ == 0) {
     if (write_closed_) {
       co_return uint64_t{0};  // EOF
     }
-    co_await FutexBlock(env, readers_, [&] { return fill_ == 0 && !write_closed_; });
+    if (read_closed_) {
+      co_return base::ErrorCode::kBrokenChannel;  // closed while parked
+    }
+    co_await FutexBlock(
+        env, readers_, [&] { return fill_ == 0 && !write_closed_ && !read_closed_; });
   }
   uint64_t chunk = std::min(len, fill_);
   auto s = co_await CopyOut(env, dst, chunk);
@@ -139,6 +152,39 @@ void Ring::CloseWriteEnd() {
   while (os::Thread* r = readers_.WakeOneThread()) {
     (void)kernel_.MakeRunnable(*r, std::nullopt);
   }
+}
+
+void Ring::CloseReadEnd() {
+  read_closed_ = true;
+  // Blocked writers must observe the broken pipe (mirror of CloseWriteEnd),
+  // and readers still parked on an empty ring must fail too — no writer
+  // will ever refill it for them once writes start failing.
+  while (os::Thread* w = writers_.WakeOneThread()) {
+    (void)kernel_.MakeRunnable(*w, std::nullopt);
+  }
+  while (os::Thread* r = readers_.WakeOneThread()) {
+    (void)kernel_.MakeRunnable(*r, std::nullopt);
+  }
+}
+
+void Ring::BindDeathHooks(core::Dipc& dipc, const std::shared_ptr<Ring>& ring,
+                          os::Process& writer, os::Process& reader) {
+  std::weak_ptr<Ring> weak = ring;
+  os::Process* w = &writer;
+  os::Process* r = &reader;
+  dipc.AddDeathHook([weak, w, r](os::Process& dead) {
+    auto live = weak.lock();
+    if (live == nullptr) {
+      return false;  // ring gone: unregister the hook
+    }
+    if (&dead == r) {
+      live->CloseReadEnd();
+    }
+    if (&dead == w) {
+      live->CloseWriteEnd();
+    }
+    return true;
+  });
 }
 
 }  // namespace dipc::chan

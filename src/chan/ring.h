@@ -10,9 +10,11 @@
 #define DIPC_CHAN_RING_H_
 
 #include <cstdint>
+#include <memory>
 
 #include "base/result.h"
 #include "chan/segment.h"
+#include "dipc/dipc.h"
 #include "os/kernel.h"
 #include "sim/task.h"
 
@@ -25,18 +27,33 @@ class Ring {
   Ring(os::Kernel& kernel, os::Process& proc, uint64_t capacity, hw::DomainTag tag);
 
   // Blocking write of the full `len` bytes from `src` (loops at the wrap
-  // point and when the ring fills). Returns `len` on success.
+  // point and when the ring fills). Returns `len` on success, or
+  // kBrokenChannel (EPIPE-style, possibly after a partial transfer) once
+  // the read end is closed — including while blocked on a full ring.
   sim::Task<base::Result<uint64_t>> Write(os::Env env, hw::VirtAddr src, uint64_t len);
 
   // Blocking read of up to `len` bytes into `dst`; returns 0 at EOF
   // (producer closed and the ring drained). `len` must be nonzero (a
-  // 0-byte read would alias the EOF return).
+  // 0-byte read would alias the EOF return). Fails with kBrokenChannel
+  // after CloseReadEnd.
   sim::Task<base::Result<uint64_t>> Read(os::Env env, hw::VirtAddr dst, uint64_t len);
 
   void CloseWriteEnd();
+  // Closes the read end: blocked and future writers fail with
+  // kBrokenChannel instead of parking forever on a full ring that nobody
+  // will ever drain.
+  void CloseReadEnd();
+
+  // Dead-peer wiring, mirroring Channel's death hook: the writer process
+  // dying closes the write end (readers drain then see EOF), the reader
+  // process dying closes the read end (blocked writers fail). The hook
+  // holds a weak reference and unregisters itself once the ring is gone.
+  static void BindDeathHooks(core::Dipc& dipc, const std::shared_ptr<Ring>& ring,
+                             os::Process& writer, os::Process& reader);
 
   uint64_t capacity() const { return capacity_; }
   uint64_t fill() const { return fill_; }
+  bool read_closed() const { return read_closed_; }
   hw::VirtAddr data_base() const { return seg_.base; }
 
  private:
@@ -52,6 +69,7 @@ class Ring {
   uint64_t wpos_ = 0;
   uint64_t fill_ = 0;
   bool write_closed_ = false;
+  bool read_closed_ = false;
   os::WaitQueue readers_;
   os::WaitQueue writers_;
 };

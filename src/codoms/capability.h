@@ -32,16 +32,29 @@ inline constexpr uint64_t kCapMemBytes = 32;
 // revocation through revocation counters"). A capability snapshots the
 // counter value at creation; bumping the counter invalidates every
 // capability derived from it.
+//
+// Each counter remembers the domain that created it. The counter is that
+// domain's private state: only the creator may *re-snapshot* a cached
+// capability against the counter's current value (epoch rebind — see
+// Codoms::CapRebind), which is what lets a trusted runtime rotate buffer
+// ownership without re-minting, while revocation stays authoritative for
+// every other holder of the capability.
 class RevocationTable {
  public:
-  uint64_t Allocate() {
+  uint64_t Allocate(hw::DomainTag creator = hw::kInvalidDomainTag) {
     counters_.push_back(0);
+    creators_.push_back(creator);
     return counters_.size() - 1;
   }
 
   uint64_t Epoch(uint64_t id) const {
     DIPC_CHECK(id < counters_.size());
     return counters_[id];
+  }
+
+  hw::DomainTag Creator(uint64_t id) const {
+    DIPC_CHECK(id < creators_.size());
+    return creators_[id];
   }
 
   void Revoke(uint64_t id) {
@@ -55,6 +68,7 @@ class RevocationTable {
 
  private:
   std::vector<uint64_t> counters_;
+  std::vector<hw::DomainTag> creators_;
 };
 
 struct Capability {

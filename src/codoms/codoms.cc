@@ -156,9 +156,10 @@ base::Result<Capability> Codoms::CapFromApl(hw::CpuId cpu, const hw::PageTable& 
     cap.owner_thread = ctx.thread_id;
     cap.create_depth = ctx.call_depth;
   } else {
-    cap.revocation_id = revocations_.Allocate();
+    cap.revocation_id = revocations_.Allocate(ctx.current_domain);
     cap.revocation_epoch = revocations_.Epoch(cap.revocation_id);
   }
+  ++mints_;
   return cap;
 }
 
@@ -187,7 +188,7 @@ base::Result<Capability> Codoms::CapDerive(const Capability& parent, ThreadCapCo
       child.revocation_id = parent.revocation_id;
       child.revocation_epoch = parent.revocation_epoch;
     } else {
-      child.revocation_id = revocations_.Allocate();
+      child.revocation_id = revocations_.Allocate(ctx.current_domain);
       child.revocation_epoch = revocations_.Epoch(child.revocation_id);
     }
   }
@@ -200,6 +201,23 @@ base::Status Codoms::CapRevoke(const Capability& cap) {
   }
   revocations_.Revoke(cap.revocation_id);
   return base::Status::Ok();
+}
+
+base::Result<Capability> Codoms::CapRebind(const Capability& cap, const ThreadCapContext& ctx,
+                                           sim::Duration* cost) {
+  *cost = machine_.costs().cap_epoch_rebind;
+  if (cap.type != CapType::kAsync) {
+    return base::ErrorCode::kInvalidArgument;  // sync caps have no counter
+  }
+  if (revocations_.Creator(cap.revocation_id) != ctx.current_domain ||
+      ctx.current_domain == hw::kInvalidDomainTag) {
+    // Re-snapshotting from any other domain would resurrect revoked grants;
+    // outsiders must go through CapFromApl/CapDerive and prove rights.
+    return base::ErrorCode::kPermissionDenied;
+  }
+  Capability fresh = cap;
+  fresh.revocation_epoch = revocations_.Epoch(cap.revocation_id);
+  return fresh;
 }
 
 base::Status Codoms::CapStore(const hw::PageTable& pt, ThreadCapContext& ctx, hw::VirtAddr va,

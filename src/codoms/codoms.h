@@ -96,6 +96,15 @@ class Codoms {
   // Immediate revocation of an async capability tree (bumps its counter).
   base::Status CapRevoke(const Capability& cap);
 
+  // Epoch rebind: re-snapshots a cached async capability against its
+  // revocation counter's current value, making the cached grant live again
+  // after a revocation rotated ownership away and back. Only the domain
+  // that created the counter may rebind (the counter is its private state),
+  // so revocation stays authoritative for every other holder. O(1): one
+  // counter load, no APL traversal, no mint.
+  base::Result<Capability> CapRebind(const Capability& cap, const ThreadCapContext& ctx,
+                                     sim::Duration* cost);
+
   // Spills/loads a capability to/from memory. The page needs the
   // capability-storage bit; plain data writes to the slot destroy the
   // capability (unforgeability without full memory tagging, §4.2).
@@ -109,6 +118,9 @@ class Codoms {
   void NotifyPlainWrite(hw::PhysAddr pa, uint64_t len);
 
   uint64_t stored_cap_count() const { return stored_caps_.size(); }
+  // Full mints performed through CapFromApl; lets tests assert a warmed
+  // epoch-cached hot path never mints.
+  uint64_t mint_count() const { return mints_; }
 
  private:
   // Permission the current domain has over `page_tag`, consulting the APL
@@ -119,6 +131,7 @@ class Codoms {
   AplTable apl_table_;
   RevocationTable revocations_;
   std::vector<std::unique_ptr<AplCache>> apl_caches_;
+  uint64_t mints_ = 0;
   // Physical address (32 B aligned) -> stored capability.
   std::unordered_map<hw::PhysAddr, Capability> stored_caps_;
 };

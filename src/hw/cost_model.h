@@ -92,6 +92,10 @@ struct CostModel {
   // Bumping an async capability's revocation counter (§4.2: "immediate
   // revocation through revocation counters"): one store to the counter word.
   Duration cap_revoke = Duration::Nanos(1.0);
+  // Re-snapshotting a cached async capability against its revocation
+  // counter's current value (epoch rebind): one counter load + register
+  // write — the steady-state grant path that replaces a full mint.
+  Duration cap_epoch_rebind = Duration::Nanos(0.5);
   // Channel descriptor fast path per op: head/tail atomics + slot
   // bookkeeping in the shared control segment.
   Duration chan_fast_path = Duration::Nanos(6.0);

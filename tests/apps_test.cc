@@ -20,12 +20,24 @@ OltpConfig QuickConfig(OltpMode mode, DbStorage storage, int threads) {
 }
 
 TEST(Oltp, AllModesMakeProgress) {
-  for (OltpMode mode : {OltpMode::kLinuxIpc, OltpMode::kDipc, OltpMode::kIdeal}) {
+  for (OltpMode mode :
+       {OltpMode::kLinuxIpc, OltpMode::kChan, OltpMode::kDipc, OltpMode::kIdeal}) {
     OltpResult r = RunOltp(QuickConfig(mode, DbStorage::kMemory, 16));
     EXPECT_GT(r.operations, 20u) << OltpModeName(mode);
     EXPECT_GT(r.ops_per_min, 0.0);
     EXPECT_GT(r.avg_latency_ms, 0.0);
   }
+}
+
+TEST(Oltp, ChanModeSitsBetweenLinuxAndIdeal) {
+  // The channel-backed stack removes the copy+glue share of the Linux
+  // overhead but keeps the service threads, so it must land strictly
+  // between the Linux and Ideal design points.
+  OltpResult linux_r = RunOltp(QuickConfig(OltpMode::kLinuxIpc, DbStorage::kMemory, 16));
+  OltpResult chan_r = RunOltp(QuickConfig(OltpMode::kChan, DbStorage::kMemory, 16));
+  OltpResult ideal_r = RunOltp(QuickConfig(OltpMode::kIdeal, DbStorage::kMemory, 16));
+  EXPECT_GT(chan_r.ops_per_min, linux_r.ops_per_min);
+  EXPECT_LT(chan_r.ops_per_min, ideal_r.ops_per_min);
 }
 
 TEST(Oltp, IdealBeatsLinuxAndDipcIsClose) {
@@ -120,6 +132,30 @@ TEST(Netpipe, IsolationOverheadOrdering) {
   // dIPC stays within a few percent of bare metal; full IPC does not.
   EXPECT_LT((dipc_dom - base) / base, 0.05);
   EXPECT_GT((sem - base) / base, 0.5);
+}
+
+TEST(Netpipe, ChannelDriverBeatsPipeAndBurstsAmortize) {
+  // The zero-copy channel transport must beat the copying pipe transport at
+  // equal semantics (ping-pong), and batched streaming bursts must amortize
+  // the per-request toll by well over 2x.
+  double pipe =
+      RunNetpipe({.isolation = DriverIsolation::kPipe, .transfer_bytes = 64, .rounds = 64})
+          .latency_us;
+  double chan =
+      RunNetpipe({.isolation = DriverIsolation::kChannel, .transfer_bytes = 64, .rounds = 64})
+          .latency_us;
+  EXPECT_LT(chan, pipe);
+  double b1 = RunNetpipe({.isolation = DriverIsolation::kChannel,
+                          .transfer_bytes = 64,
+                          .rounds = 64,
+                          .burst = 1})
+                  .round_trip_us;
+  double b16 = RunNetpipe({.isolation = DriverIsolation::kChannel,
+                           .transfer_bytes = 64,
+                           .rounds = 64,
+                           .burst = 16})
+                   .round_trip_us;  // per-request equivalent in burst mode
+  EXPECT_LT(b16 * 2.0, b1);
 }
 
 TEST(Netpipe, BandwidthGrowsWithTransferSize) {
