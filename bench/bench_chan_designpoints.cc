@@ -73,6 +73,36 @@ void PrintDesignPoints(JsonEmitter& json) {
       " are pipelined per-message costs; 32-batching amortizes the fixed toll)\n\n");
 }
 
+// Receiver-count sweep: the fan-out channel's per-published-message cost as
+// the group grows — broadcast (every receiver gets its own grant over every
+// message) vs round-robin sharding (the OLTP request-distribution shape),
+// at batch 1 and 32. Broadcast pays one grant+store+descriptor-push per
+// receiver; everything else (runtime entry, free-pool op, sender revoke,
+// fast path) is shared, so per-message cost grows sublinearly in N.
+void PrintFanOutSweep(dipc::bench::JsonEmitter& json) {
+  std::printf("=== Fan-out: per-published-message cost vs receiver count [ns] ===\n");
+  std::printf("%10s %12s %12s %12s %12s\n", "receivers", "bcast b1", "bcast b32", "shard b1",
+              "shard b32");
+  for (uint32_t n : {1u, 2u, 4u, 8u}) {
+    double bcast1 = dipc::bench::MeasureFanOutStream(
+        {.payload_bytes = 64, .receivers = n, .batch = 1, .messages = 768});
+    double bcast32 = dipc::bench::MeasureFanOutStream(
+        {.payload_bytes = 64, .receivers = n, .batch = 32, .messages = 768});
+    double shard1 = dipc::bench::MeasureFanOutStream(
+        {.payload_bytes = 64, .receivers = n, .batch = 1, .messages = 768, .shard = true});
+    double shard32 = dipc::bench::MeasureFanOutStream(
+        {.payload_bytes = 64, .receivers = n, .batch = 32, .messages = 768, .shard = true});
+    std::printf("%10u %12.1f %12.1f %12.1f %12.1f\n", n, bcast1, bcast32, shard1, shard32);
+    json.Row("fanout_bcast_b1", n, bcast1);
+    json.Row("fanout_bcast_b32", n, bcast32);
+    json.Row("fanout_shard_b1", n, shard1);
+    json.Row("fanout_shard_b32", n, shard32);
+  }
+  std::printf(
+      "(broadcast at N receivers delivers N messages per publish; sharding keeps one\n"
+      " delivery per publish and parallelizes consumption across receiver CPUs)\n\n");
+}
+
 void BM_ChannelTransfer(benchmark::State& state) {
   uint64_t n = static_cast<uint64_t>(state.range(0));
   double func = MeasureFunction({.arg_bytes = n, .rounds = 60}).roundtrip_ns;
@@ -89,6 +119,7 @@ BENCHMARK(BM_ChannelTransfer)->Arg(1)->Arg(1 << 10)->Arg(1 << 20)->UseManualTime
 int main(int argc, char** argv) {
   JsonEmitter json("chan_designpoints", &argc, argv);
   PrintDesignPoints(json);
+  PrintFanOutSweep(json);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

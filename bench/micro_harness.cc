@@ -6,6 +6,7 @@
 #include <memory>
 
 #include "chan/channel.h"
+#include "chan/fanout.h"
 #include "codoms/codoms.h"
 #include "dipc/dipc.h"
 #include "dipc/proxy.h"
@@ -537,6 +538,90 @@ double MeasureChannelStream(const ChanStreamConfig& config) {
       },
       /*pin_cpu=*/0);
   w.kernel.Run();
+  DIPC_CHECK(measured_from >= 0 && measured_from < total);
+  return (t_end - t0).nanos() / (total - measured_from);
+}
+
+double MeasureFanOutStream(const FanOutStreamConfig& config) {
+  const uint32_t n_recv = std::max<uint32_t>(1, config.receivers);
+  const int batch = std::max(1, config.batch);
+  // One CPU for the producer plus one per receiver, so fan-out consumption
+  // parallelizes the way the many-worker server scenarios do.
+  hw::Machine machine(1 + n_recv);
+  codoms::Codoms codoms(machine);
+  os::Kernel kernel(machine, codoms);
+  core::Dipc dipc(kernel);
+  os::Process& prod = dipc.CreateDipcProcess("producer");
+  std::vector<os::Process*> recv_procs;
+  for (uint32_t r = 0; r < n_recv; ++r) {
+    recv_procs.push_back(&dipc.CreateDipcProcess("worker"));
+  }
+  chan::FanOutConfig cc{.slots = std::max<uint32_t>(8, static_cast<uint32_t>(2 * batch)),
+                        .buf_bytes = std::max<uint64_t>(config.payload_bytes, 64)};
+  auto ch = chan::FanOutChannel::Create(dipc, prod, recv_procs, cc);
+  DIPC_CHECK(ch.ok());
+  std::shared_ptr<chan::FanOutChannel> fan = ch.value();
+  const int warmup = static_cast<int>(cc.slots) + batch;
+  const int total = config.messages + warmup;
+  sim::Time t0, t_end;
+  int measured_from = -1;
+  // Receivers: drain batches until the orderly close; the last release
+  // timestamp across all receivers closes the measurement window.
+  for (uint32_t r = 0; r < n_recv; ++r) {
+    kernel.Spawn(
+        *recv_procs[r], "worker",
+        [&, fan, r](os::Env env) -> sim::Task<void> {
+          os::Kernel& k = *env.kernel;
+          while (true) {
+            auto msgs = co_await fan->RecvBatch(env, r, static_cast<uint32_t>(batch));
+            if (!msgs.ok()) {
+              co_return;  // kBrokenChannel after the drain
+            }
+            for (const chan::Msg& m : msgs.value()) {
+              fan->BindRecvCap(*env.self, r, m);
+              (void)co_await k.TouchUser(env, m.va, m.len, hw::AccessType::kRead);
+            }
+            DIPC_CHECK((co_await fan->ReleaseBatch(env, r, msgs.value())).ok());
+            t_end = env.kernel->now();
+          }
+        },
+        /*pin_cpu=*/static_cast<int>(1 + r));
+  }
+  kernel.Spawn(
+      prod, "producer",
+      [&, fan](os::Env env) -> sim::Task<void> {
+        os::Kernel& k = *env.kernel;
+        int sent = 0;
+        while (sent < total) {
+          if (sent >= warmup && measured_from < 0) {
+            measured_from = sent;
+            t0 = env.kernel->now();
+          }
+          uint32_t want = static_cast<uint32_t>(std::min(batch, total - sent));
+          auto bufs = co_await fan->AcquireBufBatch(env, want);
+          DIPC_CHECK(bufs.ok());
+          std::vector<chan::SendItem> items;
+          items.reserve(bufs.value().size());
+          for (const chan::SendBuf& b : bufs.value()) {
+            fan->BindSendCap(*env.self, b);
+            (void)co_await k.TouchUser(env, b.va, config.payload_bytes, hw::AccessType::kWrite);
+            items.push_back(chan::SendItem{b, config.payload_bytes});
+          }
+          base::Status sent_s = base::ErrorCode::kFault;
+          if (config.shard) {
+            uint32_t shard = fan->NextShard();
+            DIPC_CHECK(shard < fan->receiver_count());
+            sent_s = co_await fan->SendToBatch(env, items, shard);
+          } else {
+            sent_s = co_await fan->SendBatch(env, items);
+          }
+          DIPC_CHECK(sent_s.ok());
+          sent += static_cast<int>(items.size());
+        }
+        fan->Close();
+      },
+      /*pin_cpu=*/0);
+  kernel.Run();
   DIPC_CHECK(measured_from >= 0 && measured_from < total);
   return (t_end - t0).nanos() / (total - measured_from);
 }

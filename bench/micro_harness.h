@@ -69,6 +69,22 @@ struct ChanStreamConfig {
 };
 double MeasureChannelStream(const ChanStreamConfig& config);
 
+// Fan-out streaming (src/chan/fanout.h): one producer publishes `messages`
+// payloads to `receivers` receivers through a FanOutChannel — per-receiver
+// epoch-cached read grants, credit-based flow control — either broadcast
+// (every receiver gets every message) or round-robin sharded (each message
+// to one receiver, the OLTP request-distribution shape). Receivers run on
+// their own CPUs. Returns the steady-state wall time in ns per *published*
+// message, i.e. what one producer-side message admission costs end to end.
+struct FanOutStreamConfig {
+  uint64_t payload_bytes = 64;
+  uint32_t receivers = 4;
+  int batch = 1;
+  int messages = 1024;
+  bool shard = false;
+};
+double MeasureFanOutStream(const FanOutStreamConfig& config);
+
 // --json flag support: benches record (series, x, value) rows and, when the
 // flag was passed, write them to BENCH_<name>.json on destruction — the
 // machine-readable perf trajectory consumed by CI. The constructor strips

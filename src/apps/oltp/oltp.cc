@@ -6,11 +6,13 @@
 
 #include "apps/oltp/disk.h"
 #include "chan/channel.h"
+#include "chan/fanout.h"
 #include "codoms/codoms.h"
 #include "dipc/dipc.h"
 #include "dipc/proxy.h"
 #include "hw/machine.h"
 #include "os/kernel.h"
+#include "os/semaphore.h"
 #include "os/unix_socket.h"
 #include "sim/random.h"
 
@@ -62,6 +64,11 @@ struct Ctx {
   uint64_t ops = 0;
   double latency_sum_ms = 0;
   uint64_t cross_domain_calls = 0;
+
+  // kChan completion matching: in-flight operation id -> the web worker's
+  // wakeup. Dispatchers post it when the response crosses back.
+  uint64_t next_opid = 0;
+  std::unordered_map<uint64_t, std::shared_ptr<os::Semaphore>> completions;
 
   std::unordered_map<uint64_t, sim::Rng> rngs;
   sim::Rng& RngFor(os::Thread& t) {
@@ -151,21 +158,16 @@ sim::Task<base::Status> SockCall(os::Env env, os::UnixStreamEnd& sock, hw::VirtA
 
 // ---- Channel-mode plumbing ----
 
-// A per-worker connection between two tiers: a request channel and a
-// response channel (channels are unidirectional).
-struct ChanConn {
-  std::shared_ptr<chan::Channel> req;
-  std::shared_ptr<chan::Channel> resp;
-};
-
-// Fixed-size request/response over a channel pair. The request is produced
-// directly into the owned buffer and consumed in place on the other side —
-// zero copies and zero (de)marshalling glue, unlike SockCall: the protocol
-// overhead left is purely the channel fast path plus the thread switches.
-sim::Task<base::Status> ChanCall(os::Env env, const ChanConn& conn, uint64_t req_bytes,
-                                 uint64_t resp_bytes) {
+// Fixed-size request/response over a duplex channel. The request is
+// produced directly into the owned buffer and consumed in place on the
+// other side — zero copies and zero (de)marshalling glue, unlike SockCall:
+// the protocol overhead left is purely the channel fast path plus the
+// thread switches.
+sim::Task<base::Status> DuplexCall(os::Env env, chan::DuplexEndpoint& ep, uint64_t req_bytes,
+                                   uint64_t resp_bytes) {
+  (void)resp_bytes;  // the reply length rides in its descriptor
   os::Kernel& k = *env.kernel;
-  auto buf = co_await conn.req->AcquireBuf(env);
+  auto buf = co_await ep.AcquireBuf(env);
   if (!buf.ok()) {
     co_return buf.code();
   }
@@ -173,42 +175,44 @@ sim::Task<base::Status> ChanCall(os::Env env, const ChanConn& conn, uint64_t req
   if (!produced.ok()) {
     co_return produced;
   }
-  auto sent = co_await conn.req->Send(env, buf.value(), req_bytes);
+  auto sent = co_await ep.Send(env, buf.value(), req_bytes);
   if (!sent.ok()) {
     co_return sent;
   }
-  auto reply = co_await conn.resp->Recv(env);
+  auto reply = co_await ep.Recv(env);
   if (!reply.ok()) {
     co_return reply.code();
   }
   auto consumed =
       co_await k.TouchUser(env, reply.value().va, reply.value().len, hw::AccessType::kRead);
   (void)consumed;  // a dead peer surfaces through Release below
-  co_return co_await conn.resp->Release(env, reply.value());
+  co_return co_await ep.Release(env, reply.value());
 }
 
-// Channel-mode service loop: receive requests, run `handler`, respond —
-// the zero-copy analogue of ServiceLoop (no glue charges: nothing is
-// marshalled, demultiplexing is the descriptor pop itself).
-sim::Task<void> ChanServiceLoop(os::Env env, Ctx& ctx, ChanConn conn, uint64_t resp_bytes,
-                                std::function<sim::Task<uint64_t>(os::Env)> handler) {
+// Duplex service loop: receive requests on the inbound ring, run `handler`,
+// respond on the outbound one — the zero-copy analogue of ServiceLoop (no
+// glue charges: nothing is marshalled, demultiplexing is the descriptor pop
+// itself).
+sim::Task<void> DuplexServiceLoop(os::Env env, Ctx& ctx, std::shared_ptr<chan::DuplexEndpoint> ep,
+                                  uint64_t resp_bytes,
+                                  std::function<sim::Task<uint64_t>(os::Env)> handler) {
   os::Kernel& k = *env.kernel;
   while (!ctx.stopped) {
-    auto msg = co_await conn.req->Recv(env);
+    auto msg = co_await ep->Recv(env);
     if (!msg.ok()) {
       co_return;
     }
     (void)co_await k.TouchUser(env, msg.value().va, msg.value().len, hw::AccessType::kRead);
     (void)co_await handler(env);
-    if (!(co_await conn.req->Release(env, msg.value())).ok()) {
+    if (!(co_await ep->Release(env, msg.value())).ok()) {
       co_return;
     }
-    auto buf = co_await conn.resp->AcquireBuf(env);
+    auto buf = co_await ep->AcquireBuf(env);
     if (!buf.ok()) {
       co_return;
     }
     (void)co_await k.TouchUser(env, buf.value().va, resp_bytes, hw::AccessType::kWrite);
-    if (!(co_await conn.resp->Send(env, buf.value(), resp_bytes)).ok()) {
+    if (!(co_await ep->Send(env, buf.value(), resp_bytes)).ok()) {
       co_return;
     }
   }
@@ -360,67 +364,180 @@ OltpResult RunOltp(const OltpConfig& config) {
     }
 
     case OltpMode::kChan: {
-      // Same process and service-thread structure as kLinuxIpc, but every
-      // hop is a zero-copy capability channel: requests and responses move
-      // by ownership grant, with no socket copies and no marshalling glue.
-      // What remains of the Linux overhead is the false concurrency itself
-      // (thread switches + wakeup latency), which isolates the copy+glue
-      // share when compared against the kLinuxIpc line.
+      // Zero-copy channels with the fan-out topology: the web tier shards
+      // requests across `chan_workers` PHP worker *domains* through ONE
+      // fan-out channel (per-receiver read grants, credit-based
+      // backpressure), each PHP worker drives its own DB peer thread over a
+      // duplex channel, and completions ride per-worker channels back to
+      // web-side dispatchers that match them to the blocked web worker by
+      // operation id. Versus kLinuxIpc this removes both the copies+glue
+      // AND most of the false concurrency: the worker tiers run
+      // chan_workers service threads total instead of one per web worker.
+      const int W = std::max(1, config.chan_workers);
       os::Process& web = dipc.CreateDipcProcess("apache");
-      os::Process& php = dipc.CreateDipcProcess("php-fcgi");
       os::Process& db = dipc.CreateDipcProcess("mariadb");
+      std::vector<os::Process*> php_procs;
+      for (int r = 0; r < W; ++r) {
+        php_procs.push_back(&dipc.CreateDipcProcess("php-worker"));
+      }
       codoms::AplTable& apl = codoms.apl_table();
-      // One domain-tag trio per tier direction, shared by all workers'
-      // channels, so the per-CPU APL cache (32 entries) stays warm at high
-      // thread counts. The trust relationship per direction is identical
-      // across workers, so sharing loses no isolation.
+      // Shared domain-tag trios per tier direction (identical trust
+      // relationship across workers), so the per-CPU APL cache stays warm.
       struct Trio {
         hw::DomainTag ctrl, data, rt;
       };
       auto make_trio = [&apl] {
         return Trio{apl.AllocateTag(), apl.AllocateTag(), apl.AllocateTag()};
       };
-      const Trio web_php_t = make_trio(), php_web_t = make_trio(), php_db_t = make_trio(),
-                 db_php_t = make_trio();
-      auto make_chan = [&dipc](os::Process& s, os::Process& r, uint64_t bytes, const Trio& t) {
-        auto ch = chan::Channel::Create(dipc, s, r,
-                                        {.slots = 4,
-                                         .buf_bytes = bytes,
-                                         .ctrl_tag = t.ctrl,
-                                         .data_tag = t.data,
-                                         .rt_tag = t.rt});
-        DIPC_CHECK(ch.ok());
-        return ch.value();
-      };
-      for (int i = 0; i < config.threads; ++i) {
-        ChanConn web_php{make_chan(web, php, kPhpReqBytes, web_php_t),
-                         make_chan(php, web, kPhpRespBytes, php_web_t)};
-        ChanConn php_db{make_chan(php, db, kDbReqBytes, php_db_t),
-                        make_chan(db, php, kDbRespBytes, db_php_t)};
-        kernel.Spawn(db, "db-svc", [&ctx, php_db](os::Env env) -> sim::Task<void> {
-          co_await ChanServiceLoop(env, ctx, php_db, kDbRespBytes,
-                                   [&ctx](os::Env e) -> sim::Task<uint64_t> {
-                                     co_return co_await DbInteraction(e, ctx, 0);
-                                   });
+      const Trio php_web_t = make_trio(), php_db_t = make_trio();
+
+      // Web -> PHP tier: one fan-out channel, sharded round-robin. Credits
+      // size to the closed-loop population so admission never throttles
+      // below the worker tier's own capacity.
+      chan::FanOutConfig fan_cfg{
+          .slots = std::max<uint32_t>(8, static_cast<uint32_t>(config.threads)),
+          .buf_bytes = kPhpReqBytes};
+      auto fan_r = chan::FanOutChannel::Create(dipc, web, php_procs, fan_cfg);
+      DIPC_CHECK(fan_r.ok());
+      std::shared_ptr<chan::FanOutChannel> fan = fan_r.value();
+
+      for (int r = 0; r < W; ++r) {
+        os::Process& php = *php_procs[r];
+        // Completion path: php worker -> web dispatcher.
+        auto resp_r = chan::Channel::Create(dipc, php, web,
+                                            {.slots = 8,
+                                             .buf_bytes = kPhpRespBytes,
+                                             .ctrl_tag = php_web_t.ctrl,
+                                             .data_tag = php_web_t.data,
+                                             .rt_tag = php_web_t.rt});
+        DIPC_CHECK(resp_r.ok());
+        std::shared_ptr<chan::Channel> resp = resp_r.value();
+        // PHP worker <-> its DB peer: a duplex channel (requests forward,
+        // replies on the paired reverse ring).
+        auto dx = chan::DuplexChannel::Create(dipc, php, db,
+                                              {.slots = 4,
+                                               .buf_bytes = kDbReqBytes,
+                                               .ctrl_tag = php_db_t.ctrl,
+                                               .data_tag = php_db_t.data,
+                                               .rt_tag = php_db_t.rt},
+                                              chan::ChannelConfig{.slots = 4,
+                                                                  .buf_bytes = kDbRespBytes});
+        DIPC_CHECK(dx.ok());
+        std::shared_ptr<chan::DuplexEndpoint> php_db_end = dx.value()->a_end();
+        std::shared_ptr<chan::DuplexEndpoint> db_end = dx.value()->b_end();
+
+        kernel.Spawn(db, "db-svc", [&ctx, db_end](os::Env env) -> sim::Task<void> {
+          co_await DuplexServiceLoop(env, ctx, db_end, kDbRespBytes,
+                                     [&ctx](os::Env e) -> sim::Task<uint64_t> {
+                                       co_return co_await DbInteraction(e, ctx, 0);
+                                     });
         });
-        kernel.Spawn(php, "php-svc",
-                     [&ctx, web_php, php_db](os::Env env) -> sim::Task<void> {
-                       Edge db_edge = [&ctx, php_db](os::Env e,
-                                                     uint64_t v) -> sim::Task<uint64_t> {
-                         auto s = co_await ChanCall(e, php_db, kDbReqBytes, kDbRespBytes);
-                         (void)s;
-                         co_return v + 1;
-                       };
-                       co_await ChanServiceLoop(
-                           env, ctx, web_php, kPhpRespBytes,
-                           [&ctx, &db_edge](os::Env e) -> sim::Task<uint64_t> {
-                             co_return co_await PhpRequest(e, ctx, db_edge, 0);
-                           });
-                     });
-        kernel.Spawn(web, "worker", [&ctx, web_php](os::Env env) -> sim::Task<void> {
-          Edge php_edge = [&ctx, web_php](os::Env e, uint64_t v) -> sim::Task<uint64_t> {
-            auto s = co_await ChanCall(e, web_php, kPhpReqBytes, kPhpRespBytes);
-            (void)s;
+        // PHP worker: drain its shard of the fan-out, interpret, respond.
+        kernel.Spawn(
+            php, "php-worker",
+            [&ctx, fan, resp, php_db_end, r](os::Env env) -> sim::Task<void> {
+              os::Kernel& k = *env.kernel;
+              Edge db_edge = [&ctx, php_db_end](os::Env e, uint64_t v) -> sim::Task<uint64_t> {
+                auto s = co_await DuplexCall(e, *php_db_end, kDbReqBytes, kDbRespBytes);
+                (void)s;
+                co_return v + 1;
+              };
+              while (!ctx.stopped) {
+                auto msg = co_await fan->Recv(env, static_cast<uint32_t>(r));
+                if (!msg.ok()) {
+                  co_return;
+                }
+                uint64_t opid = 0;
+                DIPC_CHECK(k.UserRead(*env.self, msg.value().va,
+                                      std::as_writable_bytes(std::span(&opid, 1)))
+                               .ok());
+                (void)co_await k.TouchUser(env, msg.value().va, msg.value().len,
+                                           hw::AccessType::kRead);
+                (void)co_await PhpRequest(env, ctx, db_edge, 0);
+                if (!(co_await fan->Release(env, static_cast<uint32_t>(r), msg.value())).ok()) {
+                  co_return;
+                }
+                auto buf = co_await resp->AcquireBuf(env);
+                if (!buf.ok()) {
+                  co_return;
+                }
+                DIPC_CHECK(k.UserWrite(*env.self, buf.value().va,
+                                       std::as_bytes(std::span(&opid, 1)))
+                               .ok());
+                (void)co_await k.TouchUser(env, buf.value().va, kPhpRespBytes,
+                                           hw::AccessType::kWrite);
+                if (!(co_await resp->Send(env, buf.value(), kPhpRespBytes)).ok()) {
+                  co_return;
+                }
+              }
+            });
+        // Web-side completion dispatcher for this worker's responses.
+        kernel.Spawn(web, "compl-disp", [&ctx, resp](os::Env env) -> sim::Task<void> {
+          os::Kernel& k = *env.kernel;
+          while (true) {
+            auto msg = co_await resp->Recv(env);
+            if (!msg.ok()) {
+              co_return;
+            }
+            uint64_t opid = 0;
+            DIPC_CHECK(k.UserRead(*env.self, msg.value().va,
+                                  std::as_writable_bytes(std::span(&opid, 1)))
+                           .ok());
+            (void)co_await k.TouchUser(env, msg.value().va, msg.value().len,
+                                       hw::AccessType::kRead);
+            if (!(co_await resp->Release(env, msg.value())).ok()) {
+              co_return;
+            }
+            auto it = ctx.completions.find(opid);
+            if (it != ctx.completions.end()) {
+              co_await it->second->Post(env);
+            }
+          }
+        });
+      }
+      // Closed-loop web workers: produce into the fan-out, block on the
+      // per-op completion.
+      for (int i = 0; i < config.threads; ++i) {
+        kernel.Spawn(web, "worker", [&ctx, fan](os::Env env) -> sim::Task<void> {
+          Edge php_edge = [&ctx, fan](os::Env e, uint64_t v) -> sim::Task<uint64_t> {
+            os::Kernel& k = *e.kernel;
+            uint64_t opid = ++ctx.next_opid;
+            auto sem = std::make_shared<os::Semaphore>(0);
+            ctx.completions[opid] = sem;
+            auto buf = co_await fan->AcquireBuf(e);
+            if (!buf.ok()) {
+              ctx.completions.erase(opid);
+              co_return v;
+            }
+            DIPC_CHECK(
+                k.UserWrite(*e.self, buf.value().va, std::as_bytes(std::span(&opid, 1))).ok());
+            (void)co_await k.TouchUser(e, buf.value().va, kPhpReqBytes, hw::AccessType::kWrite);
+            // Shard round-robin; a shard that died under the send is retried
+            // on the next live worker (the buffer stays owned until a send
+            // succeeds). Only give up — returning the buffer to the pool —
+            // when no live worker remains.
+            bool sent = false;
+            while (fan->broken() == base::ErrorCode::kOk) {
+              uint32_t shard = fan->NextShard();
+              if (shard >= fan->receiver_count()) {
+                break;
+              }
+              auto s = co_await fan->SendTo(e, buf.value(), kPhpReqBytes, shard);
+              if (s.ok()) {
+                sent = true;
+                break;
+              }
+              if (s.code() != base::ErrorCode::kCalleeFailed) {
+                break;  // orderly close or a caller bug — resharding won't help
+              }
+            }
+            if (!sent) {
+              (void)co_await fan->AbandonBuf(e, buf.value());
+              ctx.completions.erase(opid);
+              co_return v;
+            }
+            co_await sem->Wait(e);
+            ctx.completions.erase(opid);
             co_return v;
           };
           co_await WebWorker(env, ctx, php_edge);

@@ -5,12 +5,16 @@
 //   kLinuxIpc — each tier a separate process; tiers talk over UNIX sockets
 //               (FastCGI-style web<->php, client/server protocol php<->db)
 //               with per-tier service-thread pools (§2.3's false concurrency).
-//   kChan     — same process/thread structure, but the tiers talk over
-//               zero-copy capability channels (src/chan/): requests and
-//               responses move by ownership grant instead of per-byte socket
-//               copies, and there is no marshalling glue (arguments live in
-//               the shared buffer). Isolates the copy+glue share of the
-//               Linux overhead from the thread-switch share.
+//   kChan     — the tiers talk over zero-copy capability channels
+//               (src/chan/): the web tier shards requests across
+//               `chan_workers` PHP worker domains through one fan-out
+//               channel (per-receiver grants + credit-based flow control),
+//               each PHP worker reaches its DB peer over a duplex channel,
+//               and completions ride per-worker channels back to web-side
+//               dispatchers. Requests and responses move by ownership grant
+//               instead of per-byte socket copies with no marshalling glue,
+//               and the worker tiers need chan_workers service threads
+//               instead of one per web worker (§2.3's false concurrency).
 //   kDipc     — tiers are dIPC processes; calls cross tiers in place through
 //               generated proxies, arguments by reference, no service threads.
 //   kIdeal    — all tiers in one process, plain function calls (the unsafe
@@ -61,6 +65,12 @@ struct OltpConfig {
   // Threads per component (the paper sweeps 4..512). dIPC/Ideal need no
   // service threads: this is the number of primary (web) threads.
   int threads = 64;
+  // kChan only: number of PHP/DB worker *domains* (processes) the web tier
+  // shards requests across through the fan-out channel. Each worker owns a
+  // duplex channel to its DB peer and a completion channel back to the web
+  // tier (contrast kLinuxIpc, which needs one service thread per web worker
+  // — §2.3's false concurrency).
+  int chan_workers = 4;
   sim::Duration warmup = sim::Duration::Millis(40);
   sim::Duration measure = sim::Duration::Millis(400);
   uint64_t seed = 42;

@@ -2,37 +2,18 @@
 
 #include <algorithm>
 
+#include "chan/desc.h"
 #include "chan/futex.h"
 
 namespace dipc::chan {
 
+using internal::ClearRegIfHolds;
+using internal::DescIndex;
+using internal::DescLen;
+using internal::kLenMask;
+using internal::kMaxSlots;
+using internal::PackDesc;
 using os::TimeCat;
-
-namespace {
-
-// Descriptors pack {buffer index, payload length} into one queue slot.
-constexpr uint64_t kLenBits = 48;
-constexpr uint64_t kLenMask = (uint64_t{1} << kLenBits) - 1;
-constexpr uint64_t kMaxSlots = uint64_t{1} << (64 - kLenBits);
-
-uint64_t PackDesc(uint32_t index, uint64_t len) {
-  DIPC_CHECK(len <= kLenMask);
-  DIPC_CHECK(index < kMaxSlots);
-  return (uint64_t{index} << kLenBits) | len;
-}
-
-// Clears `reg` only when it still holds `cap` (same mint), so a thread
-// interleaving several channels doesn't lose another channel's live
-// capability from its register file.
-void ClearRegIfHolds(os::Thread& t, uint32_t reg, const codoms::Capability& cap) {
-  const auto& held = t.cap_ctx().regs.reg(reg);
-  if (held.has_value() && held->type == codoms::CapType::kAsync &&
-      held->revocation_id == cap.revocation_id) {
-    t.cap_ctx().regs.Clear(reg);
-  }
-}
-
-}  // namespace
 
 Channel::Channel(core::Dipc& dipc, os::Process& sender, os::Process& receiver, ChannelConfig cfg)
     : kernel_(dipc.kernel()), sender_proc_(&sender), receiver_proc_(&receiver), cfg_(cfg) {}
@@ -337,8 +318,8 @@ sim::Task<base::Result<std::vector<Msg>>> Channel::RecvBatch(os::Env env, uint32
   out.reserve(descs.size());
   caps.reserve(descs.size());
   for (uint64_t desc : descs) {
-    auto index = static_cast<uint32_t>(desc >> kLenBits);
-    uint64_t len = desc & kLenMask;
+    uint32_t index = DescIndex(desc);
+    uint64_t len = DescLen(desc);
     sim::Duration load_cost;
     auto cap = k.codoms().CapLoad(env.self->process().page_table(), env.self->cap_ctx(),
                                   CapSlotVa(index), &load_cost);
@@ -452,6 +433,41 @@ uint64_t Channel::LiveGrantCount() const {
     }
   }
   return live;
+}
+
+base::Result<std::shared_ptr<DuplexChannel>> DuplexChannel::Create(
+    core::Dipc& dipc, os::Process& a, os::Process& b, ChannelConfig fwd,
+    std::optional<ChannelConfig> rev) {
+  // Both directions express the same trust relationship, so they share one
+  // domain-tag trio (keeps the per-CPU APL cache warm; see ChannelConfig).
+  // The trio is atomic: either the caller pins all three tags or none — a
+  // partial trio would silently give the two rings different data/rt tags
+  // and defeat the sharing the API promises.
+  const int pinned = (fwd.ctrl_tag != hw::kInvalidDomainTag ? 1 : 0) +
+                     (fwd.data_tag != hw::kInvalidDomainTag ? 1 : 0) +
+                     (fwd.rt_tag != hw::kInvalidDomainTag ? 1 : 0);
+  if (pinned != 0 && pinned != 3) {
+    return base::ErrorCode::kInvalidArgument;
+  }
+  if (pinned == 0) {
+    codoms::AplTable& apl = dipc.kernel().codoms().apl_table();
+    fwd.ctrl_tag = apl.AllocateTag();
+    fwd.data_tag = apl.AllocateTag();
+    fwd.rt_tag = apl.AllocateTag();
+  }
+  ChannelConfig rcfg = rev.value_or(fwd);
+  rcfg.ctrl_tag = fwd.ctrl_tag;
+  rcfg.data_tag = fwd.data_tag;
+  rcfg.rt_tag = fwd.rt_tag;
+  auto f = Channel::Create(dipc, a, b, fwd);
+  if (!f.ok()) {
+    return f.code();
+  }
+  auto r = Channel::Create(dipc, b, a, rcfg);
+  if (!r.ok()) {
+    return r.code();
+  }
+  return std::shared_ptr<DuplexChannel>(new DuplexChannel(f.value(), r.value()));
 }
 
 void Channel::OnProcessDeath(os::Process& proc) {

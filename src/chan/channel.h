@@ -271,6 +271,106 @@ class ReceiverEndpoint : public os::KernelObject {
   std::shared_ptr<Channel> ch_;
 };
 
+// ---- Duplex channels ----
+//
+// A DuplexChannel pairs a forward ring (a -> b, requests) with a reverse
+// ring (b -> a, completions) sharing one domain-tag trio, giving
+// request/response traffic a single object with two directional endpoints.
+// Each side *sends* on its outbound ring and *receives* on its inbound one;
+// the rings keep their independent slot pools, so a burst of requests can
+// be in flight while completions stream back (the driver "doorbell +
+// completion queue" shape of §7.3). Either peer's death breaks both rings
+// through their own Dipc death hooks.
+class DuplexEndpoint;
+
+class DuplexChannel {
+ public:
+  // Creates the paired rings between `a` (the initiator/client side) and
+  // `b` (the responder/server side). `fwd` configures a->b, `rev` b->a; by
+  // default the reverse ring mirrors the forward one. The two rings share
+  // one freshly allocated domain-tag trio unless `fwd` pins one.
+  static base::Result<std::shared_ptr<DuplexChannel>> Create(core::Dipc& dipc, os::Process& a,
+                                                             os::Process& b, ChannelConfig fwd = {},
+                                                             std::optional<ChannelConfig> rev =
+                                                                 std::nullopt);
+
+  Channel& forward() { return *fwd_; }
+  Channel& reverse() { return *rev_; }
+  std::shared_ptr<Channel> forward_shared() { return fwd_; }
+  std::shared_ptr<Channel> reverse_shared() { return rev_; }
+
+  // Endpoint views: the a-side sends requests and receives completions; the
+  // b-side is the mirror image.
+  std::shared_ptr<DuplexEndpoint> a_end();
+  std::shared_ptr<DuplexEndpoint> b_end();
+
+  // Orderly shutdown of both directions.
+  void Close() {
+    fwd_->Close();
+    rev_->Close();
+  }
+
+  base::ErrorCode broken() const {
+    return fwd_->broken() != base::ErrorCode::kOk ? fwd_->broken() : rev_->broken();
+  }
+
+ private:
+  DuplexChannel(std::shared_ptr<Channel> fwd, std::shared_ptr<Channel> rev)
+      : fwd_(std::move(fwd)), rev_(std::move(rev)) {}
+
+  std::shared_ptr<Channel> fwd_;
+  std::shared_ptr<Channel> rev_;
+};
+
+// One side of a duplex channel: batched send ops go out on `out`, batched
+// receive ops drain `in`. An fd-table object, so duplex ends delegate
+// between processes exactly like the unidirectional endpoints (§5.2.2).
+class DuplexEndpoint : public os::KernelObject {
+ public:
+  DuplexEndpoint(std::shared_ptr<Channel> out, std::shared_ptr<Channel> in)
+      : out_(std::move(out)), in_(std::move(in)) {}
+  std::string_view type_name() const override { return "chan[duplex]"; }
+  Channel& out() { return *out_; }
+  Channel& in() { return *in_; }
+
+  // Outbound (this side's requests or completions).
+  sim::Task<base::Result<SendBuf>> AcquireBuf(os::Env env) { return out_->AcquireBuf(env); }
+  sim::Task<base::Result<std::vector<SendBuf>>> AcquireBufBatch(os::Env env, uint32_t max_n) {
+    return out_->AcquireBufBatch(env, max_n);
+  }
+  sim::Task<base::Status> Send(os::Env env, const SendBuf& buf, uint64_t len) {
+    return out_->Send(env, buf, len);
+  }
+  sim::Task<base::Status> SendBatch(os::Env env, std::span<const SendItem> items) {
+    return out_->SendBatch(env, items);
+  }
+  void BindSendCap(os::Thread& t, const SendBuf& buf) const { out_->BindSendCap(t, buf); }
+
+  // Inbound (the peer's traffic).
+  sim::Task<base::Result<Msg>> Recv(os::Env env) { return in_->Recv(env); }
+  sim::Task<base::Result<std::vector<Msg>>> RecvBatch(os::Env env, uint32_t max_n) {
+    return in_->RecvBatch(env, max_n);
+  }
+  sim::Task<base::Status> Release(os::Env env, const Msg& msg) { return in_->Release(env, msg); }
+  sim::Task<base::Status> ReleaseBatch(os::Env env, std::span<const Msg> msgs) {
+    return in_->ReleaseBatch(env, msgs);
+  }
+  void BindRecvCap(os::Thread& t, const Msg& msg) const { in_->BindRecvCap(t, msg); }
+
+  void Close() { out_->Close(); }
+
+ private:
+  std::shared_ptr<Channel> out_;
+  std::shared_ptr<Channel> in_;
+};
+
+inline std::shared_ptr<DuplexEndpoint> DuplexChannel::a_end() {
+  return std::make_shared<DuplexEndpoint>(fwd_, rev_);
+}
+inline std::shared_ptr<DuplexEndpoint> DuplexChannel::b_end() {
+  return std::make_shared<DuplexEndpoint>(rev_, fwd_);
+}
+
 }  // namespace dipc::chan
 
 #endif  // DIPC_CHAN_CHANNEL_H_

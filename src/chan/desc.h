@@ -1,0 +1,43 @@
+// Internal helpers shared by the channel flavors (Channel, FanOutChannel):
+// the descriptor wire format and the capability-register hygiene rule.
+#ifndef DIPC_CHAN_DESC_H_
+#define DIPC_CHAN_DESC_H_
+
+#include <cstdint>
+
+#include "base/check.h"
+#include "codoms/capability.h"
+#include "os/kernel.h"
+
+namespace dipc::chan::internal {
+
+// Descriptors pack {buffer index, payload length} into one 8-byte queue
+// slot. This is the wire format both channel flavors publish through their
+// control queues — change it here or nowhere.
+inline constexpr uint64_t kLenBits = 48;
+inline constexpr uint64_t kLenMask = (uint64_t{1} << kLenBits) - 1;
+inline constexpr uint64_t kMaxSlots = uint64_t{1} << (64 - kLenBits);
+
+inline uint64_t PackDesc(uint32_t index, uint64_t len) {
+  DIPC_CHECK(len <= kLenMask);
+  DIPC_CHECK(index < kMaxSlots);
+  return (uint64_t{index} << kLenBits) | len;
+}
+
+inline uint32_t DescIndex(uint64_t desc) { return static_cast<uint32_t>(desc >> kLenBits); }
+inline uint64_t DescLen(uint64_t desc) { return desc & kLenMask; }
+
+// Clears `reg` only when it still holds `cap` (same counter), so a thread
+// interleaving several channels doesn't lose another channel's live
+// capability from its register file.
+inline void ClearRegIfHolds(os::Thread& t, uint32_t reg, const codoms::Capability& cap) {
+  const auto& held = t.cap_ctx().regs.reg(reg);
+  if (held.has_value() && held->type == codoms::CapType::kAsync &&
+      held->revocation_id == cap.revocation_id) {
+    t.cap_ctx().regs.Clear(reg);
+  }
+}
+
+}  // namespace dipc::chan::internal
+
+#endif  // DIPC_CHAN_DESC_H_

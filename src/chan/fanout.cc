@@ -1,0 +1,761 @@
+#include "chan/fanout.h"
+
+#include <algorithm>
+
+#include "chan/desc.h"
+#include "chan/futex.h"
+
+namespace dipc::chan {
+
+using internal::ClearRegIfHolds;
+using internal::DescIndex;
+using internal::DescLen;
+using internal::kLenMask;
+using internal::kMaxSlots;
+using internal::PackDesc;
+using os::TimeCat;
+
+namespace {
+
+// Owner keys for the RevocationTable partitioning; global monotonic so keys
+// never collide across channels (or across machines in one test binary).
+uint64_t NextOwnerKey() {
+  static uint64_t next = 1;  // 0 is RevocationTable::kNoOwner
+  return next++;
+}
+
+}  // namespace
+
+FanOutChannel::FanOutChannel(core::Dipc& dipc, os::Process& producer,
+                             std::span<os::Process* const> receivers, FanOutConfig cfg)
+    : kernel_(dipc.kernel()),
+      producer_proc_(&producer),
+      receiver_procs_(receivers.begin(), receivers.end()),
+      cfg_(cfg) {}
+
+base::Result<std::shared_ptr<FanOutChannel>> FanOutChannel::Create(
+    core::Dipc& dipc, os::Process& producer, std::span<os::Process* const> receivers,
+    FanOutConfig cfg) {
+  if (cfg.slots == 0 || cfg.slots > kMaxSlots || cfg.buf_bytes == 0 ||
+      cfg.buf_bytes > kLenMask || cfg.credits > cfg.slots || receivers.empty()) {
+    return base::ErrorCode::kInvalidArgument;
+  }
+  if (!producer.dipc_enabled()) {
+    return base::ErrorCode::kNotSupported;
+  }
+  for (os::Process* r : receivers) {
+    if (r == nullptr || !r->dipc_enabled()) {
+      return base::ErrorCode::kNotSupported;
+    }
+  }
+  os::Kernel& kernel = dipc.kernel();
+  auto ch = std::shared_ptr<FanOutChannel>(new FanOutChannel(dipc, producer, receivers, cfg));
+  codoms::AplTable& apl = kernel.codoms().apl_table();
+  ch->ctrl_tag_ = cfg.ctrl_tag != hw::kInvalidDomainTag ? cfg.ctrl_tag : apl.AllocateTag();
+  ch->data_tag_ = cfg.data_tag != hw::kInvalidDomainTag ? cfg.data_tag : apl.AllocateTag();
+  ch->rt_tag_ = cfg.rt_tag != hw::kInvalidDomainTag ? cfg.rt_tag : apl.AllocateTag();
+  // One-time APL setup, as in Channel::Create: every endpoint may use the
+  // control segment and call into the runtime; only the runtime domain
+  // reaches the data domain.
+  apl.Grant(producer.default_domain(), ch->ctrl_tag_, codoms::Perm::kWrite);
+  apl.Grant(producer.default_domain(), ch->rt_tag_, codoms::Perm::kCall);
+  for (os::Process* r : ch->receiver_procs_) {
+    apl.Grant(r->default_domain(), ch->ctrl_tag_, codoms::Perm::kWrite);
+    apl.Grant(r->default_domain(), ch->rt_tag_, codoms::Perm::kCall);
+  }
+  apl.Grant(ch->rt_tag_, ch->data_tag_, codoms::Perm::kWrite);
+
+  const uint32_t n_recv = ch->receiver_count();
+  ch->buf_stride_ = hw::PageRoundUp(cfg.buf_bytes);
+  auto data = MapSegment(kernel, producer, ch->buf_stride_ * cfg.slots, ch->data_tag_);
+  if (!data.ok()) {
+    return data.code();
+  }
+  ch->data_seg_ = data.value();
+  // One capability-storage slot per (receiver, buffer): each receiver loads
+  // its *own* stored read capability, so revocations are per receiver.
+  auto caps = MapSegment(kernel, producer,
+                         uint64_t{n_recv} * cfg.slots * codoms::kCapMemBytes, ch->ctrl_tag_,
+                         /*cap_storage=*/true);
+  if (!caps.ok()) {
+    return caps.code();
+  }
+  ch->cap_seg_ = caps.value();
+  ch->free_ = std::make_unique<MpmcQueue>(kernel, producer, cfg.slots, ch->ctrl_tag_);
+  for (uint32_t i = 0; i < cfg.slots; ++i) {
+    ch->free_->Prime(i);
+  }
+  ch->credit_line_ = cfg.credits != 0 ? cfg.credits : cfg.slots;
+  ch->desc_.reserve(n_recv);
+  for (uint32_t r = 0; r < n_recv; ++r) {
+    // The credit line bounds a receiver's outstanding deliveries, so its
+    // FIFO never needs more room than that.
+    ch->desc_.push_back(
+        std::make_unique<MpmcQueue>(kernel, producer, ch->credit_line_, ch->ctrl_tag_));
+  }
+  ch->sender_caps_.resize(cfg.slots);
+  ch->wcap_tmpl_.resize(cfg.slots);
+  ch->rcaps_.assign(n_recv, std::vector<std::optional<codoms::Capability>>(cfg.slots));
+  ch->rcap_tmpl_.assign(n_recv, std::vector<std::optional<codoms::Capability>>(cfg.slots));
+  ch->pending_.assign(cfg.slots, 0);
+  ch->credits_.assign(n_recv, ch->credit_line_);  // full credit line per receiver
+  ch->alive_.assign(n_recv, true);
+  ch->dropped_.assign(n_recv, 0);
+  ch->owner_key_.resize(n_recv);
+  for (uint32_t r = 0; r < n_recv; ++r) {
+    ch->owner_key_[r] = NextOwnerKey();
+  }
+
+  std::weak_ptr<FanOutChannel> weak = ch;
+  dipc.AddDeathHook([weak](os::Process& dead) {
+    auto live = weak.lock();
+    if (live == nullptr) {
+      return false;
+    }
+    live->OnProcessDeath(dead);
+    return true;
+  });
+  return ch;
+}
+
+uint32_t FanOutChannel::live_receiver_count() const {
+  uint32_t live = 0;
+  for (bool a : alive_) {
+    live += a ? 1 : 0;
+  }
+  return live;
+}
+
+bool FanOutChannel::GateClosed(uint32_t target, uint64_t need) const {
+  if (target < receiver_count()) {
+    return alive_[target] && credits_[target] < need;
+  }
+  uint32_t live = 0;
+  uint32_t satisfied = 0;
+  uint32_t nonzero = 0;
+  for (uint32_t r = 0; r < receiver_count(); ++r) {
+    if (!alive_[r]) {
+      continue;
+    }
+    ++live;
+    satisfied += credits_[r] >= need ? 1 : 0;
+    nonzero += credits_[r] > 0 ? 1 : 0;
+  }
+  if (live == 0) {
+    return false;  // nothing gates; the send itself fails with kCalleeFailed
+  }
+  // kBlock waits for the slowest live receiver; kDropSlowest only needs one
+  // receiver that can take the message (laggards are skipped).
+  return cfg_.lag_policy == LagPolicy::kBlock ? satisfied < live : nonzero == 0;
+}
+
+sim::Task<base::ErrorCode> FanOutChannel::AwaitCredit(os::Env env, uint32_t target,
+                                                      uint64_t need) {
+  while (true) {
+    if (broken_ != base::ErrorCode::kOk) {
+      co_return broken_;
+    }
+    if (closed_) {
+      co_return base::ErrorCode::kBrokenChannel;
+    }
+    if (live_receiver_count() == 0 || (target < receiver_count() && !alive_[target])) {
+      co_return base::ErrorCode::kCalleeFailed;
+    }
+    if (!GateClosed(target, need)) {
+      // No suspension between this check and the caller's (synchronous)
+      // delivery plan: the admitted credits cannot change under the caller.
+      // Liveness across several parked producer threads needs no chaining
+      // here — every ReleaseBatch issues one wake, so every gate-opening
+      // event re-checks one waiter.
+      co_return base::ErrorCode::kOk;
+    }
+    ++blocked_on_credit_;
+    ++credit_wait_count_;
+    co_await FutexBlock(env, credit_waiters_, [this, target, need] {
+      return GateClosed(target, need) && broken_ == base::ErrorCode::kOk && !closed_ &&
+             live_receiver_count() > 0 && (target >= receiver_count() || alive_[target]);
+    });
+    --credit_wait_count_;
+  }
+}
+
+base::Result<codoms::Capability> FanOutChannel::GrantCap(os::Env env, uint32_t index,
+                                                         uint32_t receiver, codoms::Perm rights,
+                                                         sim::Duration* cost) {
+  const bool write = rights == codoms::Perm::kWrite;
+  std::optional<codoms::Capability>& tmpl =
+      write ? wcap_tmpl_[index] : rcap_tmpl_[receiver][index];
+  codoms::ThreadCapContext& ctx = env.self->cap_ctx();
+  hw::DomainTag saved = ctx.current_domain;
+  ctx.current_domain = rt_tag_;
+  sim::Duration c;
+  base::Result<codoms::Capability> cap = base::ErrorCode::kFault;
+  if (tmpl.has_value()) {
+    cap = env.kernel->codoms().CapRebind(*tmpl, ctx, &c);
+  } else {
+    ++cold_mints_;
+    cap = env.kernel->codoms().CapFromApl(env.self->last_cpu(),
+                                          env.self->process().page_table(), ctx, buf_va(index),
+                                          buf_stride_, rights, codoms::CapType::kAsync, &c);
+    if (cap.ok() && !write) {
+      // Per-receiver grant bookkeeping: tag the counter with the receiver's
+      // owner key so a dead receiver's grants are revocable (and auditable)
+      // as one set.
+      env.kernel->codoms().revocations().SetOwner(cap.value().revocation_id,
+                                                  owner_key_[receiver]);
+    }
+  }
+  ctx.current_domain = saved;
+  *cost += c;
+  if (cap.ok()) {
+    tmpl = cap.value();
+  }
+  return cap;
+}
+
+sim::Task<base::Result<SendBuf>> FanOutChannel::AcquireBuf(os::Env env) {
+  auto batch = co_await AcquireBufBatch(env, 1);
+  if (!batch.ok()) {
+    co_return batch.code();
+  }
+  co_return batch.value()[0];
+}
+
+sim::Task<base::Result<std::vector<SendBuf>>> FanOutChannel::AcquireBufBatch(os::Env env,
+                                                                             uint32_t max_n) {
+  os::Kernel& k = *env.kernel;
+  if (max_n == 0) {
+    co_return base::ErrorCode::kInvalidArgument;
+  }
+  if (broken_ != base::ErrorCode::kOk) {
+    co_return broken_;
+  }
+  // Credit-based admission: don't even take a buffer while the (policy's
+  // notion of the) group is out of credit — this is where backpressure from
+  // the slowest live receiver reaches the producer.
+  base::ErrorCode gate = co_await AwaitCredit(env, receiver_count(), 1);
+  if (gate != base::ErrorCode::kOk) {
+    co_return gate;
+  }
+  std::vector<uint64_t> indices(std::min<uint32_t>(max_n, cfg_.slots));
+  auto popped = co_await free_->PopN(env, std::span(indices));
+  if (!popped.ok()) {
+    co_return broken_ != base::ErrorCode::kOk ? broken_ : popped.code();
+  }
+  indices.resize(popped.value());
+  sim::Duration cost = k.costs().function_call + k.costs().domain_switch * 2;
+  std::vector<codoms::Capability> caps;
+  caps.reserve(indices.size());
+  for (uint64_t idx : indices) {
+    auto cap =
+        GrantCap(env, static_cast<uint32_t>(idx), receiver_count(), codoms::Perm::kWrite, &cost);
+    if (!cap.ok()) {
+      for (const auto& granted : caps) {
+        DIPC_CHECK(k.codoms().CapRevoke(granted).ok());
+      }
+      (void)co_await free_->PushN(env, std::span(indices));
+      co_return cap.code();
+    }
+    caps.push_back(cap.value());
+  }
+  co_await k.Spend(*env.self, cost, TimeCat::kUser);
+  if (broken_ != base::ErrorCode::kOk) {
+    for (const auto& granted : caps) {
+      DIPC_CHECK(k.codoms().CapRevoke(granted).ok());
+    }
+    co_return broken_;
+  }
+  std::vector<SendBuf> out;
+  out.reserve(indices.size());
+  for (size_t j = 0; j < indices.size(); ++j) {
+    auto index = static_cast<uint32_t>(indices[j]);
+    sender_caps_[index] = caps[j];
+    out.push_back(SendBuf{buf_va(index), cfg_.buf_bytes, index});
+  }
+  env.self->cap_ctx().regs.Set(kSenderCapReg, caps.back());
+  co_return out;
+}
+
+void FanOutChannel::BindSendCap(os::Thread& t, const SendBuf& buf) const {
+  if (buf.index < cfg_.slots && sender_caps_[buf.index].has_value()) {
+    t.cap_ctx().regs.Set(kSenderCapReg, *sender_caps_[buf.index]);
+  }
+}
+
+void FanOutChannel::BindRecvCap(os::Thread& t, uint32_t receiver, const Msg& msg) const {
+  if (receiver < receiver_count() && msg.index < cfg_.slots &&
+      rcaps_[receiver][msg.index].has_value()) {
+    t.cap_ctx().regs.Set(kReceiverCapReg, *rcaps_[receiver][msg.index]);
+  }
+}
+
+sim::Task<base::Status> FanOutChannel::Send(os::Env env, const SendBuf& buf, uint64_t len) {
+  SendItem item{buf, len};
+  co_return co_await SendCommon(env, std::span(&item, 1), receiver_count());
+}
+
+sim::Task<base::Status> FanOutChannel::SendBatch(os::Env env, std::span<const SendItem> items) {
+  co_return co_await SendCommon(env, items, receiver_count());
+}
+
+sim::Task<base::Status> FanOutChannel::SendTo(os::Env env, const SendBuf& buf, uint64_t len,
+                                              uint32_t receiver) {
+  SendItem item{buf, len};
+  co_return co_await SendCommon(env, std::span(&item, 1), receiver);
+}
+
+sim::Task<base::Status> FanOutChannel::SendToBatch(os::Env env, std::span<const SendItem> items,
+                                                   uint32_t receiver) {
+  co_return co_await SendCommon(env, items, receiver);
+}
+
+sim::Task<base::Status> FanOutChannel::AbandonBuf(os::Env env, const SendBuf& buf) {
+  co_return co_await AbandonBufBatch(env, std::span(&buf, 1));
+}
+
+sim::Task<base::Status> FanOutChannel::AbandonBufBatch(os::Env env,
+                                                       std::span<const SendBuf> bufs) {
+  os::Kernel& k = *env.kernel;
+  const hw::CostModel& cm = k.costs();
+  if (bufs.empty()) {
+    co_return base::ErrorCode::kInvalidArgument;
+  }
+  for (size_t j = 0; j < bufs.size(); ++j) {
+    if (bufs[j].index >= cfg_.slots || !sender_caps_[bufs[j].index].has_value()) {
+      co_return broken_ != base::ErrorCode::kOk ? broken_
+                                                : base::ErrorCode::kInvalidArgument;
+    }
+    for (size_t i = 0; i < j; ++i) {
+      if (bufs[i].index == bufs[j].index) {
+        co_return base::ErrorCode::kInvalidArgument;
+      }
+    }
+  }
+  sim::Duration cost = cm.chan_fast_path;
+  std::vector<uint64_t> indices;
+  indices.reserve(bufs.size());
+  for (const SendBuf& b : bufs) {
+    ClearRegIfHolds(*env.self, kSenderCapReg, *sender_caps_[b.index]);
+    DIPC_CHECK(k.codoms().CapRevoke(*sender_caps_[b.index]).ok());
+    cost += cm.cap_revoke;
+    sender_caps_[b.index].reset();
+    indices.push_back(b.index);
+  }
+  co_await k.Spend(*env.self, cost, TimeCat::kUser);
+  if (broken_ != base::ErrorCode::kOk) {
+    co_return broken_;  // teardown already retired the pool
+  }
+  auto pushed = co_await free_->PushN(env, std::span(indices));
+  if (!pushed.ok()) {
+    // After an orderly Close the free list is retired; the revocations
+    // above are all that matters. Only dead-peer errors surface.
+    co_return broken_ != base::ErrorCode::kOk ? base::Status(broken_) : base::Status::Ok();
+  }
+  co_return base::Status::Ok();
+}
+
+uint32_t FanOutChannel::NextShard() {
+  for (uint32_t i = 0; i < receiver_count(); ++i) {
+    uint32_t r = (rr_next_ + i) % receiver_count();
+    if (alive_[r]) {
+      rr_next_ = (r + 1) % receiver_count();
+      return r;
+    }
+  }
+  return receiver_count();
+}
+
+sim::Task<base::Status> FanOutChannel::SendCommon(os::Env env, std::span<const SendItem> items,
+                                                  uint32_t target) {
+  os::Kernel& k = *env.kernel;
+  const hw::CostModel& cm = k.costs();
+  if (items.empty() || target > receiver_count()) {
+    co_return base::ErrorCode::kInvalidArgument;
+  }
+  if (items.size() > credit_line_ && (cfg_.lag_policy == LagPolicy::kBlock ||
+                                      target < receiver_count())) {
+    // A batch no credit line can ever admit would wait forever.
+    co_return base::ErrorCode::kInvalidArgument;
+  }
+  if (broken_ != base::ErrorCode::kOk) {
+    co_return broken_;
+  }
+  if (closed_) {
+    co_return base::ErrorCode::kBrokenChannel;
+  }
+  for (size_t j = 0; j < items.size(); ++j) {
+    const SendItem& it = items[j];
+    if (it.buf.index >= cfg_.slots || it.len == 0 || it.len > cfg_.buf_bytes ||
+        !sender_caps_[it.buf.index].has_value()) {
+      co_return base::ErrorCode::kInvalidArgument;
+    }
+    for (size_t i = 0; i < j; ++i) {
+      if (items[i].buf.index == it.buf.index) {
+        co_return base::ErrorCode::kInvalidArgument;
+      }
+    }
+  }
+  // Credit wait. A sharded message is never dropped, so SendTo always waits
+  // for the full batch's worth of its target's credit; broadcast waits per
+  // the lag policy (kBlock: everyone can take the whole batch, kDropSlowest:
+  // someone can take something).
+  base::ErrorCode gate = co_await AwaitCredit(env, target, items.size());
+  if (gate != base::ErrorCode::kOk) {
+    co_return gate;
+  }
+  // From here to the Spend the delivery plan is computed and recorded
+  // *synchronously* — no suspension point can change credits, liveness or
+  // ownership under us.
+  sim::Duration cost = cm.chan_fast_path + cm.function_call + cm.domain_switch * 2;
+  std::vector<std::vector<uint32_t>> dests(items.size());
+  std::vector<codoms::Capability> granted;  // undo list
+  granted.reserve(items.size());
+  for (size_t j = 0; j < items.size(); ++j) {
+    const uint32_t index = items[j].buf.index;
+    for (uint32_t r = 0; r < receiver_count(); ++r) {
+      if (!alive_[r] || (target < receiver_count() && r != target)) {
+        continue;
+      }
+      if (credits_[r] == 0) {
+        // Only reachable for broadcast under kDropSlowest (the gate blocked
+        // every other case): this receiver lags too far — skip it.
+        ++dropped_[r];
+        continue;
+      }
+      auto rcap = GrantCap(env, index, r, codoms::Perm::kRead, &cost);
+      base::Status stored = base::ErrorCode::kFault;
+      if (rcap.ok()) {
+        sim::Duration store_cost;
+        stored = k.codoms().CapStore(env.self->process().page_table(), env.self->cap_ctx(),
+                                     CapSlotVa(r, index), rcap.value(), &store_cost);
+        cost += store_cost;
+      }
+      if (!rcap.ok() || !stored.ok()) {
+        // Undo everything this call granted; the sender still owns every
+        // buffer and every credit is back where it was.
+        if (rcap.ok()) {
+          DIPC_CHECK(k.codoms().CapRevoke(rcap.value()).ok());
+        }
+        for (const auto& g : granted) {
+          DIPC_CHECK(k.codoms().CapRevoke(g).ok());
+        }
+        for (size_t jj = 0; jj <= j; ++jj) {
+          for (uint32_t rr : dests[jj]) {
+            rcaps_[rr][items[jj].buf.index].reset();
+            ++credits_[rr];
+          }
+          pending_[items[jj].buf.index] = 0;
+        }
+        co_return rcap.ok() ? stored : base::Status(rcap.code());
+      }
+      granted.push_back(rcap.value());
+      rcaps_[r][index] = rcap.value();
+      --credits_[r];
+      dests[j].push_back(r);
+    }
+    pending_[index] = static_cast<uint32_t>(dests[j].size());
+  }
+  // Move semantics: the producer's ownership of the whole batch ends before
+  // any receiver can observe a descriptor.
+  std::vector<uint64_t> orphaned;  // slots every receiver dropped
+  for (size_t j = 0; j < items.size(); ++j) {
+    const uint32_t index = items[j].buf.index;
+    ClearRegIfHolds(*env.self, kSenderCapReg, *sender_caps_[index]);
+    DIPC_CHECK(k.codoms().CapRevoke(*sender_caps_[index]).ok());
+    cost += cm.cap_revoke;
+    sender_caps_[index].reset();
+    if (dests[j].empty()) {
+      orphaned.push_back(index);
+    }
+  }
+  co_await k.Spend(*env.self, cost, TimeCat::kUser);
+  if (broken_ != base::ErrorCode::kOk) {
+    // Producer died during the Spend: teardown already swept every recorded
+    // grant (they were recorded before the suspension).
+    co_return broken_;
+  }
+  if (!orphaned.empty()) {
+    (void)co_await free_->PushN(env, std::span(orphaned));
+    if (broken_ != base::ErrorCode::kOk) {
+      co_return broken_;
+    }
+  }
+  // Publish: one batched descriptor push (and at most one futex wake) per
+  // receiver touched. Credits guarantee room, so these never block.
+  uint64_t delivered = 0;
+  for (uint32_t r = 0; r < receiver_count(); ++r) {
+    std::vector<uint64_t> descs;
+    for (size_t j = 0; j < items.size(); ++j) {
+      const uint32_t index = items[j].buf.index;
+      // Re-filter: a receiver that died during the Spend above was swept
+      // (its rcap entry is gone and its pending share was dropped).
+      if (std::find(dests[j].begin(), dests[j].end(), r) != dests[j].end() && alive_[r] &&
+          rcaps_[r][index].has_value()) {
+        descs.push_back(PackDesc(index, items[j].len));
+      }
+    }
+    if (descs.empty()) {
+      continue;
+    }
+    auto pushed = co_await desc_[r]->PushN(env, std::span(descs));
+    if (!pushed.ok()) {
+      // The receiver died under the push; its grants were swept by the hook.
+      continue;
+    }
+    delivered += descs.size();
+  }
+  sends_ += items.size();
+  deliveries_ += delivered;
+  if (delivered == 0) {
+    // Everyone died (or every laggard dropped a fully-orphaned batch) before
+    // publication: surface it — for sharded sends the caller reshards.
+    co_return broken_ != base::ErrorCode::kOk
+                  ? broken_
+                  : (live_receiver_count() == 0 || target < receiver_count()
+                         ? base::ErrorCode::kCalleeFailed
+                         : base::ErrorCode::kOk);
+  }
+  co_return base::Status::Ok();
+}
+
+sim::Task<base::Result<Msg>> FanOutChannel::Recv(os::Env env, uint32_t receiver) {
+  auto batch = co_await RecvBatch(env, receiver, 1);
+  if (!batch.ok()) {
+    co_return batch.code();
+  }
+  co_return batch.value()[0];
+}
+
+sim::Task<base::Result<std::vector<Msg>>> FanOutChannel::RecvBatch(os::Env env,
+                                                                   uint32_t receiver,
+                                                                   uint32_t max_n) {
+  os::Kernel& k = *env.kernel;
+  if (max_n == 0 || receiver >= receiver_count()) {
+    co_return base::ErrorCode::kInvalidArgument;
+  }
+  if (broken_ != base::ErrorCode::kOk) {
+    co_return broken_;
+  }
+  std::vector<uint64_t> descs(std::min<uint32_t>(max_n, cfg_.slots));
+  auto popped = co_await desc_[receiver]->PopN(env, std::span(descs));
+  if (!popped.ok()) {
+    co_return broken_ != base::ErrorCode::kOk ? broken_ : popped.code();
+  }
+  descs.resize(popped.value());
+  sim::Duration cost;
+  std::vector<Msg> out;
+  std::vector<codoms::Capability> caps;
+  std::vector<uint64_t> corrupted;
+  out.reserve(descs.size());
+  caps.reserve(descs.size());
+  for (uint64_t desc : descs) {
+    uint32_t index = DescIndex(desc);
+    uint64_t len = DescLen(desc);
+    sim::Duration load_cost;
+    auto cap = k.codoms().CapLoad(env.self->process().page_table(), env.self->cap_ctx(),
+                                  CapSlotVa(receiver, index), &load_cost);
+    cost += load_cost;
+    if (!cap.ok()) {
+      // A plain write destroyed this receiver's stored capability; recycle
+      // the delivery and keep the healthy messages (cf. Channel::RecvBatch).
+      corrupted.push_back(index);
+      continue;
+    }
+    caps.push_back(cap.value());
+    out.push_back(Msg{buf_va(index), len, index});
+  }
+  co_await k.Spend(*env.self, cost, TimeCat::kUser);
+  if (broken_ != base::ErrorCode::kOk) {
+    co_return broken_;
+  }
+  if (!corrupted.empty()) {
+    std::vector<uint64_t> freed;
+    for (uint64_t index : corrupted) {
+      DropDelivery(receiver, static_cast<uint32_t>(index), &freed);
+      ++credits_[receiver];  // the delivery is undone; its credit returns
+    }
+    if (!freed.empty()) {
+      (void)co_await free_->PushN(env, std::span(freed));
+      if (broken_ != base::ErrorCode::kOk) {
+        co_return broken_;
+      }
+    }
+    if (credit_wait_count_ > 0) {
+      co_await FutexWakeCommitted(env, credit_waiters_);
+    }
+  }
+  if (out.empty()) {
+    co_return base::ErrorCode::kFault;
+  }
+  env.self->cap_ctx().regs.Set(kReceiverCapReg, caps.front());
+  recvs_ += out.size();
+  co_return out;
+}
+
+sim::Task<base::Status> FanOutChannel::Release(os::Env env, uint32_t receiver, const Msg& msg) {
+  co_return co_await ReleaseBatch(env, receiver, std::span(&msg, 1));
+}
+
+sim::Task<base::Status> FanOutChannel::ReleaseBatch(os::Env env, uint32_t receiver,
+                                                    std::span<const Msg> msgs) {
+  os::Kernel& k = *env.kernel;
+  const hw::CostModel& cm = k.costs();
+  if (msgs.empty() || receiver >= receiver_count()) {
+    co_return base::ErrorCode::kInvalidArgument;
+  }
+  for (size_t j = 0; j < msgs.size(); ++j) {
+    if (msgs[j].index >= cfg_.slots) {
+      co_return base::ErrorCode::kInvalidArgument;
+    }
+    for (size_t i = 0; i < j; ++i) {
+      if (msgs[i].index == msgs[j].index) {
+        co_return base::ErrorCode::kInvalidArgument;
+      }
+    }
+  }
+  if (broken_ != base::ErrorCode::kOk) {
+    co_return broken_;
+  }
+  if (!alive_[receiver]) {
+    // This receiver's own process died; teardown already revoked its grants
+    // and recycled its slots — surface the crash, not a caller bug.
+    co_return base::ErrorCode::kCalleeFailed;
+  }
+  for (const Msg& msg : msgs) {
+    if (!rcaps_[receiver][msg.index].has_value()) {
+      co_return base::ErrorCode::kInvalidArgument;
+    }
+  }
+  sim::Duration cost = cm.chan_fast_path;
+  std::vector<uint64_t> freed;
+  for (const Msg& msg : msgs) {
+    ClearRegIfHolds(*env.self, kReceiverCapReg, *rcaps_[receiver][msg.index]);
+    DropDelivery(receiver, msg.index, &freed);
+    cost += cm.cap_revoke;
+    ++credits_[receiver];  // the credit returns with the release
+  }
+  co_await k.Spend(*env.self, cost, TimeCat::kUser);
+  if (broken_ != base::ErrorCode::kOk) {
+    co_return broken_;
+  }
+  if (!freed.empty()) {
+    auto pushed = co_await free_->PushN(env, std::span(freed));
+    if (!pushed.ok() && broken_ != base::ErrorCode::kOk) {
+      co_return broken_;
+    }
+  }
+  // Returned credit may unblock the producer (wake-suppressed).
+  if (credit_wait_count_ > 0) {
+    co_await FutexWakeCommitted(env, credit_waiters_);
+  }
+  co_return base::Status::Ok();
+}
+
+void FanOutChannel::DropDelivery(uint32_t receiver, uint32_t index,
+                                 std::vector<uint64_t>* freed) {
+  std::optional<codoms::Capability>& cap = rcaps_[receiver][index];
+  if (!cap.has_value()) {
+    return;
+  }
+  DIPC_CHECK(kernel_.codoms().CapRevoke(*cap).ok());
+  cap.reset();
+  DIPC_CHECK(pending_[index] > 0);
+  if (--pending_[index] == 0) {
+    freed->push_back(index);
+  }
+}
+
+void FanOutChannel::Close() {
+  closed_ = true;
+  free_->Close(base::ErrorCode::kBrokenChannel);
+  for (auto& q : desc_) {
+    q->Close(base::ErrorCode::kBrokenChannel);
+  }
+  while (os::Thread* t = credit_waiters_.WakeOneThread()) {
+    (void)kernel_.MakeRunnable(*t, std::nullopt);
+  }
+}
+
+uint64_t FanOutChannel::LiveGrantCount() const {
+  const codoms::RevocationTable& rt = kernel_.codoms().revocations();
+  uint64_t live = 0;
+  for (const auto& cap : sender_caps_) {
+    if (cap.has_value() && rt.Epoch(cap->revocation_id) == cap->revocation_epoch) {
+      ++live;
+    }
+  }
+  for (const auto& per_recv : rcaps_) {
+    for (const auto& cap : per_recv) {
+      if (cap.has_value() && rt.Epoch(cap->revocation_id) == cap->revocation_epoch) {
+        ++live;
+      }
+    }
+  }
+  return live;
+}
+
+void FanOutChannel::OnProcessDeath(os::Process& proc) {
+  if (broken_ != base::ErrorCode::kOk) {
+    return;
+  }
+  if (&proc == producer_proc_) {
+    // Producer death breaks the whole group (there is nothing left to
+    // deliver): sweep every in-flight grant and fail every queue.
+    broken_ = base::ErrorCode::kCalleeFailed;
+    for (auto& cap : sender_caps_) {
+      if (cap.has_value()) {
+        DIPC_CHECK(kernel_.codoms().CapRevoke(*cap).ok());
+        cap.reset();
+      }
+    }
+    for (uint32_t r = 0; r < receiver_count(); ++r) {
+      for (auto& cap : rcaps_[r]) {
+        if (cap.has_value()) {
+          DIPC_CHECK(kernel_.codoms().CapRevoke(*cap).ok());
+          cap.reset();
+        }
+      }
+      kernel_.codoms().revocations().RevokeAllForOwner(owner_key_[r]);
+    }
+    free_->Fail(base::ErrorCode::kCalleeFailed);
+    for (auto& q : desc_) {
+      q->Fail(base::ErrorCode::kCalleeFailed);
+    }
+    while (os::Thread* t = credit_waiters_.WakeOneThread()) {
+      (void)kernel_.MakeRunnable(*t, std::nullopt);
+    }
+    return;
+  }
+  // Receiver death: excise that receiver alone. Its in-flight grants are
+  // revoked (one counter bump each), its undelivered/unreleased slots lose
+  // its pending share (recycling slots it was the last holder of), its
+  // whole counter set is bulk-revoked via the owner key, and its FIFO fails
+  // so its blocked threads wake with the crash code. Everybody else's
+  // grants, credits and FIFOs are untouched — the group keeps flowing.
+  bool any = false;
+  for (uint32_t r = 0; r < receiver_count(); ++r) {
+    if (receiver_procs_[r] != &proc || !alive_[r]) {
+      continue;
+    }
+    any = true;
+    alive_[r] = false;
+    std::vector<uint64_t> freed;
+    for (uint32_t i = 0; i < cfg_.slots; ++i) {
+      DropDelivery(r, i, &freed);
+    }
+    kernel_.codoms().revocations().RevokeAllForOwner(owner_key_[r]);
+    desc_[r]->Fail(base::ErrorCode::kCalleeFailed);
+    for (uint64_t idx : freed) {
+      free_->PushNoEnv(idx);
+    }
+  }
+  if (any) {
+    // A dead laggard no longer gates the producer; and if nobody is left,
+    // blocked producers must wake to see kCalleeFailed.
+    while (os::Thread* t = credit_waiters_.WakeOneThread()) {
+      (void)kernel_.MakeRunnable(*t, std::nullopt);
+    }
+  }
+}
+
+}  // namespace dipc::chan

@@ -28,6 +28,18 @@ void MpmcQueue::Prime(uint64_t value) {
   ++count_;
 }
 
+void MpmcQueue::PushNoEnv(uint64_t value) {
+  DIPC_CHECK(count_ < capacity_);
+  auto pa = pt_->Translate(SlotVa(tail_));
+  DIPC_CHECK(pa.has_value());
+  kernel_.machine().mem().Write(*pa, std::as_bytes(std::span(&value, 1)));
+  ++tail_;
+  ++count_;
+  if (os::Thread* t = consumers_.WakeOneThread()) {
+    (void)kernel_.MakeRunnable(*t, std::nullopt);
+  }
+}
+
 sim::Task<void> MpmcQueue::WakeIfWaiting(os::Env env, os::WaitQueue& q,
                                          const uint64_t& live_waiters) {
   if (live_waiters == 0) {

@@ -44,6 +44,12 @@ class MpmcQueue {
   // Setup-time enqueue: no cost, no blocking (used to pre-fill free lists).
   void Prime(uint64_t value);
 
+  // Teardown-time enqueue from a context with no thread Env (death hooks):
+  // direct store like Prime, but additionally wakes one parked consumer so a
+  // peer blocked on Pop sees the slot a dead process gave back. No cost is
+  // charged (the work happens inside the kill sweep, like Close/Fail wakes).
+  void PushNoEnv(uint64_t value);
+
   // Blocking push; fails with the close/fail code once closed.
   sim::Task<base::Status> Push(os::Env env, uint64_t value);
 

@@ -12,6 +12,7 @@
 #define DIPC_CODOMS_CAPABILITY_H_
 
 #include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "base/check.h"
@@ -39,11 +40,23 @@ inline constexpr uint64_t kCapMemBytes = 32;
 // Codoms::CapRebind), which is what lets a trusted runtime rotate buffer
 // ownership without re-minting, while revocation stays authoritative for
 // every other holder of the capability.
+//
+// Grant bookkeeping: a counter is *live* while the epoch it was last granted
+// at (mint or rebind) is still its current value — i.e. an unrevoked
+// capability over that counter is outstanding somewhere. Counters can be
+// tagged with an opaque owner key (fan-out channels use one key per
+// receiver), so a dead receiver's whole grant set is revocable in one bulk
+// call and tests can assert per-receiver that nothing survived.
 class RevocationTable {
  public:
+  static constexpr uint64_t kNoOwner = 0;
+
   uint64_t Allocate(hw::DomainTag creator = hw::kInvalidDomainTag) {
     counters_.push_back(0);
     creators_.push_back(creator);
+    granted_epoch_.push_back(0);  // minted live at epoch 0
+    owners_.push_back(kNoOwner);
+    ++live_;
     return counters_.size() - 1;
   }
 
@@ -59,16 +72,87 @@ class RevocationTable {
 
   void Revoke(uint64_t id) {
     DIPC_CHECK(id < counters_.size());
+    if (Live(id)) {
+      --live_;
+      if (owners_[id] != kNoOwner) {
+        --owner_live_[owners_[id]];
+      }
+    }
     ++counters_[id];
+  }
+
+  // An unrevoked grant over this counter is outstanding (the last mint or
+  // rebind snapshotted the current epoch).
+  bool Live(uint64_t id) const {
+    DIPC_CHECK(id < counters_.size());
+    return granted_epoch_[id] == counters_[id];
+  }
+
+  // Epoch rebind re-granted the counter at its current value (only
+  // Codoms::CapRebind calls this, after the creator-domain check).
+  void ReGrant(uint64_t id) {
+    DIPC_CHECK(id < counters_.size());
+    if (!Live(id)) {
+      ++live_;
+      if (owners_[id] != kNoOwner) {
+        ++owner_live_[owners_[id]];
+      }
+    }
+    granted_epoch_[id] = counters_[id];
+  }
+
+  // Tags `id` with an owner key (once, at mint time). Owner keys partition
+  // the grant space per trust principal — e.g. one key per fan-out receiver.
+  void SetOwner(uint64_t id, uint64_t owner) {
+    DIPC_CHECK(id < owners_.size());
+    DIPC_CHECK(owner != kNoOwner);
+    DIPC_CHECK(owners_[id] == kNoOwner || owners_[id] == owner);
+    if (owners_[id] == owner) {
+      return;
+    }
+    owners_[id] = owner;
+    owner_ids_[owner].push_back(id);
+    if (Live(id)) {
+      ++owner_live_[owner];
+    }
+  }
+
+  // Bulk revocation of every counter tagged `owner` — the one-call teardown
+  // of a dead receiver's entire grant set (templates included), leaving
+  // every other owner's grants untouched.
+  void RevokeAllForOwner(uint64_t owner) {
+    auto it = owner_ids_.find(owner);
+    if (it == owner_ids_.end()) {
+      return;
+    }
+    for (uint64_t id : it->second) {
+      if (Live(id)) {
+        Revoke(id);
+      }
+    }
   }
 
   // Number of ids handed out; lets tests assert "every async grant was
   // revoked" (an epoch still at 0 is a leaked capability).
   uint64_t size() const { return counters_.size(); }
+  // Counters with an outstanding unrevoked grant; 0 after a clean teardown
+  // means no capability anywhere still authorizes an access.
+  uint64_t live_count() const { return live_; }
+  uint64_t LiveCountForOwner(uint64_t owner) const {
+    auto it = owner_live_.find(owner);
+    return it == owner_live_.end() ? 0 : it->second;
+  }
 
  private:
   std::vector<uint64_t> counters_;
   std::vector<hw::DomainTag> creators_;
+  // Epoch at which the counter was last granted (mint/rebind); live iff it
+  // equals the current counter value.
+  std::vector<uint64_t> granted_epoch_;
+  std::vector<uint64_t> owners_;
+  std::unordered_map<uint64_t, std::vector<uint64_t>> owner_ids_;
+  std::unordered_map<uint64_t, uint64_t> owner_live_;
+  uint64_t live_ = 0;
 };
 
 struct Capability {

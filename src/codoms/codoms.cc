@@ -217,6 +217,7 @@ base::Result<Capability> Codoms::CapRebind(const Capability& cap, const ThreadCa
   }
   Capability fresh = cap;
   fresh.revocation_epoch = revocations_.Epoch(cap.revocation_id);
+  revocations_.ReGrant(cap.revocation_id);  // the counter is granted again
   return fresh;
 }
 

@@ -1,0 +1,49 @@
+// Performance bounds asserted as regular ctests, so the perf properties the
+// benches demonstrate are gates, not dashboards:
+//   - batched channel streaming must be >= 2x cheaper per message at batch
+//     32 than at batch 1 (promoted from the PR-2 chan_test);
+//   - fan-out at 4 receivers must publish a message (with four per-receiver
+//     grants, stores and descriptor pushes) for under 2x the point-to-point
+//     per-message cost on the batched hot path — the shared tolls (runtime
+//     entry, free-pool op, sender revoke, fast path) must actually amortize.
+// The measurements are the bench harness's own (bench/micro_harness.cc), so
+// the gate and the reported numbers can never drift apart; the simulation
+// is deterministic, so the ratios are stable.
+#include <gtest/gtest.h>
+
+#include "micro_harness.h"
+
+namespace dipc::bench {
+namespace {
+
+double ChannelPerMessageNs(int batch) {
+  return MeasureChannelStream(
+      {.payload_bytes = 64, .batch = batch, .messages = 512, .cross_cpu = true});
+}
+
+double FanOutPerMessageNs(uint32_t receivers, int batch) {
+  return MeasureFanOutStream(
+      {.payload_bytes = 64, .receivers = receivers, .batch = batch, .messages = 512});
+}
+
+TEST(BenchBounds, BatchedStreamingIsAtLeastTwiceAsCheapPerMessageAtBatch32) {
+  double b1 = ChannelPerMessageNs(1);
+  double b32 = ChannelPerMessageNs(32);
+  EXPECT_GE(b1 / b32, 2.0) << "batch=1: " << b1 << " ns/msg, batch=32: " << b32 << " ns/msg";
+}
+
+TEST(BenchBounds, FanOutAtFourReceiversStaysUnderTwicePointToPointCost) {
+  // Publishing to four receivers does 4x the per-receiver work (grant,
+  // store, descriptor push) but shares everything else; on the batched hot
+  // path the total must stay under 2x one point-to-point message.
+  double p2p = ChannelPerMessageNs(32);
+  double fan4 = FanOutPerMessageNs(4, 32);
+  EXPECT_LT(fan4 / p2p, 2.0) << "p2p: " << p2p << " ns/msg, fanout N=4: " << fan4 << " ns/msg";
+  // And fanning out to one receiver must not regress the point-to-point
+  // design it specializes to.
+  double fan1 = FanOutPerMessageNs(1, 32);
+  EXPECT_LT(fan1 / p2p, 1.25) << "p2p: " << p2p << " ns/msg, fanout N=1: " << fan1 << " ns/msg";
+}
+
+}  // namespace
+}  // namespace dipc::bench

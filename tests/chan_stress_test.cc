@@ -1,0 +1,505 @@
+// Concurrency stress / property harness for the channel subsystem.
+//
+// Randomized multi-producer/multi-consumer runs over MpmcQueue::PushN/PopN
+// and the Channel/FanOutChannel batch ops, with mixed batch sizes and
+// mid-run KillProcess at a random (sub-operation-granularity) time. The sim
+// is deterministic per seed, so every failure reproduces from the seed in
+// the test trace.
+//
+// Invariants, whatever the interleaving:
+//   - no value/message is lost or duplicated (orderly runs deliver exactly
+//     the multiset pushed; killed runs deliver a duplicate-free subset);
+//   - no slot leaks (after an orderly drain the producer can re-acquire the
+//     whole pool in one batch);
+//   - no capability outlives teardown: RevocationTable::live_count() == 0
+//     (the live-grant refinement of "size() revoked ids only" — every
+//     counter epoch moved past every snapshot ever handed out) and every
+//     allocated counter was revoked at least once.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "chan/channel.h"
+#include "chan/fanout.h"
+#include "chan/mpmc_queue.h"
+#include "codoms/codoms.h"
+#include "dipc/dipc.h"
+#include "hw/machine.h"
+#include "os/kernel.h"
+#include "sim/random.h"
+
+namespace dipc::chan {
+namespace {
+
+using base::ErrorCode;
+using sim::Duration;
+using sim::Rng;
+
+// --- MpmcQueue: randomized MPMC batch traffic, no loss, no duplication ---
+
+TEST(ChanStress, MpmcQueueRandomBatchTrafficLosesAndDuplicatesNothing) {
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    Rng rng(seed);
+    hw::Machine machine(4);
+    codoms::Codoms codoms(machine);
+    os::Kernel kernel(machine, codoms);
+    core::Dipc dipc(kernel);
+    os::Process& proc = dipc.CreateDipcProcess("p");
+    const uint32_t capacity = static_cast<uint32_t>(rng.UniformInt(1, 8));
+    const int n_prod = static_cast<int>(rng.UniformInt(1, 3));
+    const int n_cons = static_cast<int>(rng.UniformInt(1, 3));
+    const int per_producer = 40 + static_cast<int>(rng.UniformInt(0, 40));
+    MpmcQueue q(kernel, proc, capacity, proc.default_domain());
+    std::vector<uint64_t> pushed;
+    std::vector<uint64_t> popped;
+    int producers_done = 0;
+    // Producers push tagged values in randomly sized batches (some larger
+    // than the queue capacity, so PushN must chunk and block mid-batch).
+    for (int p = 0; p < n_prod; ++p) {
+      uint64_t batch_seed = rng.Next();
+      kernel.Spawn(
+          proc, "producer",
+          [&, p, batch_seed](os::Env env) -> sim::Task<void> {
+            Rng prng(batch_seed);
+            int sent = 0;
+            while (sent < per_producer) {
+              int n = static_cast<int>(
+                  prng.UniformInt(1, std::min<uint64_t>(per_producer - sent, 6)));
+              std::vector<uint64_t> vals;
+              for (int i = 0; i < n; ++i) {
+                vals.push_back((static_cast<uint64_t>(p) << 32) |
+                               static_cast<uint64_t>(sent + i));
+              }
+              EXPECT_TRUE((co_await q.PushN(env, vals)).ok());
+              pushed.insert(pushed.end(), vals.begin(), vals.end());
+              sent += n;
+              if (prng.Chance(0.3)) {
+                co_await env.kernel->Sleep(env, Duration::Nanos(prng.UniformInt(10, 400)));
+              }
+            }
+            if (++producers_done == n_prod) {
+              q.Close();  // consumers drain, then see the close
+            }
+          },
+          /*pin_cpu=*/static_cast<int>(p % 2));
+    }
+    for (int c = 0; c < n_cons; ++c) {
+      uint64_t batch_seed = rng.Next();
+      kernel.Spawn(
+          proc, "consumer",
+          [&, batch_seed](os::Env env) -> sim::Task<void> {
+            Rng crng(batch_seed);
+            while (true) {
+              std::vector<uint64_t> out(crng.UniformInt(1, 6));
+              auto n = co_await q.PopN(env, std::span(out));
+              if (!n.ok()) {
+                EXPECT_EQ(n.code(), ErrorCode::kBrokenChannel);
+                co_return;
+              }
+              popped.insert(popped.end(), out.begin(), out.begin() + n.value());
+              if (crng.Chance(0.3)) {
+                co_await env.kernel->Sleep(env, Duration::Nanos(crng.UniformInt(10, 400)));
+              }
+            }
+          },
+          /*pin_cpu=*/static_cast<int>(2 + c % 2));
+    }
+    kernel.Run();
+    // Exactly the pushed multiset came out: nothing lost, nothing doubled.
+    ASSERT_EQ(popped.size(), pushed.size());
+    std::vector<uint64_t> a = pushed, b = popped;
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    EXPECT_EQ(a, b);
+    std::set<uint64_t> uniq(b.begin(), b.end());
+    EXPECT_EQ(uniq.size(), b.size()) << "duplicated value";
+    EXPECT_EQ(q.size(), 0u);
+  }
+}
+
+// --- Channel batch ops: orderly randomized runs deliver exactly-once and
+// --- leak no slot ---
+
+TEST(ChanStress, ChannelRandomBatchStreamDeliversExactlyOnceAndRecyclesPool) {
+  for (uint64_t seed = 1; seed <= 12; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    Rng rng(seed);
+    hw::Machine machine(4);
+    codoms::Codoms codoms(machine);
+    os::Kernel kernel(machine, codoms);
+    core::Dipc dipc(kernel);
+    os::Process& prod = dipc.CreateDipcProcess("producer");
+    os::Process& cons = dipc.CreateDipcProcess("consumer");
+    const uint32_t slots = static_cast<uint32_t>(rng.UniformInt(2, 6));
+    const int total = 60 + static_cast<int>(rng.UniformInt(0, 60));
+    auto ch = Channel::Create(dipc, prod, cons, {.slots = slots, .buf_bytes = 4096});
+    ASSERT_TRUE(ch.ok());
+    std::shared_ptr<Channel> chan = ch.value();
+    std::vector<uint64_t> received;
+    bool pool_intact_after_drain = false;
+    uint64_t prod_seed = rng.Next(), cons_seed = rng.Next();
+    kernel.Spawn(
+        prod, "producer",
+        [&, chan, prod_seed](os::Env env) -> sim::Task<void> {
+          os::Kernel& k = *env.kernel;
+          Rng prng(prod_seed);
+          int sent = 0;
+          while (sent < total) {
+            uint32_t want = static_cast<uint32_t>(
+                prng.UniformInt(1, std::min<uint64_t>(slots, total - sent)));
+            auto bufs = co_await chan->AcquireBufBatch(env, want);
+            DIPC_CHECK(bufs.ok());
+            std::vector<SendItem> items;
+            for (const SendBuf& b : bufs.value()) {
+              chan->BindSendCap(*env.self, b);
+              uint64_t msg_seq = static_cast<uint64_t>(sent + items.size());
+              DIPC_CHECK(
+                  k.UserWrite(*env.self, b.va, std::as_bytes(std::span(&msg_seq, 1))).ok());
+              items.push_back(SendItem{b, 64});
+            }
+            DIPC_CHECK((co_await chan->SendBatch(env, items)).ok());
+            sent += static_cast<int>(items.size());
+            if (prng.Chance(0.25)) {
+              co_await k.Sleep(env, Duration::Nanos(prng.UniformInt(20, 800)));
+            }
+          }
+          // No slot leak: once the consumer drained and released everything,
+          // the whole pool must be re-acquirable in one batch.
+          while (static_cast<int>(received.size()) < total) {
+            co_await k.Sleep(env, Duration::Micros(5));
+          }
+          auto all = co_await chan->AcquireBufBatch(env, slots);
+          DIPC_CHECK(all.ok());
+          pool_intact_after_drain = all.value().size() == slots;
+          // Hand the pool back so teardown accounting stays clean.
+          std::vector<SendItem> items;
+          for (const SendBuf& b : all.value()) {
+            chan->BindSendCap(*env.self, b);
+            uint64_t z = 0;
+            DIPC_CHECK(k.UserWrite(*env.self, b.va, std::as_bytes(std::span(&z, 1))).ok());
+            items.push_back(SendItem{b, 8});
+          }
+          DIPC_CHECK((co_await chan->SendBatch(env, items)).ok());
+          chan->Close();
+        },
+        /*pin_cpu=*/0);
+    kernel.Spawn(
+        cons, "consumer",
+        [&, chan, cons_seed](os::Env env) -> sim::Task<void> {
+          os::Kernel& k = *env.kernel;
+          Rng crng(cons_seed);
+          while (true) {
+            auto msgs =
+                co_await chan->RecvBatch(env, static_cast<uint32_t>(crng.UniformInt(1, slots)));
+            if (!msgs.ok()) {
+              EXPECT_EQ(msgs.code(), ErrorCode::kBrokenChannel);
+              co_return;
+            }
+            for (const Msg& m : msgs.value()) {
+              chan->BindRecvCap(*env.self, m);
+              uint64_t msg_seq = 0;
+              DIPC_CHECK(
+                  k.UserRead(*env.self, m.va, std::as_writable_bytes(std::span(&msg_seq, 1)))
+                      .ok());
+              if (m.len == 64) {  // the epilogue pool-check messages are len 8
+                received.push_back(msg_seq);
+              }
+            }
+            DIPC_CHECK((co_await chan->ReleaseBatch(env, msgs.value())).ok());
+            if (crng.Chance(0.25)) {
+              co_await k.Sleep(env, Duration::Nanos(crng.UniformInt(20, 800)));
+            }
+          }
+        },
+        /*pin_cpu=*/1);
+    kernel.Run();
+    // Exactly-once delivery in order (single producer thread, FIFO queue).
+    ASSERT_EQ(received.size(), static_cast<size_t>(total));
+    for (int i = 0; i < total; ++i) {
+      EXPECT_EQ(received[i], static_cast<uint64_t>(i)) << "at " << i;
+    }
+    EXPECT_TRUE(pool_intact_after_drain) << "slot leaked: full pool not re-acquirable";
+    // No capability survived the orderly teardown.
+    EXPECT_EQ(chan->LiveGrantCount(), 0u);
+    EXPECT_EQ(codoms.revocations().live_count(), 0u);
+  }
+}
+
+// --- Channel batch ops under mid-run KillProcess: duplicate-free subset
+// --- delivery and total grant revocation ---
+
+TEST(ChanStress, ChannelRandomKillMidRunLeaksNoGrantAndNeverDuplicates) {
+  for (uint64_t seed = 1; seed <= 30; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    Rng rng(seed);
+    hw::Machine machine(4);
+    codoms::Codoms codoms(machine);
+    os::Kernel kernel(machine, codoms);
+    core::Dipc dipc(kernel);
+    os::Process& prod = dipc.CreateDipcProcess("producer");
+    os::Process& cons = dipc.CreateDipcProcess("consumer");
+    const uint32_t slots = static_cast<uint32_t>(rng.UniformInt(2, 5));
+    auto ch = Channel::Create(dipc, prod, cons, {.slots = slots, .buf_bytes = 4096});
+    ASSERT_TRUE(ch.ok());
+    std::shared_ptr<Channel> chan = ch.value();
+    std::vector<uint64_t> received;
+    uint64_t prod_seed = rng.Next(), cons_seed = rng.Next();
+    const bool kill_producer = rng.Chance(0.5);
+    const double kill_ns = static_cast<double>(rng.UniformInt(200, 30000));
+    kernel.Spawn(
+        prod, "producer",
+        [&, chan, prod_seed](os::Env env) -> sim::Task<void> {
+          os::Kernel& k = *env.kernel;
+          Rng prng(prod_seed);
+          uint64_t msg_seq = 0;
+          while (true) {
+            uint32_t want = static_cast<uint32_t>(prng.UniformInt(1, slots));
+            auto bufs = co_await chan->AcquireBufBatch(env, want);
+            if (!bufs.ok()) {
+              EXPECT_EQ(bufs.code(), ErrorCode::kCalleeFailed);
+              co_return;
+            }
+            std::vector<SendItem> items;
+            for (const SendBuf& b : bufs.value()) {
+              chan->BindSendCap(*env.self, b);
+              uint64_t v = msg_seq + items.size();
+              if (!k.UserWrite(*env.self, b.va, std::as_bytes(std::span(&v, 1))).ok()) {
+                co_return;  // killed between acquire and fill
+              }
+              items.push_back(SendItem{b, 64});
+            }
+            auto sent = co_await chan->SendBatch(env, items);
+            if (!sent.ok()) {
+              EXPECT_EQ(sent.code(), ErrorCode::kCalleeFailed);
+              co_return;
+            }
+            msg_seq += items.size();
+          }
+        },
+        /*pin_cpu=*/0);
+    kernel.Spawn(
+        cons, "consumer",
+        [&, chan, cons_seed](os::Env env) -> sim::Task<void> {
+          os::Kernel& k = *env.kernel;
+          Rng crng(cons_seed);
+          while (true) {
+            auto msgs =
+                co_await chan->RecvBatch(env, static_cast<uint32_t>(crng.UniformInt(1, slots)));
+            if (!msgs.ok()) {
+              EXPECT_EQ(msgs.code(), ErrorCode::kCalleeFailed);
+              co_return;
+            }
+            for (const Msg& m : msgs.value()) {
+              chan->BindRecvCap(*env.self, m);
+              uint64_t msg_seq = 0;
+              // The read fails if the kill revoked the grant mid-batch; the
+              // message then counts as undelivered (not a duplicate risk).
+              if (k.UserRead(*env.self, m.va, std::as_writable_bytes(std::span(&msg_seq, 1)))
+                      .ok()) {
+                received.push_back(msg_seq);
+              }
+            }
+            auto rel = co_await chan->ReleaseBatch(env, msgs.value());
+            if (!rel.ok()) {
+              EXPECT_EQ(rel.code(), ErrorCode::kCalleeFailed);
+              co_return;
+            }
+          }
+        },
+        /*pin_cpu=*/1);
+    os::Process& killer = dipc.CreateDipcProcess("killer");
+    kernel.Spawn(
+        killer, "killer",
+        [&](os::Env env) -> sim::Task<void> {
+          co_await env.kernel->Sleep(env, Duration::Nanos(kill_ns));
+          dipc.KillProcess(kill_producer ? prod : cons);
+        },
+        /*pin_cpu=*/2);
+    kernel.Run();
+    // Delivered messages form a duplicate-free prefix-subset of the stream.
+    std::set<uint64_t> uniq(received.begin(), received.end());
+    EXPECT_EQ(uniq.size(), received.size()) << "duplicated message";
+    // Teardown revoked every grant: nothing live, and every counter ever
+    // allocated was revoked at least once (an epoch still at 0 is a leak).
+    EXPECT_EQ(chan->LiveGrantCount(), 0u);
+    EXPECT_EQ(codoms.revocations().live_count(), 0u);
+    const codoms::RevocationTable& rt = codoms.revocations();
+    for (uint64_t id = 0; id < rt.size(); ++id) {
+      EXPECT_GE(rt.Epoch(id), 1u) << "unrevoked counter " << id;
+    }
+  }
+}
+
+// --- Fan-out under randomized receiver/producer kills: per-receiver
+// --- teardown, group survival, no grant leaks ---
+
+TEST(ChanStress, FanOutRandomKillsRevokePerReceiverAndLeakNothing) {
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    Rng rng(seed);
+    hw::Machine machine(6);
+    codoms::Codoms codoms(machine);
+    os::Kernel kernel(machine, codoms);
+    core::Dipc dipc(kernel);
+    os::Process& prod = dipc.CreateDipcProcess("producer");
+    const uint32_t n_recv = static_cast<uint32_t>(rng.UniformInt(2, 4));
+    std::vector<os::Process*> receivers;
+    for (uint32_t r = 0; r < n_recv; ++r) {
+      receivers.push_back(&dipc.CreateDipcProcess("worker"));
+    }
+    const uint32_t slots = static_cast<uint32_t>(rng.UniformInt(2, 6));
+    const bool drop_policy = rng.Chance(0.5);
+    auto ch = FanOutChannel::Create(
+        dipc, prod, receivers,
+        {.slots = slots, .buf_bytes = 4096,
+         .lag_policy = drop_policy ? LagPolicy::kDropSlowest : LagPolicy::kBlock});
+    ASSERT_TRUE(ch.ok());
+    std::shared_ptr<FanOutChannel> fan = ch.value();
+    std::vector<std::vector<uint64_t>> got(n_recv);
+    for (uint32_t r = 0; r < n_recv; ++r) {
+      uint64_t rseed = rng.Next();
+      kernel.Spawn(
+          *receivers[r], "worker",
+          [&, fan, r, rseed](os::Env env) -> sim::Task<void> {
+            os::Kernel& k = *env.kernel;
+            Rng crng(rseed);
+            while (true) {
+              auto msgs = co_await fan->RecvBatch(
+                  env, r, static_cast<uint32_t>(crng.UniformInt(1, slots)));
+              if (!msgs.ok()) {
+                co_return;
+              }
+              for (const Msg& m : msgs.value()) {
+                fan->BindRecvCap(*env.self, r, m);
+                uint64_t msg_seq = 0;
+                if (k.UserRead(*env.self, m.va,
+                               std::as_writable_bytes(std::span(&msg_seq, 1)))
+                        .ok()) {
+                  got[r].push_back(msg_seq);
+                }
+              }
+              if (!(co_await fan->ReleaseBatch(env, r, msgs.value())).ok()) {
+                co_return;
+              }
+              if (crng.Chance(0.3)) {
+                co_await k.Sleep(env, Duration::Nanos(crng.UniformInt(20, 900)));
+              }
+            }
+          },
+          /*pin_cpu=*/static_cast<int>(1 + r));
+    }
+    uint64_t pseed = rng.Next();
+    const bool shard_mode = rng.Chance(0.4);
+    kernel.Spawn(
+        prod, "producer",
+        [&, fan, pseed, shard_mode](os::Env env) -> sim::Task<void> {
+          os::Kernel& k = *env.kernel;
+          Rng prng(pseed);
+          uint64_t msg_seq = 0;
+          for (int round = 0; round < 120; ++round) {
+            auto buf = co_await fan->AcquireBuf(env);
+            if (!buf.ok()) {
+              co_return;
+            }
+            if (!k.UserWrite(*env.self, buf.value().va,
+                             std::as_bytes(std::span(&msg_seq, 1)))
+                     .ok()) {
+              co_return;
+            }
+            // On a dead-shard failure the buffer stays owned (broken() ==
+            // kOk contract): retry it on the next live shard; give it back
+            // with AbandonBuf when nobody is left — dropping it on the
+            // floor would leak the slot and a live write grant, which the
+            // end-of-run assertions below would catch.
+            bool sent = false;
+            while (fan->broken() == ErrorCode::kOk) {
+              base::Status s = ErrorCode::kCalleeFailed;
+              if (shard_mode) {
+                uint32_t shard = fan->NextShard();
+                if (shard >= fan->receiver_count()) {
+                  break;
+                }
+                s = co_await fan->SendTo(env, buf.value(), 64, shard);
+              } else {
+                s = co_await fan->Send(env, buf.value(), 64);
+              }
+              if (s.ok()) {
+                sent = true;
+                break;
+              }
+              if (s.code() != ErrorCode::kCalleeFailed ||
+                  fan->live_receiver_count() == 0) {
+                break;
+              }
+            }
+            if (!sent) {
+              if (fan->broken() == ErrorCode::kOk) {
+                (void)co_await fan->AbandonBuf(env, buf.value());
+              }
+              co_return;
+            }
+            ++msg_seq;
+            if (prng.Chance(0.2)) {
+              co_await k.Sleep(env, Duration::Nanos(prng.UniformInt(20, 600)));
+            }
+          }
+          fan->Close();
+        },
+        /*pin_cpu=*/0);
+    // Killer: one or two random victims (possibly the producer) at random
+    // times.
+    os::Process& killer = dipc.CreateDipcProcess("killer");
+    const int kills = 1 + (rng.Chance(0.4) ? 1 : 0);
+    std::vector<std::pair<double, int>> plan;  // (ns, victim: -1 producer)
+    for (int i = 0; i < kills; ++i) {
+      int victim = rng.Chance(0.25) ? -1 : static_cast<int>(rng.UniformInt(0, n_recv - 1));
+      plan.emplace_back(static_cast<double>(rng.UniformInt(300, 40000)), victim);
+    }
+    std::sort(plan.begin(), plan.end());
+    kernel.Spawn(
+        killer, "killer",
+        [&, plan](os::Env env) -> sim::Task<void> {
+          double elapsed = 0;
+          for (const auto& [at_ns, victim] : plan) {
+            if (at_ns > elapsed) {
+              co_await env.kernel->Sleep(env, Duration::Nanos(at_ns - elapsed));
+              elapsed = at_ns;
+            }
+            os::Process* target = victim < 0 ? &prod : receivers[victim];
+            dipc.KillProcess(*target);
+            if (victim >= 0) {
+              // Per-receiver revocation is immediate and complete.
+              EXPECT_EQ(codoms.revocations().LiveCountForOwner(
+                            fan->receiver_owner(static_cast<uint32_t>(victim))),
+                        0u);
+            }
+          }
+        },
+        /*pin_cpu=*/5);
+    kernel.Run();
+    // Per receiver: duplicate-free, and (FIFO per receiver) strictly
+    // increasing sequence numbers.
+    for (uint32_t r = 0; r < n_recv; ++r) {
+      for (size_t i = 1; i < got[r].size(); ++i) {
+        EXPECT_LT(got[r][i - 1], got[r][i]) << "receiver " << r << " order/duplicate";
+      }
+    }
+    // Nothing survives: every grant of every (dead or live) receiver and
+    // the producer was revoked by release or teardown.
+    EXPECT_EQ(fan->LiveGrantCount(), 0u);
+    EXPECT_EQ(codoms.revocations().live_count(), 0u);
+    const codoms::RevocationTable& rt = codoms.revocations();
+    for (uint64_t id = 0; id < rt.size(); ++id) {
+      EXPECT_GE(rt.Epoch(id), 1u) << "unrevoked counter " << id;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dipc::chan
