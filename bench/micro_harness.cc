@@ -12,6 +12,8 @@
 #include "dipc/proxy.h"
 #include "hw/machine.h"
 #include "l4/l4_gate.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "os/kernel.h"
 #include "os/pipe.h"
 #include "os/semaphore.h"
@@ -627,17 +629,36 @@ double MeasureFanOutStream(const FanOutStreamConfig& config) {
 }
 
 JsonEmitter::JsonEmitter(std::string name, int* argc, char** argv) : name_(std::move(name)) {
-  for (int i = 1; i < *argc; ++i) {
-    if (std::strcmp(argv[i], "--json") == 0) {
+  for (int i = 1; i < *argc;) {
+    const char* arg = argv[i];
+    bool strip = true;
+    if (std::strcmp(arg, "--json") == 0) {
       enabled_ = true;
+    } else if (std::strcmp(arg, "--metrics") == 0) {
+      metrics_ = true;
+    } else if (std::strcmp(arg, "--trace") == 0) {
+      trace_path_ = "BENCH_" + name_ + ".trace.json";
+    } else if (std::strncmp(arg, "--trace=", 8) == 0) {
+      trace_path_ = arg + 8;
+      if (trace_path_.empty()) {
+        trace_path_ = "BENCH_" + name_ + ".trace.json";
+      }
+    } else {
+      strip = false;
+    }
+    if (strip) {
       // Shift including the argv[argc] null terminator the C runtime
       // guarantees, preserving that invariant for later parsers.
       for (int j = i; j < *argc; ++j) {
         argv[j] = argv[j + 1];
       }
       --*argc;
-      break;
+    } else {
+      ++i;
     }
+  }
+  if (tracing()) {
+    obs::Trace().Enable();
   }
 }
 
@@ -646,7 +667,19 @@ void JsonEmitter::Row(const std::string& series, uint64_t x, double value_ns) {
 }
 
 JsonEmitter::~JsonEmitter() {
+  if (tracing()) {
+    if (obs::Trace().ExportChromeTrace(trace_path_)) {
+      std::fprintf(stderr, "wrote %s\n", trace_path_.c_str());
+    } else {
+      std::fprintf(stderr, "JsonEmitter: cannot write %s\n", trace_path_.c_str());
+    }
+    obs::Trace().Disable();
+  }
   if (!enabled_) {
+    if (metrics_) {
+      // No BENCH json to embed into: print the snapshot for eyeballing.
+      std::printf("%s\n", obs::Registry::Default().SnapshotJson().c_str());
+    }
     return;
   }
   std::string path = "BENCH_" + name_ + ".json";
@@ -661,7 +694,11 @@ JsonEmitter::~JsonEmitter() {
                  i == 0 ? "" : ",", rows_[i].series.c_str(),
                  static_cast<unsigned long long>(rows_[i].x), rows_[i].value_ns);
   }
-  std::fprintf(f, "\n]}\n");
+  std::fprintf(f, "\n]");
+  if (metrics_) {
+    std::fprintf(f, ",\n\"metrics\": %s", obs::Registry::Default().SnapshotJson().c_str());
+  }
+  std::fprintf(f, "}\n");
   std::fclose(f);
   std::fprintf(stderr, "wrote %s (%zu rows)\n", path.c_str(), rows_.size());
 }

@@ -89,6 +89,17 @@ double MeasureFanOutStream(const FanOutStreamConfig& config);
 // flag was passed, write them to BENCH_<name>.json on destruction — the
 // machine-readable perf trajectory consumed by CI. The constructor strips
 // the flag from argv so benchmark::Initialize never sees it.
+//
+// Observability flags (also stripped):
+//   --metrics        embed the obs::Registry snapshot as a "metrics" object
+//                    in BENCH_<name>.json (or print it to stdout when --json
+//                    is absent).
+//   --trace[=path]   enable the global obs::TraceRing for the run and export
+//                    Chrome trace_event JSON to `path` on destruction
+//                    (default BENCH_<name>.trace.json). Tracing charges a
+//                    modeled per-event cost, so traced numbers are *not*
+//                    comparable with untraced ones — CI runs --trace as a
+//                    separate invocation.
 class JsonEmitter {
  public:
   JsonEmitter(std::string name, int* argc, char** argv);
@@ -97,11 +108,15 @@ class JsonEmitter {
   ~JsonEmitter();
 
   bool enabled() const { return enabled_; }
+  bool metrics() const { return metrics_; }
+  bool tracing() const { return !trace_path_.empty(); }
   void Row(const std::string& series, uint64_t x, double value_ns);
 
  private:
   std::string name_;
   bool enabled_ = false;
+  bool metrics_ = false;
+  std::string trace_path_;  // empty = tracing off
   struct RowData {
     std::string series;
     uint64_t x;

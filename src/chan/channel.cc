@@ -56,8 +56,12 @@ base::Result<std::shared_ptr<Channel>> Channel::Create(core::Dipc& dipc, os::Pro
     return caps.code();
   }
   ch->cap_seg_ = caps.value();
-  ch->desc_ = std::make_unique<MpmcQueue>(kernel, sender, cfg.slots, ch->ctrl_tag_);
-  ch->free_ = std::make_unique<MpmcQueue>(kernel, sender, cfg.slots, ch->ctrl_tag_);
+  ch->RegisterMetrics();
+  const std::string prefix = "chan/" + std::to_string(ch->obs_id_);
+  ch->desc_ = std::make_unique<MpmcQueue>(kernel, sender, cfg.slots, ch->ctrl_tag_,
+                                          prefix + "/desc", ch->obs_id_);
+  ch->free_ = std::make_unique<MpmcQueue>(kernel, sender, cfg.slots, ch->ctrl_tag_,
+                                          prefix + "/free", ch->obs_id_);
   for (uint32_t i = 0; i < cfg.slots; ++i) {
     ch->free_->Prime(i);
   }
@@ -78,6 +82,21 @@ base::Result<std::shared_ptr<Channel>> Channel::Create(core::Dipc& dipc, os::Pro
   return ch;
 }
 
+void Channel::RegisterMetrics() {
+  obs_id_ = obs::NewObjectId();
+  const std::string p = "chan/" + std::to_string(obs_id_) + "/";
+  obs::Registry& reg = obs::Registry::Default();
+  m_sends_ = reg.GetCounter(p + "sends");
+  m_recvs_ = reg.GetCounter(p + "recvs");
+  m_acquires_ = reg.GetCounter(p + "acquires");
+  m_releases_ = reg.GetCounter(p + "releases");
+  m_cold_mints_ = reg.GetCounter(p + "cold_mints");
+  m_rebinds_ = reg.GetCounter(p + "rebinds");
+  m_revokes_ = reg.GetCounter(p + "revokes");
+  m_send_batch_ = reg.GetHistogram(p + "send_batch");
+  m_recv_batch_ = reg.GetHistogram(p + "recv_batch");
+}
+
 base::Result<codoms::Capability> Channel::GrantCap(os::Env env, uint32_t index,
                                                    codoms::Perm rights, sim::Duration* cost) {
   const bool write = rights == codoms::Perm::kWrite;
@@ -87,15 +106,24 @@ base::Result<codoms::Capability> Channel::GrantCap(os::Env env, uint32_t index,
   ctx.current_domain = rt_tag_;
   sim::Duration c;
   base::Result<codoms::Capability> cap = base::ErrorCode::kFault;
+  obs::TraceRing& tr = obs::Trace();
   if (tmpl.has_value()) {
     // Warm path: re-snapshot the cached capability against its counter —
     // no mint, no APL traversal (§4.2 revocation counters as an ownership
     // rotation mechanism).
     cap = env.kernel->codoms().CapRebind(*tmpl, ctx, &c);
+    m_rebinds_->Add();
+    c += tr.event_cost();
+    tr.Record(env.self->last_cpu(), obs::EventType::kCapRebind, obs_id_, index,
+              env.kernel->now());
   } else {
     // Cold path, once per slot per direction: full mint through the
     // runtime's APL grant over the data domain.
     ++cold_mints_;
+    m_cold_mints_->Add();
+    c += tr.event_cost();
+    tr.Record(env.self->last_cpu(), obs::EventType::kCapMint, obs_id_, index,
+              env.kernel->now());
     cap = env.kernel->codoms().CapFromApl(env.self->last_cpu(),
                                           env.self->process().page_table(), ctx, buf_va(index),
                                           buf_stride_, rights, codoms::CapType::kAsync, &c);
@@ -147,6 +175,10 @@ sim::Task<base::Result<std::vector<SendBuf>>> Channel::AcquireBufBatch(os::Env e
     }
     caps.push_back(cap.value());
   }
+  m_acquires_->Add(indices.size());
+  cost += obs::Trace().event_cost();
+  obs::Trace().Record(env.self->last_cpu(), obs::EventType::kAcquireBatch, obs_id_,
+                      indices.size(), k.now());
   co_await k.Spend(*env.self, cost, TimeCat::kUser);
   if (broken_ != base::ErrorCode::kOk) {
     // The peer died during the Spend: teardown has already swept
@@ -250,6 +282,10 @@ sim::Task<base::Status> Channel::SendBatch(os::Env env, std::span<const SendItem
     cost += cm.cap_revoke;
     sender_caps_[it.buf.index].reset();
   }
+  m_revokes_->Add(items.size());
+  cost += obs::Trace().event_cost();
+  obs::Trace().Record(env.self->last_cpu(), obs::EventType::kSendBatch, obs_id_, items.size(),
+                      k.now());
   co_await k.Spend(*env.self, cost, TimeCat::kUser);
   if (broken_ != base::ErrorCode::kOk) {
     // The peer died during the Spend above: OnProcessDeath has already swept
@@ -282,9 +318,13 @@ sim::Task<base::Status> Channel::SendBatch(os::Env env, std::span<const SendItem
       }
     }
     sends_ += published;
+    m_sends_->Add(published);
+    m_send_batch_->Record(static_cast<double>(published));
     co_return broken_ != base::ErrorCode::kOk ? broken_ : pushed.code();
   }
   sends_ += items.size();
+  m_sends_->Add(items.size());
+  m_send_batch_->Record(static_cast<double>(items.size()));
   co_return base::Status::Ok();
 }
 
@@ -335,6 +375,9 @@ sim::Task<base::Result<std::vector<Msg>>> Channel::RecvBatch(os::Env env, uint32
     caps.push_back(cap.value());
     out.push_back(Msg{buf_va(index), len, index});
   }
+  cost += obs::Trace().event_cost();
+  obs::Trace().Record(env.self->last_cpu(), obs::EventType::kRecvBatch, obs_id_, out.size(),
+                      k.now());
   co_await k.Spend(*env.self, cost, TimeCat::kUser);
   if (broken_ != base::ErrorCode::kOk) {
     // The peer died during the Spend and teardown already revoked the
@@ -361,6 +404,8 @@ sim::Task<base::Result<std::vector<Msg>>> Channel::RecvBatch(os::Env env, uint32
   }
   env.self->cap_ctx().regs.Set(kReceiverCapReg, caps.front());
   recvs_ += out.size();
+  m_recvs_->Add(out.size());
+  m_recv_batch_->Record(static_cast<double>(out.size()));
   co_return out;
 }
 
@@ -404,6 +449,11 @@ sim::Task<base::Status> Channel::ReleaseBatch(os::Env env, std::span<const Msg> 
     receiver_caps_[msg.index].reset();
     indices.push_back(msg.index);
   }
+  m_releases_->Add(msgs.size());
+  m_revokes_->Add(msgs.size());
+  cost += obs::Trace().event_cost();
+  obs::Trace().Record(env.self->last_cpu(), obs::EventType::kReleaseBatch, obs_id_, msgs.size(),
+                      k.now());
   co_await k.Spend(*env.self, cost, TimeCat::kUser);
   if (broken_ != base::ErrorCode::kOk) {
     co_return broken_;
@@ -484,18 +534,18 @@ void Channel::OnProcessDeath(os::Process& proc) {
   // their own: a template not recorded in-flight is already epoch-stale
   // (its counter was bumped when ownership last rotated away), and broken_
   // gates every future rebind.
-  for (auto& cap : sender_caps_) {
-    if (cap.has_value()) {
-      DIPC_CHECK(kernel_.codoms().CapRevoke(*cap).ok());
-      cap.reset();
+  uint64_t revoked = 0;
+  for (auto* side : {&sender_caps_, &receiver_caps_}) {
+    for (auto& cap : *side) {
+      if (cap.has_value()) {
+        DIPC_CHECK(kernel_.codoms().CapRevoke(*cap).ok());
+        cap.reset();
+        ++revoked;
+      }
     }
   }
-  for (auto& cap : receiver_caps_) {
-    if (cap.has_value()) {
-      DIPC_CHECK(kernel_.codoms().CapRevoke(*cap).ok());
-      cap.reset();
-    }
-  }
+  m_revokes_->Add(revoked);
+  obs::Trace().Record(0, obs::EventType::kCapRevoke, obs_id_, revoked, kernel_.now());
   desc_->Fail(base::ErrorCode::kCalleeFailed);
   free_->Fail(base::ErrorCode::kCalleeFailed);
 }

@@ -54,6 +54,8 @@
 #include "chan/segment.h"
 #include "codoms/capability.h"
 #include "dipc/dipc.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "os/kernel.h"
 #include "sim/task.h"
 
@@ -179,6 +181,9 @@ class Channel : public std::enable_shared_from_this<Channel> {
   // means the crash unwound every grant (test support).
   uint64_t LiveGrantCount() const;
   hw::VirtAddr buf_va(uint32_t index) const { return data_seg_.base + index * buf_stride_; }
+  // Id under which this channel's metrics ("chan/<id>/...") and trace
+  // events are attributed.
+  uint32_t obs_id() const { return obs_id_; }
 
   // Dead-peer teardown (fired via the core::Dipc death hook).
   void OnProcessDeath(os::Process& proc);
@@ -222,6 +227,19 @@ class Channel : public std::enable_shared_from_this<Channel> {
   uint64_t sends_ = 0;
   uint64_t recvs_ = 0;
   uint64_t cold_mints_ = 0;
+  // Registry handles, registered once in Create (the getters above stay the
+  // source of truth for tests; the registry adds the exported view).
+  void RegisterMetrics();
+  uint32_t obs_id_ = 0;
+  obs::Counter* m_sends_ = nullptr;
+  obs::Counter* m_recvs_ = nullptr;
+  obs::Counter* m_acquires_ = nullptr;
+  obs::Counter* m_releases_ = nullptr;
+  obs::Counter* m_cold_mints_ = nullptr;
+  obs::Counter* m_rebinds_ = nullptr;
+  obs::Counter* m_revokes_ = nullptr;
+  obs::Histogram* m_send_batch_ = nullptr;
+  obs::Histogram* m_recv_batch_ = nullptr;
 };
 
 // fd-table endpoints, so channel ends can be delegated between processes

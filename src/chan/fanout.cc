@@ -33,6 +33,29 @@ FanOutChannel::FanOutChannel(core::Dipc& dipc, os::Process& producer,
       receiver_procs_(receivers.begin(), receivers.end()),
       cfg_(cfg) {}
 
+void FanOutChannel::RegisterMetrics() {
+  obs_id_ = obs::NewObjectId();
+  const std::string p = "fanout/" + std::to_string(obs_id_) + "/";
+  obs::Registry& reg = obs::Registry::Default();
+  m_sends_ = reg.GetCounter(p + "sends");
+  m_deliveries_ = reg.GetCounter(p + "deliveries");
+  m_recvs_ = reg.GetCounter(p + "recvs");
+  m_blocked_on_credit_ = reg.GetCounter(p + "blocked_on_credit");
+  m_group_stall_ns_ = reg.GetHistogram(p + "credit_stall_ns");
+  const uint32_t n = receiver_count();
+  m_rx_deliveries_.resize(n);
+  m_rx_drops_.resize(n);
+  m_rx_credits_.resize(n);
+  m_rx_stall_ns_.resize(n);
+  for (uint32_t r = 0; r < n; ++r) {
+    const std::string rp = p + "rx/" + std::to_string(r) + "/";
+    m_rx_deliveries_[r] = reg.GetCounter(rp + "deliveries");
+    m_rx_drops_[r] = reg.GetCounter(rp + "drops");
+    m_rx_credits_[r] = reg.GetGauge(rp + "credits");
+    m_rx_stall_ns_[r] = reg.GetHistogram(rp + "credit_stall_ns");
+  }
+}
+
 base::Result<std::shared_ptr<FanOutChannel>> FanOutChannel::Create(
     core::Dipc& dipc, os::Process& producer, std::span<os::Process* const> receivers,
     FanOutConfig cfg) {
@@ -81,7 +104,10 @@ base::Result<std::shared_ptr<FanOutChannel>> FanOutChannel::Create(
     return caps.code();
   }
   ch->cap_seg_ = caps.value();
-  ch->free_ = std::make_unique<MpmcQueue>(kernel, producer, cfg.slots, ch->ctrl_tag_);
+  ch->RegisterMetrics();
+  const std::string prefix = "fanout/" + std::to_string(ch->obs_id_);
+  ch->free_ = std::make_unique<MpmcQueue>(kernel, producer, cfg.slots, ch->ctrl_tag_,
+                                          prefix + "/free", ch->obs_id_);
   for (uint32_t i = 0; i < cfg.slots; ++i) {
     ch->free_->Prime(i);
   }
@@ -90,8 +116,10 @@ base::Result<std::shared_ptr<FanOutChannel>> FanOutChannel::Create(
   for (uint32_t r = 0; r < n_recv; ++r) {
     // The credit line bounds a receiver's outstanding deliveries, so its
     // FIFO never needs more room than that.
-    ch->desc_.push_back(
-        std::make_unique<MpmcQueue>(kernel, producer, ch->credit_line_, ch->ctrl_tag_));
+    ch->desc_.push_back(std::make_unique<MpmcQueue>(kernel, producer, ch->credit_line_,
+                                                    ch->ctrl_tag_,
+                                                    prefix + "/rx/" + std::to_string(r) + "/desc",
+                                                    ch->obs_id_));
   }
   ch->sender_caps_.resize(cfg.slots);
   ch->wcap_tmpl_.resize(cfg.slots);
@@ -99,6 +127,9 @@ base::Result<std::shared_ptr<FanOutChannel>> FanOutChannel::Create(
   ch->rcap_tmpl_.assign(n_recv, std::vector<std::optional<codoms::Capability>>(cfg.slots));
   ch->pending_.assign(cfg.slots, 0);
   ch->credits_.assign(n_recv, ch->credit_line_);  // full credit line per receiver
+  for (uint32_t r = 0; r < n_recv; ++r) {
+    ch->m_rx_credits_[r]->Set(ch->credit_line_);
+  }
   ch->alive_.assign(n_recv, true);
   ch->dropped_.assign(n_recv, 0);
   ch->owner_key_.resize(n_recv);
@@ -151,6 +182,8 @@ bool FanOutChannel::GateClosed(uint32_t target, uint64_t need) const {
 
 sim::Task<base::ErrorCode> FanOutChannel::AwaitCredit(os::Env env, uint32_t target,
                                                       uint64_t need) {
+  sim::Time stall_start;
+  bool stalled = false;
   while (true) {
     if (broken_ != base::ErrorCode::kOk) {
       co_return broken_;
@@ -167,9 +200,22 @@ sim::Task<base::ErrorCode> FanOutChannel::AwaitCredit(os::Env env, uint32_t targ
       // Liveness across several parked producer threads needs no chaining
       // here — every ReleaseBatch issues one wake, so every gate-opening
       // event re-checks one waiter.
+      if (stalled) {
+        sim::Duration stall = env.kernel->now() - stall_start;
+        obs::Histogram* h =
+            target < receiver_count() ? m_rx_stall_ns_[target] : m_group_stall_ns_;
+        h->Record(stall.nanos());
+        obs::Trace().Record(env.self->last_cpu(), obs::EventType::kCreditStall, obs_id_, target,
+                            env.kernel->now(), stall);
+      }
       co_return base::ErrorCode::kOk;
     }
+    if (!stalled) {
+      stalled = true;
+      stall_start = env.kernel->now();
+    }
     ++blocked_on_credit_;
+    m_blocked_on_credit_->Add();
     ++credit_wait_count_;
     co_await FutexBlock(env, credit_waiters_, [this, target, need] {
       return GateClosed(target, need) && broken_ == base::ErrorCode::kOk && !closed_ &&
@@ -192,8 +238,14 @@ base::Result<codoms::Capability> FanOutChannel::GrantCap(os::Env env, uint32_t i
   base::Result<codoms::Capability> cap = base::ErrorCode::kFault;
   if (tmpl.has_value()) {
     cap = env.kernel->codoms().CapRebind(*tmpl, ctx, &c);
+    c += obs::Trace().event_cost();
+    obs::Trace().Record(env.self->last_cpu(), obs::EventType::kCapRebind, obs_id_, index,
+                        env.kernel->now());
   } else {
     ++cold_mints_;
+    c += obs::Trace().event_cost();
+    obs::Trace().Record(env.self->last_cpu(), obs::EventType::kCapMint, obs_id_, index,
+                        env.kernel->now());
     cap = env.kernel->codoms().CapFromApl(env.self->last_cpu(),
                                           env.self->process().page_table(), ctx, buf_va(index),
                                           buf_stride_, rights, codoms::CapType::kAsync, &c);
@@ -258,6 +310,9 @@ sim::Task<base::Result<std::vector<SendBuf>>> FanOutChannel::AcquireBufBatch(os:
     }
     caps.push_back(cap.value());
   }
+  cost += obs::Trace().event_cost();
+  obs::Trace().Record(env.self->last_cpu(), obs::EventType::kAcquireBatch, obs_id_,
+                      indices.size(), k.now());
   co_await k.Spend(*env.self, cost, TimeCat::kUser);
   if (broken_ != base::ErrorCode::kOk) {
     for (const auto& granted : caps) {
@@ -420,6 +475,7 @@ sim::Task<base::Status> FanOutChannel::SendCommon(os::Env env, std::span<const S
         // Only reachable for broadcast under kDropSlowest (the gate blocked
         // every other case): this receiver lags too far — skip it.
         ++dropped_[r];
+        m_rx_drops_[r]->Add();
         continue;
       }
       auto rcap = GrantCap(env, index, r, codoms::Perm::kRead, &cost);
@@ -451,6 +507,7 @@ sim::Task<base::Status> FanOutChannel::SendCommon(os::Env env, std::span<const S
       granted.push_back(rcap.value());
       rcaps_[r][index] = rcap.value();
       --credits_[r];
+      m_rx_credits_[r]->Set(static_cast<int64_t>(credits_[r]));
       dests[j].push_back(r);
     }
     pending_[index] = static_cast<uint32_t>(dests[j].size());
@@ -468,6 +525,9 @@ sim::Task<base::Status> FanOutChannel::SendCommon(os::Env env, std::span<const S
       orphaned.push_back(index);
     }
   }
+  cost += obs::Trace().event_cost();
+  obs::Trace().Record(env.self->last_cpu(), obs::EventType::kSendBatch, obs_id_, items.size(),
+                      k.now());
   co_await k.Spend(*env.self, cost, TimeCat::kUser);
   if (broken_ != base::ErrorCode::kOk) {
     // Producer died during the Spend: teardown already swept every recorded
@@ -503,9 +563,12 @@ sim::Task<base::Status> FanOutChannel::SendCommon(os::Env env, std::span<const S
       continue;
     }
     delivered += descs.size();
+    m_rx_deliveries_[r]->Add(descs.size());
   }
   sends_ += items.size();
   deliveries_ += delivered;
+  m_sends_->Add(items.size());
+  m_deliveries_->Add(delivered);
   if (delivered == 0) {
     // Everyone died (or every laggard dropped a fully-orphaned batch) before
     // publication: surface it — for sharded sends the caller reshards.
@@ -564,6 +627,9 @@ sim::Task<base::Result<std::vector<Msg>>> FanOutChannel::RecvBatch(os::Env env,
     caps.push_back(cap.value());
     out.push_back(Msg{buf_va(index), len, index});
   }
+  cost += obs::Trace().event_cost();
+  obs::Trace().Record(env.self->last_cpu(), obs::EventType::kRecvBatch, obs_id_, out.size(),
+                      k.now());
   co_await k.Spend(*env.self, cost, TimeCat::kUser);
   if (broken_ != base::ErrorCode::kOk) {
     co_return broken_;
@@ -574,6 +640,7 @@ sim::Task<base::Result<std::vector<Msg>>> FanOutChannel::RecvBatch(os::Env env,
       DropDelivery(receiver, static_cast<uint32_t>(index), &freed);
       ++credits_[receiver];  // the delivery is undone; its credit returns
     }
+    m_rx_credits_[receiver]->Set(static_cast<int64_t>(credits_[receiver]));
     if (!freed.empty()) {
       (void)co_await free_->PushN(env, std::span(freed));
       if (broken_ != base::ErrorCode::kOk) {
@@ -589,6 +656,7 @@ sim::Task<base::Result<std::vector<Msg>>> FanOutChannel::RecvBatch(os::Env env,
   }
   env.self->cap_ctx().regs.Set(kReceiverCapReg, caps.front());
   recvs_ += out.size();
+  m_recvs_->Add(out.size());
   co_return out;
 }
 
@@ -634,6 +702,10 @@ sim::Task<base::Status> FanOutChannel::ReleaseBatch(os::Env env, uint32_t receiv
     cost += cm.cap_revoke;
     ++credits_[receiver];  // the credit returns with the release
   }
+  m_rx_credits_[receiver]->Set(static_cast<int64_t>(credits_[receiver]));
+  cost += obs::Trace().event_cost();
+  obs::Trace().Record(env.self->last_cpu(), obs::EventType::kCreditGrant, obs_id_, msgs.size(),
+                      k.now());
   co_await k.Spend(*env.self, cost, TimeCat::kUser);
   if (broken_ != base::ErrorCode::kOk) {
     co_return broken_;

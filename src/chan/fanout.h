@@ -49,6 +49,8 @@
 #include "chan/segment.h"
 #include "codoms/capability.h"
 #include "dipc/dipc.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "os/kernel.h"
 #include "sim/task.h"
 
@@ -166,6 +168,9 @@ class FanOutChannel : public std::enable_shared_from_this<FanOutChannel> {
   uint64_t blocked_on_credit() const { return blocked_on_credit_; }
   uint64_t LiveGrantCount() const;
   hw::VirtAddr buf_va(uint32_t index) const { return data_seg_.base + index * buf_stride_; }
+  // Id under which this group's metrics ("fanout/<id>/...") and trace
+  // events are attributed.
+  uint32_t obs_id() const { return obs_id_; }
 
   // Dead-peer teardown (fired via the core::Dipc death hook). A dead
   // receiver is revoked individually; a dead producer breaks the channel.
@@ -237,6 +242,19 @@ class FanOutChannel : public std::enable_shared_from_this<FanOutChannel> {
   uint64_t recvs_ = 0;
   uint64_t cold_mints_ = 0;
   uint64_t blocked_on_credit_ = 0;
+  // Registry handles ("fanout/<id>/..." plus per-receiver "rx/<r>/...");
+  // registered once in Create, the getters above stay the source of truth.
+  void RegisterMetrics();
+  uint32_t obs_id_ = 0;
+  obs::Counter* m_sends_ = nullptr;
+  obs::Counter* m_deliveries_ = nullptr;
+  obs::Counter* m_recvs_ = nullptr;
+  obs::Counter* m_blocked_on_credit_ = nullptr;
+  obs::Histogram* m_group_stall_ns_ = nullptr;  // broadcast-gate stalls
+  std::vector<obs::Counter*> m_rx_deliveries_;
+  std::vector<obs::Counter*> m_rx_drops_;
+  std::vector<obs::Gauge*> m_rx_credits_;
+  std::vector<obs::Histogram*> m_rx_stall_ns_;  // sharded-gate stalls
 };
 
 }  // namespace dipc::chan

@@ -9,12 +9,22 @@ namespace dipc::chan {
 
 using os::TimeCat;
 
-MpmcQueue::MpmcQueue(os::Kernel& kernel, os::Process& proc, uint32_t capacity, hw::DomainTag tag)
+MpmcQueue::MpmcQueue(os::Kernel& kernel, os::Process& proc, uint32_t capacity, hw::DomainTag tag,
+                     std::string obs_name, uint32_t obs_obj)
     : kernel_(kernel), pt_(&proc.page_table()), capacity_(capacity) {
   DIPC_CHECK(capacity > 0);
   auto seg = MapSegment(kernel, proc, uint64_t{capacity} * kSlotBytes, tag);
   DIPC_CHECK(seg.ok());
   seg_ = seg.value();
+  obs_obj_ = obs_obj != 0 ? obs_obj : obs::NewObjectId();
+  if (obs_name.empty()) {
+    obs_name = "mpmc/" + std::to_string(obs_obj_);
+  }
+  obs::Registry& reg = obs::Registry::Default();
+  m_blocked_pushes_ = reg.GetCounter(obs_name + "/blocked_pushes");
+  m_blocked_pops_ = reg.GetCounter(obs_name + "/blocked_pops");
+  m_futex_wakes_ = reg.GetCounter(obs_name + "/futex_wakes");
+  m_park_ns_ = reg.GetHistogram(obs_name + "/park_ns");
 }
 
 void MpmcQueue::Prime(uint64_t value) {
@@ -46,6 +56,9 @@ sim::Task<void> MpmcQueue::WakeIfWaiting(os::Env env, os::WaitQueue& q,
     co_return;  // suppressed: no syscall, no kernel work
   }
   ++futex_wakes_;
+  m_futex_wakes_->Add();
+  obs::Trace().Record(env.self->last_cpu(), obs::EventType::kFutexWake, obs_obj_, live_waiters,
+                      env.kernel->now());
   co_await FutexWakeCommitted(env, q);
 }
 
@@ -115,9 +128,15 @@ sim::Task<base::Status> MpmcQueue::PushN(os::Env env, std::span<const uint64_t> 
         co_return code_;
       }
       ++blocked_pushes_;
+      m_blocked_pushes_->Add();
       ++waiting_pushes_;
+      sim::Time park_start = k.now();
       co_await FutexBlock(env, producers_, [&] { return count_ == capacity_ && !closed_; });
       --waiting_pushes_;
+      sim::Duration parked = k.now() - park_start;
+      m_park_ns_->Record(parked.nanos());
+      obs::Trace().Record(self.last_cpu(), obs::EventType::kFutexPark, obs_obj_, 0, k.now(),
+                          parked);
     }
     if (closed_) {
       co_return code_;
@@ -163,9 +182,15 @@ sim::Task<base::Result<uint64_t>> MpmcQueue::PopN(os::Env env, std::span<uint64_
       co_return code_;
     }
     ++blocked_pops_;
+    m_blocked_pops_->Add();
     ++waiting_pops_;
+    sim::Time park_start = k.now();
     co_await FutexBlock(env, consumers_, [&] { return count_ == 0 && !closed_; });
     --waiting_pops_;
+    sim::Duration parked = k.now() - park_start;
+    m_park_ns_->Record(parked.nanos());
+    obs::Trace().Record(self.last_cpu(), obs::EventType::kFutexPark, obs_obj_, 1, k.now(),
+                        parked);
   }
   if (!drain_allowed_) {
     co_return code_;

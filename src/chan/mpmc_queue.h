@@ -25,9 +25,12 @@
 
 #include <cstdint>
 #include <span>
+#include <string>
 
 #include "base/result.h"
 #include "chan/segment.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "os/kernel.h"
 #include "sim/task.h"
 
@@ -38,8 +41,13 @@ class MpmcQueue {
   static constexpr uint64_t kSlotBytes = 8;
 
   // Maps a `capacity`-slot segment through `proc`, tagged `tag` (callers
-  // grant `tag` to every participating domain).
-  MpmcQueue(os::Kernel& kernel, os::Process& proc, uint32_t capacity, hw::DomainTag tag);
+  // grant `tag` to every participating domain). `obs_name` prefixes the
+  // queue's metrics ("<obs_name>/blocked_pushes", ...; empty picks
+  // "mpmc/<fresh id>") and `obs_obj` is the trace-event object id (0
+  // allocates a fresh one); owners pass their own id so queue events
+  // attribute to the channel they serve.
+  MpmcQueue(os::Kernel& kernel, os::Process& proc, uint32_t capacity, hw::DomainTag tag,
+            std::string obs_name = {}, uint32_t obs_obj = 0);
 
   // Setup-time enqueue: no cost, no blocking (used to pre-fill free lists).
   void Prime(uint64_t value);
@@ -79,6 +87,7 @@ class MpmcQueue {
   uint64_t blocked_pushes() const { return blocked_pushes_; }
   uint64_t blocked_pops() const { return blocked_pops_; }
   uint64_t futex_wakes() const { return futex_wakes_; }
+  uint32_t obs_obj() const { return obs_obj_; }
 
  private:
   hw::VirtAddr SlotVa(uint64_t pos) const { return seg_.base + (pos % capacity_) * kSlotBytes; }
@@ -109,6 +118,13 @@ class MpmcQueue {
   uint64_t waiting_pushes_ = 0;
   uint64_t waiting_pops_ = 0;
   uint64_t futex_wakes_ = 0;  // wake syscalls actually issued (stats)
+  // Registry mirrors of the stats above, plus the park-time distribution;
+  // trace events carry obs_obj_ so a timeline attributes to this queue.
+  uint32_t obs_obj_ = 0;
+  obs::Counter* m_blocked_pushes_ = nullptr;
+  obs::Counter* m_blocked_pops_ = nullptr;
+  obs::Counter* m_futex_wakes_ = nullptr;
+  obs::Histogram* m_park_ns_ = nullptr;
   os::WaitQueue producers_;
   os::WaitQueue consumers_;
 };

@@ -1,6 +1,7 @@
 #include "chan/ring.h"
 
 #include <algorithm>
+#include <string>
 #include <vector>
 
 #include "chan/futex.h"
@@ -15,6 +16,14 @@ Ring::Ring(os::Kernel& kernel, os::Process& proc, uint64_t capacity, hw::DomainT
   auto seg = MapSegment(kernel, proc, capacity, tag);
   DIPC_CHECK(seg.ok());
   seg_ = seg.value();
+  obs_id_ = obs::NewObjectId();
+  const std::string prefix = "ring/" + std::to_string(obs_id_);
+  obs::Registry& reg = obs::Registry::Default();
+  m_bytes_written_ = reg.GetCounter(prefix + "/bytes_written");
+  m_bytes_read_ = reg.GetCounter(prefix + "/bytes_read");
+  m_blocked_writes_ = reg.GetCounter(prefix + "/blocked_writes");
+  m_blocked_reads_ = reg.GetCounter(prefix + "/blocked_reads");
+  m_park_ns_ = reg.GetHistogram(prefix + "/park_ns");
 }
 
 sim::Task<base::Status> Ring::CopyIn(os::Env env, hw::VirtAddr src, uint64_t len) {
@@ -99,8 +108,16 @@ sim::Task<base::Result<uint64_t>> Ring::Write(os::Env env, hw::VirtAddr src, uin
     // The full-ring predicate must be read-close-aware: a writer parked on
     // a full ring whose reader died would otherwise never wake — nobody is
     // left to drain the ring (the EPIPE analogue).
-    while (fill_ == capacity_ && !read_closed_) {
-      co_await FutexBlock(env, writers_, [&] { return fill_ == capacity_ && !read_closed_; });
+    if (fill_ == capacity_ && !read_closed_) {
+      m_blocked_writes_->Add();
+      const sim::Time park_start = k.now();
+      while (fill_ == capacity_ && !read_closed_) {
+        co_await FutexBlock(env, writers_, [&] { return fill_ == capacity_ && !read_closed_; });
+      }
+      const sim::Duration parked = k.now() - park_start;
+      m_park_ns_->Record(parked.nanos());
+      obs::Trace().Record(env.self->last_cpu(), obs::EventType::kFutexPark, obs_id_, 0, k.now(),
+                          parked);
     }
     if (read_closed_) {
       co_return base::ErrorCode::kBrokenChannel;
@@ -111,6 +128,7 @@ sim::Task<base::Result<uint64_t>> Ring::Write(os::Env env, hw::VirtAddr src, uin
       co_return s.code();
     }
     done += chunk;
+    m_bytes_written_->Add(chunk);
     co_await FutexWakeOne(env, readers_);
   }
   co_return done;
@@ -126,6 +144,8 @@ sim::Task<base::Result<uint64_t>> Ring::Read(os::Env env, hw::VirtAddr dst, uint
   if (read_closed_) {
     co_return base::ErrorCode::kBrokenChannel;  // reading from a closed read end
   }
+  sim::Time park_start;
+  bool parked = false;
   while (fill_ == 0) {
     if (write_closed_) {
       co_return uint64_t{0};  // EOF
@@ -133,14 +153,28 @@ sim::Task<base::Result<uint64_t>> Ring::Read(os::Env env, hw::VirtAddr dst, uint
     if (read_closed_) {
       co_return base::ErrorCode::kBrokenChannel;  // closed while parked
     }
+    if (!parked) {
+      parked = true;
+      m_blocked_reads_->Add();
+      park_start = k.now();
+    }
     co_await FutexBlock(
         env, readers_, [&] { return fill_ == 0 && !write_closed_ && !read_closed_; });
+  }
+  if (parked) {
+    // Parks ending in EOF/broken-channel return above without a sample; the
+    // histogram tracks waits that produced data.
+    const sim::Duration park_dur = k.now() - park_start;
+    m_park_ns_->Record(park_dur.nanos());
+    obs::Trace().Record(env.self->last_cpu(), obs::EventType::kFutexPark, obs_id_, 1, k.now(),
+                        park_dur);
   }
   uint64_t chunk = std::min(len, fill_);
   auto s = co_await CopyOut(env, dst, chunk);
   if (!s.ok()) {
     co_return s.code();
   }
+  m_bytes_read_->Add(chunk);
   co_await FutexWakeOne(env, writers_);
   co_return chunk;
 }

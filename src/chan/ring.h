@@ -15,6 +15,8 @@
 #include "base/result.h"
 #include "chan/segment.h"
 #include "dipc/dipc.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "os/kernel.h"
 #include "sim/task.h"
 
@@ -55,6 +57,8 @@ class Ring {
   uint64_t fill() const { return fill_; }
   bool read_closed() const { return read_closed_; }
   hw::VirtAddr data_base() const { return seg_.base; }
+  // Id shared by this ring's metrics ("ring/<id>/...") and trace events.
+  uint32_t obs_id() const { return obs_id_; }
 
  private:
   // User-level byte moves between `va` and the ring, split at the wrap
@@ -72,6 +76,12 @@ class Ring {
   bool read_closed_ = false;
   os::WaitQueue readers_;
   os::WaitQueue writers_;
+  uint32_t obs_id_ = 0;
+  obs::Counter* m_bytes_written_ = nullptr;  // ring/<id>/bytes_written
+  obs::Counter* m_bytes_read_ = nullptr;     // ring/<id>/bytes_read
+  obs::Counter* m_blocked_writes_ = nullptr; // ring/<id>/blocked_writes
+  obs::Counter* m_blocked_reads_ = nullptr;  // ring/<id>/blocked_reads
+  obs::Histogram* m_park_ns_ = nullptr;      // ring/<id>/park_ns (both sides)
 };
 
 }  // namespace dipc::chan

@@ -1,5 +1,7 @@
 #include "codoms/codoms.h"
 
+#include <string>
+
 #include "base/check.h"
 
 namespace dipc::codoms {
@@ -9,6 +11,10 @@ Codoms::Codoms(hw::Machine& machine) : machine_(machine) {
   for (uint32_t i = 0; i < machine.num_cpus(); ++i) {
     apl_caches_.push_back(std::make_unique<AplCache>());
   }
+  obs::Registry& reg = obs::Registry::Default();
+  m_mints_ = reg.GetCounter("codoms/mints");
+  m_rebinds_ = reg.GetCounter("codoms/rebinds");
+  m_revokes_ = reg.GetCounter("codoms/revokes");
 }
 
 Codoms::CacheRef Codoms::EnsureCached(hw::CpuId cpu, DomainTag tag) {
@@ -160,6 +166,12 @@ base::Result<Capability> Codoms::CapFromApl(hw::CpuId cpu, const hw::PageTable& 
     cap.revocation_epoch = revocations_.Epoch(cap.revocation_id);
   }
   ++mints_;
+  m_mints_->Add();
+  // Attribute the mint to the minting domain (the runtime domain for
+  // channels, a proxy domain for dIPC calls).
+  obs::Registry::Default()
+      .GetCounter("domain/" + std::to_string(ctx.current_domain) + "/caps_minted")
+      ->Add();
   return cap;
 }
 
@@ -200,6 +212,7 @@ base::Status Codoms::CapRevoke(const Capability& cap) {
     return base::ErrorCode::kInvalidArgument;  // sync caps die with their frame
   }
   revocations_.Revoke(cap.revocation_id);
+  m_revokes_->Add();
   return base::Status::Ok();
 }
 
@@ -218,6 +231,7 @@ base::Result<Capability> Codoms::CapRebind(const Capability& cap, const ThreadCa
   Capability fresh = cap;
   fresh.revocation_epoch = revocations_.Epoch(cap.revocation_id);
   revocations_.ReGrant(cap.revocation_id);  // the counter is granted again
+  m_rebinds_->Add();
   return fresh;
 }
 

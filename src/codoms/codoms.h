@@ -30,6 +30,7 @@
 #include "hw/machine.h"
 #include "hw/page_table.h"
 #include "hw/types.h"
+#include "obs/metrics.h"
 
 namespace dipc::codoms {
 
@@ -132,6 +133,12 @@ class Codoms {
   RevocationTable revocations_;
   std::vector<std::unique_ptr<AplCache>> apl_caches_;
   uint64_t mints_ = 0;
+  // Global capability-churn counters, registered in the ctor ("codoms/...");
+  // mints additionally count into "domain/<tag>/caps_minted" for attribution
+  // (per-mint registry lookup — mints are cold by design, so that's fine).
+  obs::Counter* m_mints_ = nullptr;
+  obs::Counter* m_rebinds_ = nullptr;
+  obs::Counter* m_revokes_ = nullptr;
   // Physical address (32 B aligned) -> stored capability.
   std::unordered_map<hw::PhysAddr, Capability> stored_caps_;
 };

@@ -3,9 +3,15 @@
 #include <exception>
 #include <utility>
 
+#include "obs/trace.h"
+
 namespace dipc::core {
 
-Dipc::Dipc(os::Kernel& kernel) : kernel_(kernel), vas_(kernel.machine()) {}
+Dipc::Dipc(os::Kernel& kernel) : kernel_(kernel), vas_(kernel.machine()) {
+  obs::Registry& reg = obs::Registry::Default();
+  m_kill_sweeps_ = reg.GetCounter("dipc/kill_sweeps");
+  m_death_hook_runs_ = reg.GetCounter("dipc/death_hook_runs");
+}
 
 Dipc::~Dipc() = default;
 
@@ -36,6 +42,11 @@ void Dipc::KillProcess(os::Process& proc) {
     // the survivors back before the next queued kill drains.
     std::vector<ProcessDeathHook> hooks;
     hooks.swap(death_hooks_);
+    const uint64_t hooks_run = hooks.size();
+    m_kill_sweeps_->Add();
+    m_death_hook_runs_->Add(hooks_run);
+    obs::Trace().Record(0, obs::EventType::kDeathSweep, static_cast<uint32_t>(dead->pid()),
+                        hooks_run, kernel_.now());
     size_t kept = 0;
     for (size_t i = 0; i < hooks.size(); ++i) {
       bool keep = true;

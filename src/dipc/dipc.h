@@ -17,6 +17,7 @@
 #include "dipc/policy.h"
 #include "dipc/proxy.h"
 #include "dipc/tracker.h"
+#include "obs/metrics.h"
 #include "os/kernel.h"
 
 namespace dipc::core {
@@ -148,6 +149,9 @@ class Dipc {
   // outermost call drains them (see KillProcess).
   std::vector<os::Process*> pending_kills_;
   bool in_kill_sweep_ = false;
+  // Death-sweep churn, registered in the ctor ("dipc/...").
+  obs::Counter* m_kill_sweeps_ = nullptr;      // processes actually swept
+  obs::Counter* m_death_hook_runs_ = nullptr;  // hook invocations across sweeps
   // Proxy code pages are owned by the runtime, not any process; allocate
   // their VAs from a dedicated block.
   hw::VirtAddr proxy_region_next_ = 0;

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <bit>
 #include <memory>
+#include <string>
 
 #include "dipc/dipc.h"
+#include "obs/trace.h"
 
 namespace dipc::core {
 
@@ -53,10 +55,17 @@ Proxy::Proxy(Dipc& dipc, hw::VirtAddr code_va, hw::DomainTag proxy_domain, Entry
       tmpl_(tmpl),
       cross_process_(callee_process != caller_process) {
   policy_costs_ = ComputePolicyCosts(dipc.kernel().costs(), policy_, target_.signature);
+  obs_id_ = obs::NewObjectId();
+  const std::string prefix = "proxy/" + std::to_string(obs_id_);
+  obs::Registry& reg = obs::Registry::Default();
+  m_calls_ = reg.GetCounter(prefix + "/calls");
+  m_crashes_ = reg.GetCounter(prefix + "/crashes");
+  m_call_ns_ = reg.GetHistogram(prefix + "/call_ns");
 }
 
 sim::Task<uint64_t> Proxy::Invoke(os::Env env, CallArgs args) {
   ++invocations_;
+  m_calls_->Add();
   os::Kernel& k = dipc_.kernel();
   os::Thread& t = *env.self;
   const hw::CostModel& cm = k.costs();
@@ -80,6 +89,12 @@ sim::Task<uint64_t> Proxy::Invoke(os::Env env, CallArgs args) {
   sim::Duration call_cost = ct_in.value();
   // P2: the proxy validates the thread's stack pointer.
   call_cost += cm.Cycles(2);
+
+  const sim::Time proxy_start = k.now();
+  const uint64_t arg_bytes =
+      8ull * target_.signature.in_regs + target_.signature.stack_bytes;
+  obs::Trace().Record(cpu, obs::EventType::kProxyEnter, obs_id_, arg_bytes, proxy_start);
+  call_cost += obs::Trace().event_cost();
 
   // Make sure the proxy can later return into the caller's domain. This APL
   // entry is installed once per (proxy domain, caller domain) pair.
@@ -179,6 +194,11 @@ sim::Task<uint64_t> Proxy::Invoke(os::Env env, CallArgs args) {
     }
     ctx.current_domain = e.caller_domain;
     co_await k.Spend(t, cm.exception_roundtrip + cm.kcs_op, os::TimeCat::kKernel);
+    m_crashes_->Add();
+    const sim::Duration crash_dur = k.now() - proxy_start;
+    m_call_ns_->Record(crash_dur.nanos());
+    obs::Trace().Record(t.last_cpu(), obs::EventType::kProxyExit, obs_id_, arg_bytes, k.now(),
+                        crash_dur);
     if (!e.caller_process->alive()) {
       throw CalleeCrash{crash_code};  // caller gone: unwind further (P3)
     }
@@ -211,6 +231,11 @@ sim::Task<uint64_t> Proxy::Invoke(os::Env env, CallArgs args) {
   if (!e.caller_process->alive()) {
     // The caller died while we were executing: its frame cannot be resumed.
     co_await k.Spend(t, ret_cost + cm.exception_roundtrip, os::TimeCat::kKernel);
+    m_crashes_->Add();
+    const sim::Duration dead_dur = k.now() - proxy_start;
+    m_call_ns_->Record(dead_dur.nanos());
+    obs::Trace().Record(t.last_cpu(), obs::EventType::kProxyExit, obs_id_, arg_bytes, k.now(),
+                        dead_dur);
     throw CalleeCrash{base::ErrorCode::kCalleeFailed};
   }
   // Jump back to the caller's text (read permission installed above).
@@ -221,7 +246,12 @@ sim::Task<uint64_t> Proxy::Invoke(os::Env env, CallArgs args) {
   } else {
     ctx.current_domain = e.caller_domain;
   }
+  ret_cost += obs::Trace().event_cost();
   co_await k.Spend(t, ret_cost, os::TimeCat::kProxy);
+  const sim::Duration call_dur = k.now() - proxy_start;
+  m_call_ns_->Record(call_dur.nanos());
+  obs::Trace().Record(t.last_cpu(), obs::EventType::kProxyExit, obs_id_, arg_bytes, k.now(),
+                      call_dur);
   co_return result;
 }
 

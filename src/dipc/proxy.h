@@ -15,6 +15,7 @@
 #include "dipc/objects.h"
 #include "dipc/policy.h"
 #include "dipc/proxy_template.h"
+#include "obs/metrics.h"
 #include "os/kernel.h"
 #include "sim/task.h"
 
@@ -49,6 +50,9 @@ class Proxy {
 
   uint64_t invocations() const { return invocations_; }
 
+  // Id shared by this proxy's metrics ("proxy/<id>/...") and trace events.
+  uint32_t obs_id() const { return obs_id_; }
+
  private:
   friend class Dipc;
 
@@ -64,6 +68,10 @@ class Proxy {
   ProxyTemplate tmpl_;
   bool cross_process_;
   uint64_t invocations_ = 0;
+  uint32_t obs_id_ = 0;
+  obs::Counter* m_calls_ = nullptr;     // proxy/<id>/calls
+  obs::Counter* m_crashes_ = nullptr;   // proxy/<id>/crashes (callee crash unwinds)
+  obs::Histogram* m_call_ns_ = nullptr; // proxy/<id>/call_ns (full in-proxy time)
 };
 
 // What entry_request hands back per entry: the resolved proxy plus the

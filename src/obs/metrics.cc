@@ -1,0 +1,273 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <sstream>
+
+namespace dipc::obs {
+
+#ifndef DIPC_OBS_OFF
+
+double Histogram::Percentile(double p) const {
+  uint64_t total = count();
+  if (total == 0) {
+    return 0.0;
+  }
+  if (p < 0.0) {
+    p = 0.0;
+  }
+  if (p > 100.0) {
+    p = 100.0;
+  }
+  // Rank of the target sample, 1-based; walk buckets until the cumulative
+  // count crosses it, then interpolate across the crossing bucket's range.
+  double rank = p / 100.0 * static_cast<double>(total - 1) + 1.0;
+  uint64_t cum = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    uint64_t n = bucket(b);
+    if (n == 0) {
+      continue;
+    }
+    if (static_cast<double>(cum + n) >= rank) {
+      double lo = b == 0 ? 0.0 : static_cast<double>(1ull << (b - 1));
+      double hi = b == 0 ? 1.0 : lo * 2.0;
+      double frac = (rank - static_cast<double>(cum)) / static_cast<double>(n);
+      double v = lo + (hi - lo) * frac;
+      // Clamp to the observed range so tiny histograms don't report values
+      // outside [min, max].
+      v = std::max(v, static_cast<double>(min_ns()));
+      v = std::min(v, static_cast<double>(max_ns()));
+      return v;
+    }
+    cum += n;
+  }
+  return static_cast<double>(max_ns());
+}
+
+namespace {
+
+enum class Kind { kCounter, kGauge, kHistogram };
+
+struct Entry {
+  Kind kind;
+  std::unique_ptr<Counter> counter;
+  std::unique_ptr<Gauge> gauge;
+  std::unique_ptr<Histogram> histogram;
+};
+
+void AppendJsonString(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  out += '"';
+}
+
+std::string FormatDouble(double v) {
+  std::ostringstream os;
+  os << v;
+  std::string s = os.str();
+  if (s == "inf" || s == "-inf" || s == "nan") {
+    return "0";
+  }
+  return s;
+}
+
+}  // namespace
+
+struct Registry::Impl {
+  mutable std::mutex mu;
+  // std::map keeps names sorted so SnapshotJson() is deterministic; Entry
+  // values hold unique_ptrs, so handle pointers survive rehash/rebalance.
+  std::map<std::string, Entry, std::less<>> entries;
+  uint64_t kind_collisions = 0;
+
+  Entry& GetOrCreate(std::string_view name, Kind kind) {
+    auto it = entries.find(name);
+    if (it == entries.end()) {
+      Entry e;
+      e.kind = kind;
+      switch (kind) {
+        case Kind::kCounter:
+          e.counter = std::make_unique<Counter>();
+          break;
+        case Kind::kGauge:
+          e.gauge = std::make_unique<Gauge>();
+          break;
+        case Kind::kHistogram:
+          e.histogram = std::make_unique<Histogram>();
+          break;
+      }
+      it = entries.emplace(std::string(name), std::move(e)).first;
+    }
+    return it->second;
+  }
+};
+
+Registry::Impl& Registry::impl() const {
+  static Impl* impl = new Impl();
+  return *impl;
+}
+
+Registry& Registry::Default() {
+  static Registry* r = new Registry();
+  return *r;
+}
+
+Counter* Registry::GetCounter(std::string_view name) {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  Entry& e = im.GetOrCreate(name, Kind::kCounter);
+  if (e.kind != Kind::kCounter) {
+    // Name already taken by a different kind: hand back a detached dummy so
+    // the caller still gets a valid handle, and record the misuse.
+    ++im.kind_collisions;
+    static Counter* dummy = new Counter();
+    return dummy;
+  }
+  return e.counter.get();
+}
+
+Gauge* Registry::GetGauge(std::string_view name) {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  Entry& e = im.GetOrCreate(name, Kind::kGauge);
+  if (e.kind != Kind::kGauge) {
+    ++im.kind_collisions;
+    static Gauge* dummy = new Gauge();
+    return dummy;
+  }
+  return e.gauge.get();
+}
+
+Histogram* Registry::GetHistogram(std::string_view name) {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  Entry& e = im.GetOrCreate(name, Kind::kHistogram);
+  if (e.kind != Kind::kHistogram) {
+    ++im.kind_collisions;
+    static Histogram* dummy = new Histogram();
+    return dummy;
+  }
+  return e.histogram.get();
+}
+
+std::string Registry::SnapshotJson() const {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  std::string out = "{";
+  auto section = [&](const char* title, Kind kind, auto&& emit) {
+    AppendJsonString(out, title);
+    out += ": {";
+    bool first = true;
+    for (const auto& [name, e] : im.entries) {
+      if (e.kind != kind) {
+        continue;
+      }
+      if (!first) {
+        out += ", ";
+      }
+      first = false;
+      AppendJsonString(out, name);
+      out += ": ";
+      emit(e);
+    }
+    out += "}";
+  };
+  section("counters", Kind::kCounter,
+          [&](const Entry& e) { out += std::to_string(e.counter->value()); });
+  out += ", ";
+  section("gauges", Kind::kGauge,
+          [&](const Entry& e) { out += std::to_string(e.gauge->value()); });
+  out += ", ";
+  section("histograms", Kind::kHistogram, [&](const Entry& e) {
+    const Histogram& h = *e.histogram;
+    out += "{\"count\": " + std::to_string(h.count());
+    out += ", \"sum_ns\": " + std::to_string(h.sum_ns());
+    out += ", \"min_ns\": " + std::to_string(h.min_ns());
+    out += ", \"max_ns\": " + std::to_string(h.max_ns());
+    out += ", \"p50\": " + FormatDouble(h.Percentile(50));
+    out += ", \"p95\": " + FormatDouble(h.Percentile(95));
+    out += ", \"p99\": " + FormatDouble(h.Percentile(99));
+    out += "}";
+  });
+  if (im.kind_collisions > 0) {
+    out += ", \"kind_collisions\": " + std::to_string(im.kind_collisions);
+  }
+  out += "}";
+  return out;
+}
+
+void Registry::Reset() {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  for (auto& [name, e] : im.entries) {
+    switch (e.kind) {
+      case Kind::kCounter:
+        e.counter->Reset();
+        break;
+      case Kind::kGauge:
+        e.gauge->Reset();
+        break;
+      case Kind::kHistogram:
+        e.histogram->Reset();
+        break;
+    }
+  }
+}
+
+size_t Registry::size() const {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  return im.entries.size();
+}
+
+#else  // DIPC_OBS_OFF
+
+Registry& Registry::Default() {
+  static Registry* r = new Registry();
+  return *r;
+}
+
+struct Registry::Impl {};
+Registry::Impl& Registry::impl() const {
+  static Impl* impl = new Impl();
+  return *impl;
+}
+
+Counter* Registry::GetCounter(std::string_view) {
+  static Counter* dummy = new Counter();
+  return dummy;
+}
+
+Gauge* Registry::GetGauge(std::string_view) {
+  static Gauge* dummy = new Gauge();
+  return dummy;
+}
+
+Histogram* Registry::GetHistogram(std::string_view) {
+  static Histogram* dummy = new Histogram();
+  return dummy;
+}
+
+std::string Registry::SnapshotJson() const { return "{}"; }
+void Registry::Reset() {}
+size_t Registry::size() const { return 0; }
+
+#endif  // DIPC_OBS_OFF
+
+}  // namespace dipc::obs

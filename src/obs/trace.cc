@@ -1,0 +1,173 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
+namespace dipc::obs {
+
+const char* EventTypeName(EventType t) {
+  switch (t) {
+    case EventType::kAcquireBatch:
+      return "acquire_batch";
+    case EventType::kSendBatch:
+      return "send_batch";
+    case EventType::kRecvBatch:
+      return "recv_batch";
+    case EventType::kReleaseBatch:
+      return "release_batch";
+    case EventType::kFutexPark:
+      return "futex_park";
+    case EventType::kFutexWake:
+      return "futex_wake";
+    case EventType::kCreditGrant:
+      return "credit_grant";
+    case EventType::kCreditStall:
+      return "credit_stall";
+    case EventType::kCapMint:
+      return "cap_mint";
+    case EventType::kCapRebind:
+      return "cap_rebind";
+    case EventType::kCapRevoke:
+      return "cap_revoke";
+    case EventType::kDeathSweep:
+      return "death_sweep";
+    case EventType::kProxyEnter:
+      return "proxy_enter";
+    case EventType::kProxyExit:
+      return "proxy_exit";
+  }
+  return "unknown";
+}
+
+TraceRing& TraceRing::Global() {
+  static TraceRing* ring = new TraceRing();
+  return *ring;
+}
+
+uint32_t NewObjectId() {
+  static std::atomic<uint32_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+#ifndef DIPC_OBS_OFF
+
+void TraceRing::Enable(uint32_t capacity_per_cpu) {
+  if (capacity_per_cpu == 0) {
+    capacity_per_cpu = 1;
+  }
+  if (capacity_per_cpu != capacity_) {
+    capacity_ = capacity_per_cpu;
+    for (auto& r : rings_) {
+      r.slots.assign(capacity_, TraceEvent{});
+      r.next.store(0, std::memory_order_relaxed);
+    }
+  } else {
+    Clear();
+  }
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void TraceRing::Disable() { enabled_.store(false, std::memory_order_relaxed); }
+
+void TraceRing::RecordSlow(uint32_t cpu, EventType type, uint32_t obj, uint64_t arg,
+                           sim::Time ts, sim::Duration dur) {
+  CpuRing& r = rings_[cpu % kMaxCpus];
+  uint64_t i = r.next.fetch_add(1, std::memory_order_relaxed);
+  TraceEvent& e = r.slots[i % capacity_];
+  e.ts_ps = ts.picos();
+  e.dur_ps = dur.picos();
+  e.arg = arg;
+  e.obj = obj;
+  e.cpu = cpu;
+  e.type = type;
+}
+
+void TraceRing::Clear() {
+  for (auto& r : rings_) {
+    r.next.store(0, std::memory_order_relaxed);
+  }
+}
+
+uint64_t TraceRing::recorded(uint32_t cpu) const {
+  return rings_[cpu % kMaxCpus].next.load(std::memory_order_relaxed);
+}
+
+uint64_t TraceRing::held(uint32_t cpu) const {
+  return std::min<uint64_t>(recorded(cpu), capacity_);
+}
+
+std::vector<TraceEvent> TraceRing::Snapshot() const {
+  std::vector<TraceEvent> out;
+  if (capacity_ == 0) {
+    return out;
+  }
+  for (const auto& r : rings_) {
+    uint64_t n = r.next.load(std::memory_order_relaxed);
+    uint64_t held = std::min<uint64_t>(n, capacity_);
+    // Oldest surviving event sits at index n - held in the logical stream.
+    for (uint64_t k = n - held; k < n; ++k) {
+      out.push_back(r.slots[k % capacity_]);
+    }
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) { return a.ts_ps < b.ts_ps; });
+  return out;
+}
+
+#else  // DIPC_OBS_OFF
+
+void TraceRing::Enable(uint32_t) {}
+void TraceRing::Disable() {}
+void TraceRing::RecordSlow(uint32_t, EventType, uint32_t, uint64_t, sim::Time, sim::Duration) {}
+void TraceRing::Clear() {}
+uint64_t TraceRing::recorded(uint32_t) const { return 0; }
+uint64_t TraceRing::held(uint32_t) const { return 0; }
+std::vector<TraceEvent> TraceRing::Snapshot() const { return {}; }
+
+#endif  // DIPC_OBS_OFF
+
+std::string TraceRing::ChromeTraceJson() const {
+  // ts/dur are microseconds in the trace_event format; emit picosecond
+  // precision as fractional microseconds. pid 0 is the whole simulation,
+  // tid = simulated cpu.
+  std::string out = "{\"traceEvents\": [\n";
+  out +=
+      "{\"ph\": \"M\", \"pid\": 0, \"name\": \"process_name\", "
+      "\"args\": {\"name\": \"dipc-sim\"}}";
+  std::vector<TraceEvent> events = Snapshot();
+  char buf[256];
+  for (const TraceEvent& e : events) {
+    double ts_us = static_cast<double>(e.ts_ps) / 1e6;
+    if (e.dur_ps > 0) {
+      double dur_us = static_cast<double>(e.dur_ps) / 1e6;
+      // Span events render with their *start* time in chrome://tracing;
+      // events are recorded at completion, so shift back by dur.
+      snprintf(buf, sizeof(buf),
+               ",\n{\"ph\": \"X\", \"pid\": 0, \"tid\": %u, \"name\": \"%s\", "
+               "\"ts\": %.6f, \"dur\": %.6f, \"args\": {\"obj\": %u, \"arg\": %llu}}",
+               e.cpu, EventTypeName(e.type), ts_us - dur_us, dur_us, e.obj,
+               static_cast<unsigned long long>(e.arg));
+    } else {
+      snprintf(buf, sizeof(buf),
+               ",\n{\"ph\": \"i\", \"pid\": 0, \"tid\": %u, \"name\": \"%s\", "
+               "\"ts\": %.6f, \"s\": \"t\", \"args\": {\"obj\": %u, \"arg\": %llu}}",
+               e.cpu, EventTypeName(e.type), ts_us, e.obj,
+               static_cast<unsigned long long>(e.arg));
+    }
+    out += buf;
+  }
+  out += "\n], \"displayTimeUnit\": \"ns\"}\n";
+  return out;
+}
+
+bool TraceRing::ExportChromeTrace(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) {
+    return false;
+  }
+  f << ChromeTraceJson();
+  return static_cast<bool>(f);
+}
+
+}  // namespace dipc::obs

@@ -8,6 +8,8 @@
 
 #include <cstdint>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "os/kernel.h"
 #include "sim/task.h"
 
@@ -15,7 +17,14 @@ namespace dipc::os {
 
 class Semaphore : public KernelObject {
  public:
-  explicit Semaphore(int64_t initial = 0) : count_(initial) {}
+  explicit Semaphore(int64_t initial = 0) : count_(initial), obs_id_(obs::NewObjectId()) {
+    // Semaphores are created in bulk, so the metrics are process-wide
+    // aggregates; per-object attribution comes from the trace (obj = obs_id).
+    obs::Registry& reg = obs::Registry::Default();
+    m_futex_waits_ = reg.GetCounter("os/sem/futex_waits");
+    m_futex_wakes_ = reg.GetCounter("os/sem/futex_wakes");
+    m_park_ns_ = reg.GetHistogram("os/sem/park_ns");
+  }
 
   std::string_view type_name() const override { return "semaphore"; }
 
@@ -37,8 +46,14 @@ class Semaphore : public KernelObject {
     if (count_ > 0) {
       --count_;  // raced with a post while entering the kernel
     } else {
+      m_futex_waits_->Add();
+      const sim::Time park_start = k.now();
       co_await waiters_.Wait(env);
       // Woken by Post: the token was handed to us directly.
+      const sim::Duration parked = k.now() - park_start;
+      m_park_ns_->Record(parked.nanos());
+      obs::Trace().Record(env.self->last_cpu(), obs::EventType::kFutexPark, obs_id_, 0, k.now(),
+                          parked);
     }
     co_await k.SyscallExit(env);
   }
@@ -53,6 +68,8 @@ class Semaphore : public KernelObject {
     }
     co_await k.SyscallEnter(env);
     co_await k.Spend(*env.self, kFutexWakeKernel, TimeCat::kKernel);
+    m_futex_wakes_->Add();
+    obs::Trace().Record(env.self->last_cpu(), obs::EventType::kFutexWake, obs_id_, 1, k.now());
     sim::Duration ipi = k.MakeRunnable(*waiter, env.self->last_cpu());
     if (ipi > sim::Duration::Zero()) {
       co_await k.Spend(*env.self, ipi, TimeCat::kKernel);
@@ -65,7 +82,11 @@ class Semaphore : public KernelObject {
 
  private:
   int64_t count_;
+  uint32_t obs_id_;
   WaitQueue waiters_;
+  obs::Counter* m_futex_waits_;
+  obs::Counter* m_futex_wakes_;
+  obs::Histogram* m_park_ns_;
 };
 
 }  // namespace dipc::os

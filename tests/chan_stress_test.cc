@@ -30,6 +30,7 @@
 #include "codoms/codoms.h"
 #include "dipc/dipc.h"
 #include "hw/machine.h"
+#include "obs/trace.h"
 #include "os/kernel.h"
 #include "sim/random.h"
 
@@ -40,11 +41,46 @@ using base::ErrorCode;
 using sim::Duration;
 using sim::Rng;
 
+// Records the whole run of one seed into the global trace ring; when the
+// seed's assertions failed, dumps the ring as Chrome trace JSON so the
+// interleaving that broke the invariant is inspectable in chrome://tracing
+// (the sim is deterministic per seed, so the trace IS the failing run).
+class SeedTraceGuard {
+ public:
+  SeedTraceGuard(const char* test, uint64_t seed) : test_(test), seed_(seed) {
+    obs::Trace().Enable();  // same capacity: re-enabling clears the prior seed
+  }
+  ~SeedTraceGuard() { obs::Trace().Disable(); }
+
+  // Call at the end of the seed iteration; returns true when the seed failed
+  // (stop iterating: HasFailure() is sticky, and later seeds would overwrite
+  // the ring before anyone reads the dump).
+  bool DumpIfFailed() {
+    if (!::testing::Test::HasFailure()) {
+      return false;
+    }
+    const std::string path =
+        "chan_stress_" + std::string(test_) + "_seed" + std::to_string(seed_) + ".trace.json";
+    if (obs::Trace().ExportChromeTrace(path)) {
+      ADD_FAILURE() << "seed " << seed_ << " failed; trace ring dumped to " << path;
+    } else {
+      ADD_FAILURE() << "seed " << seed_ << " failed; trace ring dump to " << path
+                    << " ALSO failed";
+    }
+    return true;
+  }
+
+ private:
+  const char* test_;
+  uint64_t seed_;
+};
+
 // --- MpmcQueue: randomized MPMC batch traffic, no loss, no duplication ---
 
 TEST(ChanStress, MpmcQueueRandomBatchTrafficLosesAndDuplicatesNothing) {
   for (uint64_t seed = 1; seed <= 20; ++seed) {
     SCOPED_TRACE("seed " + std::to_string(seed));
+    SeedTraceGuard trace_guard("mpmc", seed);
     Rng rng(seed);
     hw::Machine machine(4);
     codoms::Codoms codoms(machine);
@@ -120,6 +156,9 @@ TEST(ChanStress, MpmcQueueRandomBatchTrafficLosesAndDuplicatesNothing) {
     std::set<uint64_t> uniq(b.begin(), b.end());
     EXPECT_EQ(uniq.size(), b.size()) << "duplicated value";
     EXPECT_EQ(q.size(), 0u);
+    if (trace_guard.DumpIfFailed()) {
+      break;
+    }
   }
 }
 
@@ -129,6 +168,7 @@ TEST(ChanStress, MpmcQueueRandomBatchTrafficLosesAndDuplicatesNothing) {
 TEST(ChanStress, ChannelRandomBatchStreamDeliversExactlyOnceAndRecyclesPool) {
   for (uint64_t seed = 1; seed <= 12; ++seed) {
     SCOPED_TRACE("seed " + std::to_string(seed));
+    SeedTraceGuard trace_guard("chan_stream", seed);
     Rng rng(seed);
     hw::Machine machine(4);
     codoms::Codoms codoms(machine);
@@ -228,6 +268,9 @@ TEST(ChanStress, ChannelRandomBatchStreamDeliversExactlyOnceAndRecyclesPool) {
     // No capability survived the orderly teardown.
     EXPECT_EQ(chan->LiveGrantCount(), 0u);
     EXPECT_EQ(codoms.revocations().live_count(), 0u);
+    if (trace_guard.DumpIfFailed()) {
+      break;
+    }
   }
 }
 
@@ -237,6 +280,7 @@ TEST(ChanStress, ChannelRandomBatchStreamDeliversExactlyOnceAndRecyclesPool) {
 TEST(ChanStress, ChannelRandomKillMidRunLeaksNoGrantAndNeverDuplicates) {
   for (uint64_t seed = 1; seed <= 30; ++seed) {
     SCOPED_TRACE("seed " + std::to_string(seed));
+    SeedTraceGuard trace_guard("chan_kill", seed);
     Rng rng(seed);
     hw::Machine machine(4);
     codoms::Codoms codoms(machine);
@@ -333,6 +377,9 @@ TEST(ChanStress, ChannelRandomKillMidRunLeaksNoGrantAndNeverDuplicates) {
     for (uint64_t id = 0; id < rt.size(); ++id) {
       EXPECT_GE(rt.Epoch(id), 1u) << "unrevoked counter " << id;
     }
+    if (trace_guard.DumpIfFailed()) {
+      break;
+    }
   }
 }
 
@@ -342,6 +389,7 @@ TEST(ChanStress, ChannelRandomKillMidRunLeaksNoGrantAndNeverDuplicates) {
 TEST(ChanStress, FanOutRandomKillsRevokePerReceiverAndLeakNothing) {
   for (uint64_t seed = 1; seed <= 20; ++seed) {
     SCOPED_TRACE("seed " + std::to_string(seed));
+    SeedTraceGuard trace_guard("fanout_kill", seed);
     Rng rng(seed);
     hw::Machine machine(6);
     codoms::Codoms codoms(machine);
@@ -497,6 +545,9 @@ TEST(ChanStress, FanOutRandomKillsRevokePerReceiverAndLeakNothing) {
     const codoms::RevocationTable& rt = codoms.revocations();
     for (uint64_t id = 0; id < rt.size(); ++id) {
       EXPECT_GE(rt.Epoch(id), 1u) << "unrevoked counter " << id;
+    }
+    if (trace_guard.DumpIfFailed()) {
+      break;
     }
   }
 }

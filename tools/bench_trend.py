@@ -1,0 +1,191 @@
+#!/usr/bin/env python3
+"""Diff two sets of BENCH_*.json files and gate on regressions.
+
+Each BENCH_*.json (written by the bench harness's JsonEmitter under --json)
+holds {"bench": name, "unit": "ns", "rows": [{"series", "x", "value"}, ...]}.
+This tool matches rows across a baseline directory and a current directory by
+(bench, series, x) and exits nonzero when any value regressed by more than the
+threshold (default 15%). Lower is better for every series (values are ns).
+
+Usage:
+  bench_trend.py BASELINE_DIR CURRENT_DIR [--threshold PCT] [--warn-only]
+  bench_trend.py --self-test
+
+New series (no baseline) and removed series are reported but never fail the
+gate: trajectory files are expected to grow. The "metrics" object optionally
+embedded by --metrics is ignored — counters are workload-sized, not
+regressions.
+"""
+
+import argparse
+import glob
+import json
+import os
+import sys
+import tempfile
+
+
+def load_dir(path):
+    """Returns {(bench, series, x): value_ns} over every BENCH_*.json in path."""
+    rows = {}
+    for f in sorted(glob.glob(os.path.join(path, "BENCH_*.json"))):
+        if f.endswith(".trace.json"):
+            continue  # Chrome traces share the prefix but are not trend data
+        try:
+            with open(f) as fh:
+                doc = json.load(fh)
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"warning: skipping unreadable {f}: {e}", file=sys.stderr)
+            continue
+        bench = doc.get("bench")
+        for row in doc.get("rows", []):
+            try:
+                key = (bench, row["series"], int(row["x"]))
+                rows[key] = float(row["value"])
+            except (KeyError, TypeError, ValueError) as e:
+                print(f"warning: skipping malformed row in {f}: {e}", file=sys.stderr)
+    return rows
+
+
+def compare(baseline, current, threshold_pct):
+    """Returns (regressions, improvements, new_keys, removed_keys).
+
+    A regression is (key, base, cur, delta_pct) with delta over threshold.
+    """
+    regressions = []
+    improvements = []
+    for key, cur in sorted(current.items()):
+        base = baseline.get(key)
+        if base is None:
+            continue
+        if base <= 0:
+            continue  # degenerate baseline; nothing sensible to gate on
+        delta_pct = (cur - base) / base * 100.0
+        if delta_pct > threshold_pct:
+            regressions.append((key, base, cur, delta_pct))
+        elif delta_pct < -threshold_pct:
+            improvements.append((key, base, cur, delta_pct))
+    new_keys = sorted(set(current) - set(baseline))
+    removed_keys = sorted(set(baseline) - set(current))
+    return regressions, improvements, new_keys, removed_keys
+
+
+def fmt_key(key):
+    bench, series, x = key
+    return f"{bench}/{series}@{x}"
+
+
+def run(baseline_dir, current_dir, threshold_pct, warn_only):
+    baseline = load_dir(baseline_dir)
+    current = load_dir(current_dir)
+    if not current:
+        print(f"error: no BENCH_*.json found in {current_dir}", file=sys.stderr)
+        return 2
+    if not baseline:
+        print(f"no baseline data in {baseline_dir}; nothing to gate (first run?)")
+        return 0
+    regressions, improvements, new_keys, removed_keys = compare(
+        baseline, current, threshold_pct
+    )
+    matched = len(set(baseline) & set(current))
+    print(
+        f"compared {matched} series points "
+        f"({len(new_keys)} new, {len(removed_keys)} removed), "
+        f"threshold {threshold_pct:.1f}%"
+    )
+    for key, base, cur, delta in improvements:
+        print(f"  improved  {fmt_key(key)}: {base:.1f} -> {cur:.1f} ns ({delta:+.1f}%)")
+    for key in new_keys:
+        print(f"  new       {fmt_key(key)}: {current[key]:.1f} ns")
+    for key in removed_keys:
+        print(f"  removed   {fmt_key(key)} (baseline {baseline[key]:.1f} ns)")
+    for key, base, cur, delta in regressions:
+        print(f"  REGRESSED {fmt_key(key)}: {base:.1f} -> {cur:.1f} ns ({delta:+.1f}%)")
+    if regressions:
+        verdict = "warning" if warn_only else "FAIL"
+        print(f"{verdict}: {len(regressions)} series regressed > {threshold_pct:.1f}%")
+        return 0 if warn_only else 1
+    print("ok: no regressions")
+    return 0
+
+
+def self_test():
+    """Round-trips synthetic BENCH files through the full compare pipeline."""
+    base_doc = {
+        "bench": "t",
+        "unit": "ns",
+        "rows": [
+            {"series": "a", "x": 1, "value": 100.0},
+            {"series": "a", "x": 2, "value": 200.0},
+            {"series": "gone", "x": 1, "value": 50.0},
+        ],
+    }
+    cur_doc = {
+        "bench": "t",
+        "unit": "ns",
+        "rows": [
+            {"series": "a", "x": 1, "value": 110.0},  # +10%: within threshold
+            {"series": "a", "x": 2, "value": 260.0},  # +30%: regression
+            {"series": "fresh", "x": 1, "value": 10.0},
+        ],
+        "metrics": {"counters": {"chan/1/sends": 5}},
+    }
+    with tempfile.TemporaryDirectory() as tmp:
+        bdir = os.path.join(tmp, "base")
+        cdir = os.path.join(tmp, "cur")
+        os.mkdir(bdir)
+        os.mkdir(cdir)
+        with open(os.path.join(bdir, "BENCH_t.json"), "w") as f:
+            json.dump(base_doc, f)
+        with open(os.path.join(cdir, "BENCH_t.json"), "w") as f:
+            json.dump(cur_doc, f)
+        baseline = load_dir(bdir)
+        current = load_dir(cdir)
+        assert len(baseline) == 3, baseline
+        assert len(current) == 3, current
+        regs, imps, new, removed = compare(baseline, current, 15.0)
+        assert [r[0] for r in regs] == [("t", "a", 2)], regs
+        assert abs(regs[0][3] - 30.0) < 1e-9, regs
+        assert imps == [], imps
+        assert new == [("t", "fresh", 1)], new
+        assert removed == [("t", "gone", 1)], removed
+        # The gate itself: strict fails, warn-only passes.
+        assert run(bdir, cdir, 15.0, warn_only=False) == 1
+        assert run(bdir, cdir, 15.0, warn_only=True) == 0
+        assert run(bdir, cdir, 50.0, warn_only=False) == 0
+        # Missing baseline never fails (first CI run on a branch).
+        empty = os.path.join(tmp, "empty")
+        os.mkdir(empty)
+        assert run(empty, cdir, 15.0, warn_only=False) == 0
+        assert run(bdir, empty, 15.0, warn_only=False) == 2
+    print("self-test ok")
+    return 0
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline", nargs="?", help="directory with baseline BENCH_*.json")
+    ap.add_argument("current", nargs="?", help="directory with current BENCH_*.json")
+    ap.add_argument(
+        "--threshold",
+        type=float,
+        default=15.0,
+        metavar="PCT",
+        help="regression threshold in percent (default 15)",
+    )
+    ap.add_argument(
+        "--warn-only",
+        action="store_true",
+        help="report regressions but exit 0 (CI warm-up mode)",
+    )
+    ap.add_argument("--self-test", action="store_true", help="run the built-in checks")
+    args = ap.parse_args()
+    if args.self_test:
+        sys.exit(self_test())
+    if not args.baseline or not args.current:
+        ap.error("baseline and current directories are required (or --self-test)")
+    sys.exit(run(args.baseline, args.current, args.threshold, args.warn_only))
+
+
+if __name__ == "__main__":
+    main()
