@@ -39,10 +39,15 @@ void PrintBatchSweep(JsonEmitter& json) {
   for (int b : kBatches) {
     std::printf("%9d", b);
     for (uint64_t p : kPayloads) {
-      double ns = MeasureChannelStream({.payload_bytes = p, .batch = b, .cross_cpu = true});
-      std::printf(" %10.1f", ns);
       char series[32];
       std::snprintf(series, sizeof(series), "payload%llu", static_cast<unsigned long long>(p));
+      // Each (payload, batch) point is its own metrics window: under
+      // --metrics the registry is snapshotted + zeroed at this boundary.
+      char point[48];
+      std::snprintf(point, sizeof(point), "%s_b%d", series, b);
+      json.BeginSeries(point);
+      double ns = MeasureChannelStream({.payload_bytes = p, .batch = b, .cross_cpu = true});
+      std::printf(" %10.1f", ns);
       json.Row(series, static_cast<uint64_t>(b), ns);
       if (p == kPayloads[0] && b == 1) {
         small_b1 = ns;

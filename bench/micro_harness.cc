@@ -666,6 +666,17 @@ void JsonEmitter::Row(const std::string& series, uint64_t x, double value_ns) {
   rows_.push_back(RowData{series, x, value_ns});
 }
 
+void JsonEmitter::BeginSeries(const std::string& label) {
+  if (!metrics_) {
+    return;
+  }
+  if (!open_series_.empty()) {
+    series_metrics_.emplace_back(open_series_, obs::Registry::Default().SnapshotJson());
+  }
+  obs::Registry::Default().Reset();
+  open_series_ = label;
+}
+
 JsonEmitter::~JsonEmitter() {
   if (tracing()) {
     if (obs::Trace().ExportChromeTrace(trace_path_)) {
@@ -675,10 +686,20 @@ JsonEmitter::~JsonEmitter() {
     }
     obs::Trace().Disable();
   }
+  if (metrics_ && !open_series_.empty()) {
+    series_metrics_.emplace_back(open_series_, obs::Registry::Default().SnapshotJson());
+    open_series_.clear();
+  }
   if (!enabled_) {
     if (metrics_) {
-      // No BENCH json to embed into: print the snapshot for eyeballing.
-      std::printf("%s\n", obs::Registry::Default().SnapshotJson().c_str());
+      // No BENCH json to embed into: print the snapshot(s) for eyeballing.
+      if (series_metrics_.empty()) {
+        std::printf("%s\n", obs::Registry::Default().SnapshotJson().c_str());
+      } else {
+        for (const auto& [label, snap] : series_metrics_) {
+          std::printf("%s: %s\n", label.c_str(), snap.c_str());
+        }
+      }
     }
     return;
   }
@@ -696,7 +717,19 @@ JsonEmitter::~JsonEmitter() {
   }
   std::fprintf(f, "\n]");
   if (metrics_) {
-    std::fprintf(f, ",\n\"metrics\": %s", obs::Registry::Default().SnapshotJson().c_str());
+    if (series_metrics_.empty()) {
+      // Whole-run snapshot (bench never declared series boundaries).
+      std::fprintf(f, ",\n\"metrics\": %s", obs::Registry::Default().SnapshotJson().c_str());
+    } else {
+      // Per-series snapshots: each label's counters cover only its own
+      // measurement (the registry was reset at every BeginSeries).
+      std::fprintf(f, ",\n\"metrics\": {");
+      for (size_t i = 0; i < series_metrics_.size(); ++i) {
+        std::fprintf(f, "%s\n  \"%s\": %s", i == 0 ? "" : ",",
+                     series_metrics_[i].first.c_str(), series_metrics_[i].second.c_str());
+      }
+      std::fprintf(f, "\n}");
+    }
   }
   std::fprintf(f, "}\n");
   std::fclose(f);

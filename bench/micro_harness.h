@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "os/accounting.h"
@@ -112,6 +113,13 @@ class JsonEmitter {
   bool tracing() const { return !trace_path_.empty(); }
   void Row(const std::string& series, uint64_t x, double value_ns);
 
+  // Marks a series boundary for --metrics: snapshots the metric registry
+  // under the previously opened label and zeroes it, so each series'
+  // counters cover only its own measurement instead of accumulating
+  // everything the binary ran before it. No-op without --metrics. Benches
+  // that never call this keep the old single whole-run snapshot.
+  void BeginSeries(const std::string& label);
+
  private:
   std::string name_;
   bool enabled_ = false;
@@ -123,6 +131,10 @@ class JsonEmitter {
     double value_ns;
   };
   std::vector<RowData> rows_;
+  // --metrics per-series snapshots, in BeginSeries order; open_series_ is
+  // the label accumulating since the last boundary ("" = none opened yet).
+  std::vector<std::pair<std::string, std::string>> series_metrics_;
+  std::string open_series_;
 };
 
 }  // namespace dipc::bench

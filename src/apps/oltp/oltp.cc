@@ -1,6 +1,7 @@
 #include "apps/oltp/oltp.h"
 
 #include <memory>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -10,7 +11,9 @@
 #include "codoms/codoms.h"
 #include "dipc/dipc.h"
 #include "dipc/proxy.h"
+#include "fault/fault.h"
 #include "hw/machine.h"
+#include "os/deadline.h"
 #include "os/kernel.h"
 #include "os/semaphore.h"
 #include "os/unix_socket.h"
@@ -70,6 +73,15 @@ struct Ctx {
   uint64_t next_opid = 0;
   std::unordered_map<uint64_t, std::shared_ptr<os::Semaphore>> completions;
 
+  // kChan robustness bookkeeping (see OltpConfig::supervise).
+  uint64_t requests_retried = 0;
+  uint64_t requests_failed = 0;
+  uint64_t workers_respawned = 0;
+  uint64_t duplicate_completions = 0;
+  // Requests each PHP worker slot completed, ever (respawns keep the slot's
+  // counter): the supervisor's wedge heuristic watches this for stalls.
+  std::vector<uint64_t> worker_progress;
+
   std::unordered_map<uint64_t, sim::Rng> rngs;
   sim::Rng& RngFor(os::Thread& t) {
     auto it = rngs.find(t.tid());
@@ -83,6 +95,11 @@ struct Ctx {
     ops = 0;
     latency_sum_ms = 0;
     cross_domain_calls = 0;
+    requests_retried = 0;
+    requests_failed = 0;
+    duplicate_completions = 0;
+    // worker_progress stays: the supervisor diffs it between heartbeats and
+    // a mid-run reset would only look like (harmless) fresh progress.
   }
 };
 
@@ -376,10 +393,13 @@ OltpResult RunOltp(const OltpConfig& config) {
       const int W = std::max(1, config.chan_workers);
       os::Process& web = dipc.CreateDipcProcess("apache");
       os::Process& db = dipc.CreateDipcProcess("mariadb");
-      std::vector<os::Process*> php_procs;
+      // Shared (not stack-local) so the supervisor and the fault-plan kill
+      // handler can keep resolving worker slots after this block exits.
+      auto workers = std::make_shared<std::vector<os::Process*>>();
       for (int r = 0; r < W; ++r) {
-        php_procs.push_back(&dipc.CreateDipcProcess("php-worker"));
+        workers->push_back(&dipc.CreateDipcProcess("php-worker"));
       }
+      ctx.worker_progress.assign(static_cast<size_t>(W), 0);
       codoms::AplTable& apl = codoms.apl_table();
       // Shared domain-tag trios per tier direction (identical trust
       // relationship across workers), so the per-CPU APL cache stays warm.
@@ -397,12 +417,19 @@ OltpResult RunOltp(const OltpConfig& config) {
       chan::FanOutConfig fan_cfg{
           .slots = std::max<uint32_t>(8, static_cast<uint32_t>(config.threads)),
           .buf_bytes = kPhpReqBytes};
-      auto fan_r = chan::FanOutChannel::Create(dipc, web, php_procs, fan_cfg);
+      auto fan_r = chan::FanOutChannel::Create(dipc, web, *workers, fan_cfg);
       DIPC_CHECK(fan_r.ok());
       std::shared_ptr<chan::FanOutChannel> fan = fan_r.value();
 
-      for (int r = 0; r < W; ++r) {
-        os::Process& php = *php_procs[r];
+      // Wires one PHP worker slot: its completion channel back to the web
+      // tier (plus a web-side dispatcher), its duplex to a fresh DB service
+      // thread, and the worker loop itself. Shared so the supervisor can
+      // re-run it against a respawned process after RebindReceiver — the
+      // dead incarnation's channels failed with it, so every piece is
+      // created anew.
+      auto start_worker = std::make_shared<std::function<void(uint32_t, os::Process&)>>();
+      *start_worker = [&ctx, &dipc, &kernel, fan, php_web_t, php_db_t, &web,
+                       &db](uint32_t r, os::Process& php) {
         // Completion path: php worker -> web dispatcher.
         auto resp_r = chan::Channel::Create(dipc, php, web,
                                             {.slots = 8,
@@ -443,7 +470,7 @@ OltpResult RunOltp(const OltpConfig& config) {
                 co_return v + 1;
               };
               while (!ctx.stopped) {
-                auto msg = co_await fan->Recv(env, static_cast<uint32_t>(r));
+                auto msg = co_await fan->Recv(env, r);
                 if (!msg.ok()) {
                   co_return;
                 }
@@ -454,7 +481,7 @@ OltpResult RunOltp(const OltpConfig& config) {
                 (void)co_await k.TouchUser(env, msg.value().va, msg.value().len,
                                            hw::AccessType::kRead);
                 (void)co_await PhpRequest(env, ctx, db_edge, 0);
-                if (!(co_await fan->Release(env, static_cast<uint32_t>(r), msg.value())).ok()) {
+                if (!(co_await fan->Release(env, r, msg.value())).ok()) {
                   co_return;
                 }
                 auto buf = co_await resp->AcquireBuf(env);
@@ -469,6 +496,7 @@ OltpResult RunOltp(const OltpConfig& config) {
                 if (!(co_await resp->Send(env, buf.value(), kPhpRespBytes)).ok()) {
                   co_return;
                 }
+                ++ctx.worker_progress[r];  // the supervisor's liveness signal
               }
             });
         // Web-side completion dispatcher for this worker's responses.
@@ -491,52 +519,173 @@ OltpResult RunOltp(const OltpConfig& config) {
             auto it = ctx.completions.find(opid);
             if (it != ctx.completions.end()) {
               co_await it->second->Post(env);
+            } else {
+              // The client already retried and its retry won the race: this
+              // late completion of the earlier attempt is dropped, keeping
+              // completion delivery exactly-once per operation.
+              ++ctx.duplicate_completions;
             }
           }
         });
+      };
+      for (int r = 0; r < W; ++r) {
+        (*start_worker)(static_cast<uint32_t>(r), *(*workers)[r]);
+      }
+
+      // Fault-plan kill rules resolve victims by process name against this
+      // run's topology (first *alive* php-worker match, so repeated kill
+      // rules murder successive incarnations, not the same corpse).
+      fault::Injector::Global().SetKillHandler(
+          [&dipc, workers, &web, &db](const std::string& victim) {
+            if (victim == web.name()) {
+              dipc.KillProcess(web);
+              return;
+            }
+            if (victim == db.name()) {
+              dipc.KillProcess(db);
+              return;
+            }
+            for (os::Process* p : *workers) {
+              if (p->alive() && p->name() == victim) {
+                dipc.KillProcess(*p);
+                return;
+              }
+            }
+          });
+
+      if (config.supervise) {
+        // Supervisor: heartbeat scan over the worker slots. A slot whose
+        // process died (fault kill or our own verdict) is respawned into a
+        // fresh process via the fan-out's epoch-rebind machinery; a slot
+        // holding undelivered work with no progress across two consecutive
+        // heartbeats is convicted as wedged and killed (the next scan
+        // respawns it). Clients ride out the gap on deadlines + retry.
+        kernel.Spawn(web, "supervisor",
+                     [&ctx, &dipc, &config, fan, workers,
+                      start_worker](os::Env env) -> sim::Task<void> {
+                       os::Kernel& k = *env.kernel;
+                       const uint32_t n = fan->receiver_count();
+                       std::vector<uint64_t> last_progress(n, 0);
+                       std::vector<int> stagnant(n, 0);
+                       while (!ctx.stopped) {
+                         co_await k.Sleep(env, config.heartbeat);
+                         if (ctx.stopped || fan->broken() != base::ErrorCode::kOk) {
+                           co_return;
+                         }
+                         for (uint32_t r = 0; r < n; ++r) {
+                           if (!fan->receiver_alive(r)) {
+                             os::Process& fresh = dipc.CreateDipcProcess("php-worker");
+                             if (!fan->RebindReceiver(r, fresh).ok()) {
+                               continue;
+                             }
+                             (*workers)[r] = &fresh;
+                             (*start_worker)(r, fresh);
+                             ++ctx.workers_respawned;
+                             last_progress[r] = ctx.worker_progress[r];
+                             stagnant[r] = 0;
+                             continue;
+                           }
+                           const bool outstanding = fan->credits(r) < fan->credit_line();
+                           if (outstanding && ctx.worker_progress[r] == last_progress[r]) {
+                             if (++stagnant[r] >= 2) {
+                               // Deliveries parked at a worker completing
+                               // nothing: wedged (e.g. a lost wake). Kill it;
+                               // the sweep recycles its slots and grants.
+                               dipc.KillProcess(*(*workers)[r]);
+                               stagnant[r] = 0;
+                             }
+                           } else {
+                             stagnant[r] = 0;
+                           }
+                           last_progress[r] = ctx.worker_progress[r];
+                         }
+                       }
+                     });
       }
       // Closed-loop web workers: produce into the fan-out, block on the
-      // per-op completion.
+      // per-op completion. With supervision on, every blocking step carries
+      // the request deadline and a kTimedOut/kCalleeFailed/kFault attempt is
+      // retried under the SAME opid with capped exponential backoff — the
+      // one completions-map entry makes delivery exactly-once no matter how
+      // many attempts race.
       for (int i = 0; i < config.threads; ++i) {
-        kernel.Spawn(web, "worker", [&ctx, fan](os::Env env) -> sim::Task<void> {
-          Edge php_edge = [&ctx, fan](os::Env e, uint64_t v) -> sim::Task<uint64_t> {
+        kernel.Spawn(web, "worker", [&ctx, fan, &config](os::Env env) -> sim::Task<void> {
+          Edge php_edge = [&ctx, fan, &config](os::Env e, uint64_t v) -> sim::Task<uint64_t> {
             os::Kernel& k = *e.kernel;
-            uint64_t opid = ++ctx.next_opid;
+            const uint64_t opid = ++ctx.next_opid;
             auto sem = std::make_shared<os::Semaphore>(0);
             ctx.completions[opid] = sem;
-            auto buf = co_await fan->AcquireBuf(e);
-            if (!buf.ok()) {
-              ctx.completions.erase(opid);
-              co_return v;
-            }
-            DIPC_CHECK(
-                k.UserWrite(*e.self, buf.value().va, std::as_bytes(std::span(&opid, 1))).ok());
-            (void)co_await k.TouchUser(e, buf.value().va, kPhpReqBytes, hw::AccessType::kWrite);
-            // Shard round-robin; a shard that died under the send is retried
-            // on the next live worker (the buffer stays owned until a send
-            // succeeds). Only give up — returning the buffer to the pool —
-            // when no live worker remains.
-            bool sent = false;
-            while (fan->broken() == base::ErrorCode::kOk) {
-              uint32_t shard = fan->NextShard();
-              if (shard >= fan->receiver_count()) {
-                break;
+            Duration backoff = Duration::Micros(20);
+            const Duration backoff_cap = Duration::Micros(640);
+            bool done = false;
+            for (int attempt = 0; !done && !ctx.stopped; ++attempt) {
+              if (attempt > 0) {
+                if (attempt > config.max_retries) {
+                  ++ctx.requests_failed;
+                  break;
+                }
+                ++ctx.requests_retried;
+                co_await k.Sleep(e, backoff);
+                backoff = backoff * 2;
+                if (backoff > backoff_cap) {
+                  backoff = backoff_cap;
+                }
               }
-              auto s = co_await fan->SendTo(e, buf.value(), kPhpReqBytes, shard);
-              if (s.ok()) {
-                sent = true;
-                break;
+              const os::Deadline dl =
+                  config.supervise ? os::Deadline::After(k.now(), config.request_deadline)
+                                   : os::Deadline::Never();
+              auto buf = co_await fan->AcquireBuf(e, dl);
+              if (!buf.ok()) {
+                if (fan->broken() != base::ErrorCode::kOk ||
+                    buf.code() == base::ErrorCode::kBrokenChannel) {
+                  break;  // the channel itself is gone; retrying is hopeless
+                }
+                continue;  // kTimedOut / kCalleeFailed / kFault: back off
               }
-              if (s.code() != base::ErrorCode::kCalleeFailed) {
-                break;  // orderly close or a caller bug — resharding won't help
+              DIPC_CHECK(
+                  k.UserWrite(*e.self, buf.value().va, std::as_bytes(std::span(&opid, 1)))
+                      .ok());
+              (void)co_await k.TouchUser(e, buf.value().va, kPhpReqBytes,
+                                         hw::AccessType::kWrite);
+              // Shard round-robin; a shard that died under the send is
+              // retried on the next live worker (the buffer stays owned
+              // until a send succeeds). Give the buffer back when no live
+              // worker remains or the attempt's deadline fired.
+              bool sent = false;
+              while (fan->broken() == base::ErrorCode::kOk) {
+                uint32_t shard = fan->NextShard();
+                if (shard >= fan->receiver_count()) {
+                  break;
+                }
+                auto s = co_await fan->SendTo(e, buf.value(), kPhpReqBytes, shard, dl);
+                if (s.ok()) {
+                  sent = true;
+                  break;
+                }
+                if (s.code() != base::ErrorCode::kCalleeFailed) {
+                  break;  // timeout, close or a caller bug — resharding won't help
+                }
               }
+              if (!sent) {
+                (void)co_await fan->AbandonBuf(e, buf.value());
+                if (fan->broken() != base::ErrorCode::kOk) {
+                  break;
+                }
+                continue;
+              }
+              auto w = co_await sem->WaitUntil(e, dl);
+              if (w.ok()) {
+                done = true;
+              }
+              // kTimedOut: the worker wedged or died mid-request. Back off
+              // and resend the same opid — the supervisor restores capacity
+              // and the dispatcher drops any late duplicate completion.
             }
-            if (!sent) {
-              (void)co_await fan->AbandonBuf(e, buf.value());
-              ctx.completions.erase(opid);
-              co_return v;
+            if (sem->count() > 0) {
+              // A retry raced with a late completion of an earlier attempt
+              // and both landed: the extra tokens are duplicates.
+              ctx.duplicate_completions += static_cast<uint64_t>(sem->count());
             }
-            co_await sem->Wait(e);
             ctx.completions.erase(opid);
             co_return v;
           };
@@ -600,6 +749,17 @@ OltpResult RunOltp(const OltpConfig& config) {
     }
   }
 
+  // Arm the fault plan for the whole run (warmup included — the supervisor
+  // must already be healing before the measurement window opens).
+  bool armed = false;
+  if (!config.fault_plan.empty()) {
+    std::string perr;
+    auto plan = fault::Plan::Parse(config.fault_plan, &perr);
+    DIPC_CHECK(plan.ok());
+    fault::Injector::Global().Arm(*plan, &machine.events());
+    armed = true;
+  }
+
   kernel.RunFor(config.warmup);
   kernel.FlushIdleAccounting();
   kernel.accounting().Reset();
@@ -615,6 +775,16 @@ OltpResult RunOltp(const OltpConfig& config) {
   result.avg_latency_ms = ctx.ops > 0 ? ctx.latency_sum_ms / static_cast<double>(ctx.ops) : 0;
   result.breakdown = kernel.accounting().Summed();
   result.cross_domain_calls = ctx.cross_domain_calls;
+  result.requests_retried = ctx.requests_retried;
+  result.requests_failed = ctx.requests_failed;
+  result.workers_respawned = ctx.workers_respawned;
+  result.duplicate_completions = ctx.duplicate_completions;
+  if (armed) {
+    result.faults_injected = fault::Injector::Global().fire_count();
+  }
+  // The kill handler (and an armed plan's clock) capture this stack frame;
+  // always clear them before it unwinds.
+  fault::Injector::Global().Disarm();
   return result;
 }
 

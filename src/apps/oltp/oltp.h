@@ -74,6 +74,21 @@ struct OltpConfig {
   sim::Duration warmup = sim::Duration::Millis(40);
   sim::Duration measure = sim::Duration::Millis(400);
   uint64_t seed = 42;
+  // kChan robustness knobs (the supervised self-healing fabric). With
+  // `supervise` on, a supervisor thread heartbeat-scans the PHP worker
+  // domains, kills wedged ones and respawns dead ones (rebinding their
+  // fan-out receiver slot), web clients bound every blocking step with
+  // `request_deadline` and retry on kTimedOut/kCalleeFailed with capped
+  // exponential backoff — each operation completes exactly once (one
+  // completion consumed per opid; late duplicates are counted and dropped).
+  bool supervise = false;
+  sim::Duration heartbeat = sim::Duration::Millis(2);
+  sim::Duration request_deadline = sim::Duration::Millis(5);
+  int max_retries = 10;
+  // Fault plan text (fault::Plan::Parse format) armed for the whole run;
+  // empty = no injection. The kill handler resolves victim names against
+  // this run's processes.
+  std::string fault_plan;
   // Proxy-cost multiplier and extra per-cross-domain-access capability loads
   // for the §7.5 ablations.
   double proxy_cost_scale = 1.0;
@@ -91,6 +106,12 @@ struct OltpResult {
   os::TimeBreakdown breakdown;  // summed over CPUs, measurement window only
   double wall_seconds = 0;
   uint64_t cross_domain_calls = 0;  // dIPC/Ideal instrumentation (§7.5)
+  // Robustness instrumentation (kChan with supervise/fault_plan).
+  uint64_t requests_retried = 0;       // client attempts beyond the first
+  uint64_t requests_failed = 0;        // ops given up after max_retries
+  uint64_t workers_respawned = 0;      // supervisor kill+respawn cycles
+  uint64_t duplicate_completions = 0;  // late completions dropped at dispatch
+  uint64_t faults_injected = 0;        // fault::Injector fire count
 
   double UserFrac() const { return Frac(os::TimeCat::kUser); }
   double KernelFrac() const {

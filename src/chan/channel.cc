@@ -4,6 +4,7 @@
 
 #include "chan/desc.h"
 #include "chan/futex.h"
+#include "fault/fault.h"
 
 namespace dipc::chan {
 
@@ -136,8 +137,8 @@ base::Result<codoms::Capability> Channel::GrantCap(os::Env env, uint32_t index,
   return cap;
 }
 
-sim::Task<base::Result<SendBuf>> Channel::AcquireBuf(os::Env env) {
-  auto batch = co_await AcquireBufBatch(env, 1);
+sim::Task<base::Result<SendBuf>> Channel::AcquireBuf(os::Env env, os::Deadline deadline) {
+  auto batch = co_await AcquireBufBatch(env, 1, deadline);
   if (!batch.ok()) {
     co_return batch.code();
   }
@@ -145,7 +146,8 @@ sim::Task<base::Result<SendBuf>> Channel::AcquireBuf(os::Env env) {
 }
 
 sim::Task<base::Result<std::vector<SendBuf>>> Channel::AcquireBufBatch(os::Env env,
-                                                                       uint32_t max_n) {
+                                                                       uint32_t max_n,
+                                                                       os::Deadline deadline) {
   os::Kernel& k = *env.kernel;
   if (max_n == 0) {
     co_return base::ErrorCode::kInvalidArgument;
@@ -154,7 +156,7 @@ sim::Task<base::Result<std::vector<SendBuf>>> Channel::AcquireBufBatch(os::Env e
     co_return broken_;
   }
   std::vector<uint64_t> indices(std::min<uint32_t>(max_n, cfg_.slots));
-  auto popped = co_await free_->PopN(env, std::span(indices));
+  auto popped = co_await free_->PopN(env, std::span(indices), deadline);
   if (!popped.ok()) {
     co_return broken_ != base::ErrorCode::kOk ? broken_ : popped.code();
   }
@@ -212,14 +214,29 @@ void Channel::BindRecvCap(os::Thread& t, const Msg& msg) const {
   }
 }
 
-sim::Task<base::Status> Channel::Send(os::Env env, const SendBuf& buf, uint64_t len) {
+sim::Task<base::Status> Channel::Send(os::Env env, const SendBuf& buf, uint64_t len,
+                                      os::Deadline deadline) {
   SendItem item{buf, len};
-  co_return co_await SendBatch(env, std::span(&item, 1));
+  co_return co_await SendBatch(env, std::span(&item, 1), deadline);
 }
 
-sim::Task<base::Status> Channel::SendBatch(os::Env env, std::span<const SendItem> items) {
+sim::Task<base::Status> Channel::SendBatch(os::Env env, std::span<const SendItem> items,
+                                           os::Deadline deadline) {
   os::Kernel& k = *env.kernel;
   const hw::CostModel& cm = k.costs();
+  sim::Duration fault_delay;
+  auto& injector = fault::Injector::Global();
+  if (injector.armed()) {
+    // Probed before the broken_ check so a scripted "kill at the Nth send"
+    // surfaces through the regular dead-peer path on this very call.
+    fault::Decision d = injector.Probe(fault::points::kChanSend, env.self->last_cpu());
+    if (d.fail()) {
+      co_return base::ErrorCode::kFault;
+    }
+    if (d.action == fault::Action::kDelay) {
+      fault_delay = d.delay;
+    }
+  }
   if (broken_ != base::ErrorCode::kOk) {
     co_return broken_;
   }
@@ -242,7 +259,7 @@ sim::Task<base::Status> Channel::SendBatch(os::Env env, std::span<const SendItem
     }
   }
   // One fast-path charge and one runtime entry for the whole batch.
-  sim::Duration cost = cm.chan_fast_path + cm.function_call + cm.domain_switch * 2;
+  sim::Duration cost = cm.chan_fast_path + cm.function_call + cm.domain_switch * 2 + fault_delay;
   // Phase 1 (no suspension): grant the read-only views (immutability: a
   // published message can never be modified again, by anyone) and publish
   // them through the capability-storage descriptor slots. An error here
@@ -303,18 +320,26 @@ sim::Task<base::Status> Channel::SendBatch(os::Env env, std::span<const SendItem
     descs.push_back(PackDesc(items[j].buf.index, items[j].len));
   }
   uint64_t published = 0;
-  auto pushed = co_await desc_->PushN(env, std::span(descs), &published);
+  auto pushed = co_await desc_->PushN(env, std::span(descs), &published, deadline);
   if (!pushed.ok()) {
     if (broken_ == base::ErrorCode::kOk) {
-      // Orderly Close raced the publish: the unpublished descriptors never
-      // reached the receiver and no teardown will run, so revoke their
-      // recorded read grants here or they stay live forever.
+      // Orderly Close — or a deadline expiry — raced the publish: the
+      // unpublished descriptors never reached the receiver and no teardown
+      // will run, so revoke their recorded read grants here or they stay
+      // live forever, and hand the orphaned buffers back to the pool so a
+      // timeout doesn't shrink the channel's capacity (after Close the
+      // give-back push fails harmlessly — the pool is retired anyway).
+      std::vector<uint64_t> orphaned;
       for (size_t j = published; j < items.size(); ++j) {
         uint32_t index = items[j].buf.index;
         if (receiver_caps_[index].has_value()) {
           DIPC_CHECK(k.codoms().CapRevoke(*receiver_caps_[index]).ok());
           receiver_caps_[index].reset();
         }
+        orphaned.push_back(index);
+      }
+      if (!orphaned.empty()) {
+        (void)co_await free_->PushN(env, std::span(orphaned));
       }
     }
     sends_ += published;
@@ -328,15 +353,16 @@ sim::Task<base::Status> Channel::SendBatch(os::Env env, std::span<const SendItem
   co_return base::Status::Ok();
 }
 
-sim::Task<base::Result<Msg>> Channel::Recv(os::Env env) {
-  auto batch = co_await RecvBatch(env, 1);
+sim::Task<base::Result<Msg>> Channel::Recv(os::Env env, os::Deadline deadline) {
+  auto batch = co_await RecvBatch(env, 1, deadline);
   if (!batch.ok()) {
     co_return batch.code();
   }
   co_return batch.value()[0];
 }
 
-sim::Task<base::Result<std::vector<Msg>>> Channel::RecvBatch(os::Env env, uint32_t max_n) {
+sim::Task<base::Result<std::vector<Msg>>> Channel::RecvBatch(os::Env env, uint32_t max_n,
+                                                             os::Deadline deadline) {
   os::Kernel& k = *env.kernel;
   if (max_n == 0) {
     co_return base::ErrorCode::kInvalidArgument;
@@ -345,7 +371,7 @@ sim::Task<base::Result<std::vector<Msg>>> Channel::RecvBatch(os::Env env, uint32
     co_return broken_;
   }
   std::vector<uint64_t> descs(std::min<uint32_t>(max_n, cfg_.slots));
-  auto popped = co_await desc_->PopN(env, std::span(descs));
+  auto popped = co_await desc_->PopN(env, std::span(descs), deadline);
   if (!popped.ok()) {
     co_return broken_ != base::ErrorCode::kOk ? broken_ : popped.code();
   }

@@ -56,6 +56,7 @@
 #include "dipc/dipc.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "os/deadline.h"
 #include "os/kernel.h"
 #include "sim/task.h"
 
@@ -112,25 +113,28 @@ class Channel : public std::enable_shared_from_this<Channel> {
   // Blocks until a free buffer is available, grants the calling thread a
   // write capability for it (epoch rebind on the warm path), and hands it
   // over.
-  sim::Task<base::Result<SendBuf>> AcquireBuf(os::Env env);
+  sim::Task<base::Result<SendBuf>> AcquireBuf(os::Env env, os::Deadline deadline = {});
 
   // Batched acquire: blocks for the first free buffer, then takes up to
   // `max_n` without blocking again. One queue op, one runtime entry and one
   // accounting charge for the whole batch. The write capability of the
   // *last* buffer is loaded into kSenderCapReg; use BindSendCap to switch
   // between the batch's buffers while filling them.
-  sim::Task<base::Result<std::vector<SendBuf>>> AcquireBufBatch(os::Env env, uint32_t max_n);
+  sim::Task<base::Result<std::vector<SendBuf>>> AcquireBufBatch(os::Env env, uint32_t max_n,
+                                                              os::Deadline deadline = {});
 
   // Publishes `len` bytes of `buf` to the receiver: revokes the sender's
   // capability (subsequent sender access faults) and grants a read-only
   // capability to the receiving side. O(1) in `len`.
-  sim::Task<base::Status> Send(os::Env env, const SendBuf& buf, uint64_t len);
+  sim::Task<base::Status> Send(os::Env env, const SendBuf& buf, uint64_t len,
+                               os::Deadline deadline = {});
 
   // Batched publish: grants and publishes every item's read view, ends the
   // sender's ownership of all of them, then pushes all descriptors with one
   // queue operation and at most one futex wake. All-or-nothing up to the
   // publish: on a pre-publish error the sender still owns every buffer.
-  sim::Task<base::Status> SendBatch(os::Env env, std::span<const SendItem> items);
+  sim::Task<base::Status> SendBatch(os::Env env, std::span<const SendItem> items,
+                                    os::Deadline deadline = {});
 
   // Re-loads `buf`'s write capability into kSenderCapReg (a capability
   // register move — no cost, no blocking). Needed when filling a batch of
@@ -146,13 +150,14 @@ class Channel : public std::enable_shared_from_this<Channel> {
   // Blocks until a message arrives; loads its capability into the calling
   // thread's register file. Fails with kBrokenChannel after Close() drains,
   // or kCalleeFailed immediately if a peer process died.
-  sim::Task<base::Result<Msg>> Recv(os::Env env);
+  sim::Task<base::Result<Msg>> Recv(os::Env env, os::Deadline deadline = {});
 
   // Batched receive: blocks for the first message, then drains up to
   // `max_n` in-flight messages without blocking again. One queue op and one
   // accounting charge cover all the capability loads. The *first* message's
   // capability lands in kReceiverCapReg; use BindRecvCap to walk the batch.
-  sim::Task<base::Result<std::vector<Msg>>> RecvBatch(os::Env env, uint32_t max_n);
+  sim::Task<base::Result<std::vector<Msg>>> RecvBatch(os::Env env, uint32_t max_n,
+                                                      os::Deadline deadline = {});
 
   // Returns the buffer to the free pool: revokes the receiver's capability
   // and unblocks a sender waiting in AcquireBuf.
@@ -251,15 +256,20 @@ class SenderEndpoint : public os::KernelObject {
   Channel& channel() { return *ch_; }
   std::shared_ptr<Channel> shared() { return ch_; }
 
-  sim::Task<base::Result<SendBuf>> AcquireBuf(os::Env env) { return ch_->AcquireBuf(env); }
-  sim::Task<base::Result<std::vector<SendBuf>>> AcquireBufBatch(os::Env env, uint32_t max_n) {
-    return ch_->AcquireBufBatch(env, max_n);
+  sim::Task<base::Result<SendBuf>> AcquireBuf(os::Env env, os::Deadline dl = {}) {
+    return ch_->AcquireBuf(env, dl);
   }
-  sim::Task<base::Status> Send(os::Env env, const SendBuf& buf, uint64_t len) {
-    return ch_->Send(env, buf, len);
+  sim::Task<base::Result<std::vector<SendBuf>>> AcquireBufBatch(os::Env env, uint32_t max_n,
+                                                                os::Deadline dl = {}) {
+    return ch_->AcquireBufBatch(env, max_n, dl);
   }
-  sim::Task<base::Status> SendBatch(os::Env env, std::span<const SendItem> items) {
-    return ch_->SendBatch(env, items);
+  sim::Task<base::Status> Send(os::Env env, const SendBuf& buf, uint64_t len,
+                               os::Deadline dl = {}) {
+    return ch_->Send(env, buf, len, dl);
+  }
+  sim::Task<base::Status> SendBatch(os::Env env, std::span<const SendItem> items,
+                                    os::Deadline dl = {}) {
+    return ch_->SendBatch(env, items, dl);
   }
   void BindSendCap(os::Thread& t, const SendBuf& buf) const { ch_->BindSendCap(t, buf); }
   void Close() { ch_->Close(); }
@@ -275,9 +285,12 @@ class ReceiverEndpoint : public os::KernelObject {
   Channel& channel() { return *ch_; }
   std::shared_ptr<Channel> shared() { return ch_; }
 
-  sim::Task<base::Result<Msg>> Recv(os::Env env) { return ch_->Recv(env); }
-  sim::Task<base::Result<std::vector<Msg>>> RecvBatch(os::Env env, uint32_t max_n) {
-    return ch_->RecvBatch(env, max_n);
+  sim::Task<base::Result<Msg>> Recv(os::Env env, os::Deadline dl = {}) {
+    return ch_->Recv(env, dl);
+  }
+  sim::Task<base::Result<std::vector<Msg>>> RecvBatch(os::Env env, uint32_t max_n,
+                                                      os::Deadline dl = {}) {
+    return ch_->RecvBatch(env, max_n, dl);
   }
   sim::Task<base::Status> Release(os::Env env, const Msg& msg) { return ch_->Release(env, msg); }
   sim::Task<base::Status> ReleaseBatch(os::Env env, std::span<const Msg> msgs) {
@@ -352,22 +365,30 @@ class DuplexEndpoint : public os::KernelObject {
   Channel& in() { return *in_; }
 
   // Outbound (this side's requests or completions).
-  sim::Task<base::Result<SendBuf>> AcquireBuf(os::Env env) { return out_->AcquireBuf(env); }
-  sim::Task<base::Result<std::vector<SendBuf>>> AcquireBufBatch(os::Env env, uint32_t max_n) {
-    return out_->AcquireBufBatch(env, max_n);
+  sim::Task<base::Result<SendBuf>> AcquireBuf(os::Env env, os::Deadline dl = {}) {
+    return out_->AcquireBuf(env, dl);
   }
-  sim::Task<base::Status> Send(os::Env env, const SendBuf& buf, uint64_t len) {
-    return out_->Send(env, buf, len);
+  sim::Task<base::Result<std::vector<SendBuf>>> AcquireBufBatch(os::Env env, uint32_t max_n,
+                                                                os::Deadline dl = {}) {
+    return out_->AcquireBufBatch(env, max_n, dl);
   }
-  sim::Task<base::Status> SendBatch(os::Env env, std::span<const SendItem> items) {
-    return out_->SendBatch(env, items);
+  sim::Task<base::Status> Send(os::Env env, const SendBuf& buf, uint64_t len,
+                               os::Deadline dl = {}) {
+    return out_->Send(env, buf, len, dl);
+  }
+  sim::Task<base::Status> SendBatch(os::Env env, std::span<const SendItem> items,
+                                    os::Deadline dl = {}) {
+    return out_->SendBatch(env, items, dl);
   }
   void BindSendCap(os::Thread& t, const SendBuf& buf) const { out_->BindSendCap(t, buf); }
 
   // Inbound (the peer's traffic).
-  sim::Task<base::Result<Msg>> Recv(os::Env env) { return in_->Recv(env); }
-  sim::Task<base::Result<std::vector<Msg>>> RecvBatch(os::Env env, uint32_t max_n) {
-    return in_->RecvBatch(env, max_n);
+  sim::Task<base::Result<Msg>> Recv(os::Env env, os::Deadline dl = {}) {
+    return in_->Recv(env, dl);
+  }
+  sim::Task<base::Result<std::vector<Msg>>> RecvBatch(os::Env env, uint32_t max_n,
+                                                      os::Deadline dl = {}) {
+    return in_->RecvBatch(env, max_n, dl);
   }
   sim::Task<base::Status> Release(os::Env env, const Msg& msg) { return in_->Release(env, msg); }
   sim::Task<base::Status> ReleaseBatch(os::Env env, std::span<const Msg> msgs) {

@@ -4,6 +4,7 @@
 
 #include "chan/desc.h"
 #include "chan/futex.h"
+#include "fault/fault.h"
 
 namespace dipc::chan {
 
@@ -181,7 +182,7 @@ bool FanOutChannel::GateClosed(uint32_t target, uint64_t need) const {
 }
 
 sim::Task<base::ErrorCode> FanOutChannel::AwaitCredit(os::Env env, uint32_t target,
-                                                      uint64_t need) {
+                                                      uint64_t need, os::Deadline deadline) {
   sim::Time stall_start;
   bool stalled = false;
   while (true) {
@@ -217,11 +218,20 @@ sim::Task<base::ErrorCode> FanOutChannel::AwaitCredit(os::Env env, uint32_t targ
     ++blocked_on_credit_;
     m_blocked_on_credit_->Add();
     ++credit_wait_count_;
-    co_await FutexBlock(env, credit_waiters_, [this, target, need] {
-      return GateClosed(target, need) && broken_ == base::ErrorCode::kOk && !closed_ &&
-             live_receiver_count() > 0 && (target >= receiver_count() || alive_[target]);
-    });
+    bool expired =
+        co_await FutexBlockUntil(env, credit_waiters_, deadline, [this, target, need] {
+          return GateClosed(target, need) && broken_ == base::ErrorCode::kOk && !closed_ &&
+                 live_receiver_count() > 0 && (target >= receiver_count() || alive_[target]);
+        });
     --credit_wait_count_;
+    if (expired && GateClosed(target, need) && broken_ == base::ErrorCode::kOk && !closed_ &&
+        live_receiver_count() > 0 && (target >= receiver_count() || alive_[target])) {
+      // The deadline fired with the gate still closed; nothing was admitted
+      // and nothing was granted, so the caller surfaces kTimedOut leak-free.
+      obs::Trace().Record(env.self->last_cpu(), obs::EventType::kTimeout, obs_id_, need,
+                          env.kernel->now());
+      co_return base::ErrorCode::kTimedOut;
+    }
   }
 }
 
@@ -265,16 +275,16 @@ base::Result<codoms::Capability> FanOutChannel::GrantCap(os::Env env, uint32_t i
   return cap;
 }
 
-sim::Task<base::Result<SendBuf>> FanOutChannel::AcquireBuf(os::Env env) {
-  auto batch = co_await AcquireBufBatch(env, 1);
+sim::Task<base::Result<SendBuf>> FanOutChannel::AcquireBuf(os::Env env, os::Deadline deadline) {
+  auto batch = co_await AcquireBufBatch(env, 1, deadline);
   if (!batch.ok()) {
     co_return batch.code();
   }
   co_return batch.value()[0];
 }
 
-sim::Task<base::Result<std::vector<SendBuf>>> FanOutChannel::AcquireBufBatch(os::Env env,
-                                                                             uint32_t max_n) {
+sim::Task<base::Result<std::vector<SendBuf>>> FanOutChannel::AcquireBufBatch(
+    os::Env env, uint32_t max_n, os::Deadline deadline) {
   os::Kernel& k = *env.kernel;
   if (max_n == 0) {
     co_return base::ErrorCode::kInvalidArgument;
@@ -285,12 +295,12 @@ sim::Task<base::Result<std::vector<SendBuf>>> FanOutChannel::AcquireBufBatch(os:
   // Credit-based admission: don't even take a buffer while the (policy's
   // notion of the) group is out of credit — this is where backpressure from
   // the slowest live receiver reaches the producer.
-  base::ErrorCode gate = co_await AwaitCredit(env, receiver_count(), 1);
+  base::ErrorCode gate = co_await AwaitCredit(env, receiver_count(), 1, deadline);
   if (gate != base::ErrorCode::kOk) {
     co_return gate;
   }
   std::vector<uint64_t> indices(std::min<uint32_t>(max_n, cfg_.slots));
-  auto popped = co_await free_->PopN(env, std::span(indices));
+  auto popped = co_await free_->PopN(env, std::span(indices), deadline);
   if (!popped.ok()) {
     co_return broken_ != base::ErrorCode::kOk ? broken_ : popped.code();
   }
@@ -344,24 +354,26 @@ void FanOutChannel::BindRecvCap(os::Thread& t, uint32_t receiver, const Msg& msg
   }
 }
 
-sim::Task<base::Status> FanOutChannel::Send(os::Env env, const SendBuf& buf, uint64_t len) {
+sim::Task<base::Status> FanOutChannel::Send(os::Env env, const SendBuf& buf, uint64_t len,
+                                            os::Deadline deadline) {
   SendItem item{buf, len};
-  co_return co_await SendCommon(env, std::span(&item, 1), receiver_count());
+  co_return co_await SendCommon(env, std::span(&item, 1), receiver_count(), deadline);
 }
 
-sim::Task<base::Status> FanOutChannel::SendBatch(os::Env env, std::span<const SendItem> items) {
-  co_return co_await SendCommon(env, items, receiver_count());
+sim::Task<base::Status> FanOutChannel::SendBatch(os::Env env, std::span<const SendItem> items,
+                                                 os::Deadline deadline) {
+  co_return co_await SendCommon(env, items, receiver_count(), deadline);
 }
 
 sim::Task<base::Status> FanOutChannel::SendTo(os::Env env, const SendBuf& buf, uint64_t len,
-                                              uint32_t receiver) {
+                                              uint32_t receiver, os::Deadline deadline) {
   SendItem item{buf, len};
-  co_return co_await SendCommon(env, std::span(&item, 1), receiver);
+  co_return co_await SendCommon(env, std::span(&item, 1), receiver, deadline);
 }
 
 sim::Task<base::Status> FanOutChannel::SendToBatch(os::Env env, std::span<const SendItem> items,
-                                                   uint32_t receiver) {
-  co_return co_await SendCommon(env, items, receiver);
+                                                   uint32_t receiver, os::Deadline deadline) {
+  co_return co_await SendCommon(env, items, receiver, deadline);
 }
 
 sim::Task<base::Status> FanOutChannel::AbandonBuf(os::Env env, const SendBuf& buf) {
@@ -421,11 +433,24 @@ uint32_t FanOutChannel::NextShard() {
 }
 
 sim::Task<base::Status> FanOutChannel::SendCommon(os::Env env, std::span<const SendItem> items,
-                                                  uint32_t target) {
+                                                  uint32_t target, os::Deadline deadline) {
   os::Kernel& k = *env.kernel;
   const hw::CostModel& cm = k.costs();
   if (items.empty() || target > receiver_count()) {
     co_return base::ErrorCode::kInvalidArgument;
+  }
+  sim::Duration fault_delay;
+  auto& injector = fault::Injector::Global();
+  if (injector.armed()) {
+    // Probed before the broken_ check so a scripted "kill at the Nth send"
+    // surfaces through the regular dead-peer path on this very call.
+    fault::Decision d = injector.Probe(fault::points::kChanSend, env.self->last_cpu());
+    if (d.fail()) {
+      co_return base::ErrorCode::kFault;
+    }
+    if (d.action == fault::Action::kDelay) {
+      fault_delay = d.delay;
+    }
   }
   if (items.size() > credit_line_ && (cfg_.lag_policy == LagPolicy::kBlock ||
                                       target < receiver_count())) {
@@ -454,14 +479,14 @@ sim::Task<base::Status> FanOutChannel::SendCommon(os::Env env, std::span<const S
   // for the full batch's worth of its target's credit; broadcast waits per
   // the lag policy (kBlock: everyone can take the whole batch, kDropSlowest:
   // someone can take something).
-  base::ErrorCode gate = co_await AwaitCredit(env, target, items.size());
+  base::ErrorCode gate = co_await AwaitCredit(env, target, items.size(), deadline);
   if (gate != base::ErrorCode::kOk) {
     co_return gate;
   }
   // From here to the Spend the delivery plan is computed and recorded
   // *synchronously* — no suspension point can change credits, liveness or
   // ownership under us.
-  sim::Duration cost = cm.chan_fast_path + cm.function_call + cm.domain_switch * 2;
+  sim::Duration cost = cm.chan_fast_path + cm.function_call + cm.domain_switch * 2 + fault_delay;
   std::vector<std::vector<uint32_t>> dests(items.size());
   std::vector<codoms::Capability> granted;  // undo list
   granted.reserve(items.size());
@@ -581,8 +606,9 @@ sim::Task<base::Status> FanOutChannel::SendCommon(os::Env env, std::span<const S
   co_return base::Status::Ok();
 }
 
-sim::Task<base::Result<Msg>> FanOutChannel::Recv(os::Env env, uint32_t receiver) {
-  auto batch = co_await RecvBatch(env, receiver, 1);
+sim::Task<base::Result<Msg>> FanOutChannel::Recv(os::Env env, uint32_t receiver,
+                                                 os::Deadline deadline) {
+  auto batch = co_await RecvBatch(env, receiver, 1, deadline);
   if (!batch.ok()) {
     co_return batch.code();
   }
@@ -591,7 +617,8 @@ sim::Task<base::Result<Msg>> FanOutChannel::Recv(os::Env env, uint32_t receiver)
 
 sim::Task<base::Result<std::vector<Msg>>> FanOutChannel::RecvBatch(os::Env env,
                                                                    uint32_t receiver,
-                                                                   uint32_t max_n) {
+                                                                   uint32_t max_n,
+                                                                   os::Deadline deadline) {
   os::Kernel& k = *env.kernel;
   if (max_n == 0 || receiver >= receiver_count()) {
     co_return base::ErrorCode::kInvalidArgument;
@@ -600,7 +627,7 @@ sim::Task<base::Result<std::vector<Msg>>> FanOutChannel::RecvBatch(os::Env env,
     co_return broken_;
   }
   std::vector<uint64_t> descs(std::min<uint32_t>(max_n, cfg_.slots));
-  auto popped = co_await desc_[receiver]->PopN(env, std::span(descs));
+  auto popped = co_await desc_[receiver]->PopN(env, std::span(descs), deadline);
   if (!popped.ok()) {
     co_return broken_ != base::ErrorCode::kOk ? broken_ : popped.code();
   }
@@ -718,6 +745,19 @@ sim::Task<base::Status> FanOutChannel::ReleaseBatch(os::Env env, uint32_t receiv
   }
   // Returned credit may unblock the producer (wake-suppressed).
   if (credit_wait_count_ > 0) {
+    auto& injector = fault::Injector::Global();
+    if (injector.armed()) {
+      fault::Decision d = injector.Probe(fault::points::kCreditGrant, env.self->last_cpu());
+      if (d.drop_wake()) {
+        // Injected lost credit wake: the credits are back (bookkeeping above
+        // is done) but no parked producer hears it — deadline-armed waiters
+        // recover, never-deadline waiters rely on the next release.
+        co_return base::Status::Ok();
+      }
+      if (d.action == fault::Action::kDelay) {
+        co_await k.Spend(*env.self, d.delay, TimeCat::kUser);
+      }
+    }
     co_await FutexWakeCommitted(env, credit_waiters_);
   }
   co_return base::Status::Ok();
@@ -828,6 +868,53 @@ void FanOutChannel::OnProcessDeath(os::Process& proc) {
       (void)kernel_.MakeRunnable(*t, std::nullopt);
     }
   }
+}
+
+base::Status FanOutChannel::RebindReceiver(uint32_t receiver, os::Process& proc) {
+  if (receiver >= receiver_count() || !proc.dipc_enabled()) {
+    return base::ErrorCode::kInvalidArgument;
+  }
+  if (broken_ != base::ErrorCode::kOk) {
+    return broken_;
+  }
+  if (closed_) {
+    return base::ErrorCode::kBrokenChannel;
+  }
+  if (alive_[receiver]) {
+    // Only a slot OnProcessDeath already swept may be rebound: the sweep is
+    // what guarantees no grant of the old incarnation survives.
+    return base::ErrorCode::kInvalidArgument;
+  }
+  codoms::AplTable& apl = kernel_.codoms().apl_table();
+  apl.Grant(proc.default_domain(), ctrl_tag_, codoms::Perm::kWrite);
+  apl.Grant(proc.default_domain(), rt_tag_, codoms::Perm::kCall);
+  receiver_procs_[receiver] = &proc;
+  // Fresh owner key: the dead incarnation's counters stay bulk-revoked under
+  // the old key, and the new incarnation's grants audit as their own set.
+  owner_key_[receiver] = NextOwnerKey();
+  for (auto& tmpl : rcap_tmpl_[receiver]) {
+    // Every template points at a revoked counter; the next grant re-mints
+    // cold and re-tags it with the new owner key.
+    tmpl.reset();
+  }
+  // Swap in a fresh descriptor FIFO. The failed one is retired, not
+  // destroyed: a thread that parked in it before the death may not have
+  // resumed yet, so freeing it here would be use-after-free.
+  const std::string prefix = "fanout/" + std::to_string(obs_id_);
+  auto fresh = std::make_unique<MpmcQueue>(kernel_, *producer_proc_, credit_line_, ctrl_tag_,
+                                           prefix + "/rx/" + std::to_string(receiver) + "/desc",
+                                           obs_id_);
+  retired_desc_.push_back(std::move(desc_[receiver]));
+  desc_[receiver] = std::move(fresh);
+  credits_[receiver] = credit_line_;
+  m_rx_credits_[receiver]->Set(static_cast<int64_t>(credit_line_));
+  alive_[receiver] = true;
+  // Parked producers re-check the gate: a kDropSlowest group that had run
+  // out of receivers (or a kBlock group gated on nothing) sees the revival.
+  while (os::Thread* t = credit_waiters_.WakeOneThread()) {
+    (void)kernel_.MakeRunnable(*t, std::nullopt);
+  }
+  return base::Status::Ok();
 }
 
 }  // namespace dipc::chan

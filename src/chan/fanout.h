@@ -51,6 +51,7 @@
 #include "dipc/dipc.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "os/deadline.h"
 #include "os/kernel.h"
 #include "sim/task.h"
 
@@ -94,16 +95,22 @@ class FanOutChannel : public std::enable_shared_from_this<FanOutChannel> {
   // (kBlock: every live receiver has credit; kDropSlowest: at least one
   // does), then pops up to `max_n` free buffers and grants write
   // capabilities (epoch rebind on the warm path), exactly like
-  // Channel::AcquireBufBatch.
-  sim::Task<base::Result<SendBuf>> AcquireBuf(os::Env env);
-  sim::Task<base::Result<std::vector<SendBuf>>> AcquireBufBatch(os::Env env, uint32_t max_n);
+  // Channel::AcquireBufBatch. A finite `deadline` bounds both the credit
+  // wait and the free-pool pop with kTimedOut (no grants held on a timeout).
+  sim::Task<base::Result<SendBuf>> AcquireBuf(os::Env env, os::Deadline deadline = {});
+  sim::Task<base::Result<std::vector<SendBuf>>> AcquireBufBatch(os::Env env, uint32_t max_n,
+                                                                os::Deadline deadline = {});
 
   // Broadcast publish: every live receiver with credit gets its own
   // read-only capability over the (immutable) payload; the sender's write
   // ownership ends before any receiver can observe the message. Blocks per
   // the lag policy; fails with kCalleeFailed when no live receiver remains.
-  sim::Task<base::Status> Send(os::Env env, const SendBuf& buf, uint64_t len);
-  sim::Task<base::Status> SendBatch(os::Env env, std::span<const SendItem> items);
+  // A finite `deadline` bounds the credit wait: kTimedOut means nothing was
+  // published and the producer still owns every buffer (retry or abandon).
+  sim::Task<base::Status> Send(os::Env env, const SendBuf& buf, uint64_t len,
+                               os::Deadline deadline = {});
+  sim::Task<base::Status> SendBatch(os::Env env, std::span<const SendItem> items,
+                                    os::Deadline deadline = {});
 
   // Sharded publish to one receiver (waits for that receiver's credit —
   // sharded requests are never dropped). Fails with kCalleeFailed if the
@@ -115,9 +122,9 @@ class FanOutChannel : public std::enable_shared_from_this<FanOutChannel> {
   // hand it back with AbandonBufBatch. Once broken() != kOk teardown has
   // already swept the grants and the buffers are gone with the channel.
   sim::Task<base::Status> SendTo(os::Env env, const SendBuf& buf, uint64_t len,
-                                 uint32_t receiver);
+                                 uint32_t receiver, os::Deadline deadline = {});
   sim::Task<base::Status> SendToBatch(os::Env env, std::span<const SendItem> items,
-                                      uint32_t receiver);
+                                      uint32_t receiver, os::Deadline deadline = {});
 
   // Returns acquired-but-unsent buffers to the free pool (revoking the
   // write grants). The producer-side give-up path when every shard it
@@ -137,9 +144,11 @@ class FanOutChannel : public std::enable_shared_from_this<FanOutChannel> {
 
   // ---- Receiver side (every call names the receiver index) ----
 
-  sim::Task<base::Result<Msg>> Recv(os::Env env, uint32_t receiver);
+  sim::Task<base::Result<Msg>> Recv(os::Env env, uint32_t receiver,
+                                    os::Deadline deadline = {});
   sim::Task<base::Result<std::vector<Msg>>> RecvBatch(os::Env env, uint32_t receiver,
-                                                      uint32_t max_n);
+                                                      uint32_t max_n,
+                                                      os::Deadline deadline = {});
 
   // Returns credit to the producer and the slot to the free pool once the
   // last live receiver released it.
@@ -176,6 +185,15 @@ class FanOutChannel : public std::enable_shared_from_this<FanOutChannel> {
   // receiver is revoked individually; a dead producer breaks the channel.
   void OnProcessDeath(os::Process& proc);
 
+  // Rebinds a dead receiver slot to a fresh process (the supervisor's
+  // respawn path). The old receiver must have been excised by OnProcessDeath
+  // already. The slot gets a fresh RevocationTable owner key, a fresh
+  // descriptor FIFO (the failed one is retired, not destroyed — threads may
+  // still be resuming out of it), cleared capability templates, a full
+  // credit line, and APL grants for `proc`. Producers parked on credit are
+  // re-woken so a kDropSlowest group notices the revived receiver.
+  base::Status RebindReceiver(uint32_t receiver, os::Process& proc);
+
  private:
   FanOutChannel(core::Dipc& dipc, os::Process& producer,
                 std::span<os::Process* const> receivers, FanOutConfig cfg);
@@ -187,8 +205,10 @@ class FanOutChannel : public std::enable_shared_from_this<FanOutChannel> {
   bool GateClosed(uint32_t target, uint64_t need) const;
   // Waits (futex path) until the gate opens, the channel closes/breaks, the
   // target dies, or every receiver is gone. Returns the error to surface,
-  // or kOk once admitted.
-  sim::Task<base::ErrorCode> AwaitCredit(os::Env env, uint32_t target, uint64_t need);
+  // or kOk once admitted; kTimedOut when a finite deadline expires with the
+  // gate still closed.
+  sim::Task<base::ErrorCode> AwaitCredit(os::Env env, uint32_t target, uint64_t need,
+                                         os::Deadline deadline);
   // Per-receiver-or-producer grant; mirrors Channel::GrantCap. `receiver` ==
   // receiver_count() grants the producer's write capability.
   base::Result<codoms::Capability> GrantCap(os::Env env, uint32_t index, uint32_t receiver,
@@ -196,7 +216,7 @@ class FanOutChannel : public std::enable_shared_from_this<FanOutChannel> {
   // Shared body of SendBatch/SendToBatch; `target` == receiver_count()
   // broadcasts.
   sim::Task<base::Status> SendCommon(os::Env env, std::span<const SendItem> items,
-                                     uint32_t target);
+                                     uint32_t target, os::Deadline deadline);
   // Revokes r's grant over `index` and recycles the slot if r was the last
   // holder; returns true when the slot was freed. `env` may be null-free
   // teardown context (uses PushNoEnv).
@@ -219,6 +239,9 @@ class FanOutChannel : public std::enable_shared_from_this<FanOutChannel> {
   Segment cap_seg_;  // receivers * slots capability-storage slots
   std::unique_ptr<MpmcQueue> free_;
   std::vector<std::unique_ptr<MpmcQueue>> desc_;  // one descriptor FIFO per receiver
+  // Failed FIFOs parked here by RebindReceiver: threads blocked in a retired
+  // queue may resume after the swap, so the queue must outlive the rebind.
+  std::vector<std::unique_ptr<MpmcQueue>> retired_desc_;
   // Producer-side in-flight write caps + per-slot write templates.
   std::vector<std::optional<codoms::Capability>> sender_caps_;
   std::vector<std::optional<codoms::Capability>> wcap_tmpl_;

@@ -9,26 +9,74 @@
 #ifndef DIPC_CHAN_FUTEX_H_
 #define DIPC_CHAN_FUTEX_H_
 
+#include "fault/fault.h"
+#include "os/deadline.h"
 #include "os/kernel.h"
 #include "os/semaphore.h"
 #include "sim/task.h"
 
 namespace dipc::chan {
 
+// FUTEX_WAIT with an absolute timeout (the timed flavor real futexes have).
 // Parks the calling thread on `q` through the futex wait path — unless
 // `still_blocked()` turned false while entering the kernel (the futex value
 // re-check, cf. os::Semaphore::Wait: a wake issued in that window finds no
-// parked thread, so parking anyway would lose it and deadlock). The caller
-// re-checks its predicate after resumption (standard futex loop).
+// parked thread, so parking anyway would lose it and deadlock). A finite
+// deadline arms an EventQueue timer that pulls the thread off the queue and
+// resumes it when it fires first; co_returns true iff the park timed out.
+// The caller re-checks its predicate after resumption either way (standard
+// futex loop) — a true return is a hint, not a verdict, because a wake and
+// the timer can land on the same picosecond.
 template <typename Pred>
-inline sim::Task<void> FutexBlock(os::Env env, os::WaitQueue& q, Pred still_blocked) {
+inline sim::Task<bool> FutexBlockUntil(os::Env env, os::WaitQueue& q, os::Deadline deadline,
+                                       Pred still_blocked) {
   os::Kernel& k = *env.kernel;
   co_await k.SyscallEnter(env);
   co_await k.Spend(*env.self, os::Semaphore::kFutexWaitKernel, os::TimeCat::kKernel);
+  auto& injector = fault::Injector::Global();
+  if (injector.armed()) {
+    fault::Decision d = injector.Probe(fault::points::kFutexPark, env.self->last_cpu());
+    if (d.action == fault::Action::kDelay) {
+      co_await k.Spend(*env.self, d.delay, os::TimeCat::kKernel);
+    }
+  }
+  bool timed_out = false;
   if (still_blocked()) {
-    co_await q.Wait(env);
+    if (deadline.ExpiredAt(k.now())) {
+      timed_out = true;  // ETIMEDOUT without parking, like FUTEX_WAIT
+    } else if (deadline.never()) {
+      co_await q.Wait(env);
+    } else {
+      // The timer only acts if the thread is still parked on `q`: a normal
+      // wake at the same instant wins (FIFO event order) and Remove returns
+      // false. MakeRunnable on a thread killed while parked is a safe no-op,
+      // and the coroutine frame outlives the kill (kernel keeps Thread::task_
+      // until teardown), so capturing frame locals by reference is sound.
+      bool timer_fired = false;
+      os::Thread* self = env.self;
+      sim::EventId timer = k.machine().events().ScheduleAt(
+          deadline.at(), [&k, &q, self, &timer_fired] {
+            if (q.Remove(self)) {
+              timer_fired = true;
+              (void)k.MakeRunnable(*self, std::nullopt);
+            }
+          });
+      co_await q.Wait(env);
+      if (timer_fired) {
+        timed_out = true;
+      } else {
+        (void)k.machine().events().Cancel(timer);
+      }
+    }
   }
   co_await k.SyscallExit(env);
+  co_return timed_out;
+}
+
+// Untimed flavor: the historical API, now a never-deadline park.
+template <typename Pred>
+inline sim::Task<void> FutexBlock(os::Env env, os::WaitQueue& q, Pred still_blocked) {
+  (void)co_await FutexBlockUntil(env, q, os::Deadline::Never(), still_blocked);
 }
 
 // Wakes one thread parked on `q`, if any, paying the futex wake syscall and

@@ -24,6 +24,7 @@ MpmcQueue::MpmcQueue(os::Kernel& kernel, os::Process& proc, uint32_t capacity, h
   m_blocked_pushes_ = reg.GetCounter(obs_name + "/blocked_pushes");
   m_blocked_pops_ = reg.GetCounter(obs_name + "/blocked_pops");
   m_futex_wakes_ = reg.GetCounter(obs_name + "/futex_wakes");
+  m_timeouts_ = reg.GetCounter(obs_name + "/timeouts");
   m_park_ns_ = reg.GetHistogram(obs_name + "/park_ns");
 }
 
@@ -54,6 +55,11 @@ sim::Task<void> MpmcQueue::WakeIfWaiting(os::Env env, os::WaitQueue& q,
                                          const uint64_t& live_waiters) {
   if (live_waiters == 0) {
     co_return;  // suppressed: no syscall, no kernel work
+  }
+  auto& injector = fault::Injector::Global();
+  if (injector.armed() &&
+      injector.Probe(fault::points::kFutexWake, env.self->last_cpu()).drop_wake()) {
+    co_return;  // injected lost wake; deadline-armed parks recover
   }
   ++futex_wakes_;
   m_futex_wakes_->Add();
@@ -109,7 +115,7 @@ sim::Task<base::Result<uint64_t>> MpmcQueue::Pop(os::Env env) {
 }
 
 sim::Task<base::Status> MpmcQueue::PushN(os::Env env, std::span<const uint64_t> values,
-                                         uint64_t* pushed) {
+                                         uint64_t* pushed, os::Deadline deadline) {
   os::Kernel& k = *env.kernel;
   os::Thread& self = *env.self;
   if (pushed != nullptr) {
@@ -121,6 +127,15 @@ sim::Task<base::Status> MpmcQueue::PushN(os::Env env, std::span<const uint64_t> 
   // The fixed fast-path toll (head/tail atomics + bookkeeping) is paid once
   // per batch — the O(1/batch) half of the batching argument.
   co_await k.Spend(self, k.costs().chan_fast_path, TimeCat::kUser);
+  auto& injector = fault::Injector::Global();
+  if (injector.armed()) {
+    // Perturbs *timing* only, before the full/empty check — the claim itself
+    // stays synchronous with the check, so the queue invariant holds.
+    fault::Decision d = injector.Probe(fault::points::kSlotClaim, self.last_cpu());
+    if (d.action == fault::Action::kDelay) {
+      co_await k.Spend(self, d.delay, TimeCat::kUser);
+    }
+  }
   uint64_t done = 0;
   while (done < values.size()) {
     while (count_ == capacity_) {
@@ -131,12 +146,20 @@ sim::Task<base::Status> MpmcQueue::PushN(os::Env env, std::span<const uint64_t> 
       m_blocked_pushes_->Add();
       ++waiting_pushes_;
       sim::Time park_start = k.now();
-      co_await FutexBlock(env, producers_, [&] { return count_ == capacity_ && !closed_; });
+      bool expired = co_await FutexBlockUntil(
+          env, producers_, deadline, [&] { return count_ == capacity_ && !closed_; });
       --waiting_pushes_;
       sim::Duration parked = k.now() - park_start;
       m_park_ns_->Record(parked.nanos());
       obs::Trace().Record(self.last_cpu(), obs::EventType::kFutexPark, obs_obj_, 0, k.now(),
                           parked);
+      if (expired && count_ == capacity_ && !closed_) {
+        ++timeouts_;
+        m_timeouts_->Add();
+        obs::Trace().Record(self.last_cpu(), obs::EventType::kTimeout, obs_obj_,
+                            values.size() - done, k.now());
+        co_return base::ErrorCode::kTimedOut;
+      }
     }
     if (closed_) {
       co_return code_;
@@ -170,13 +193,21 @@ sim::Task<base::Status> MpmcQueue::PushN(os::Env env, std::span<const uint64_t> 
   co_return base::Status::Ok();
 }
 
-sim::Task<base::Result<uint64_t>> MpmcQueue::PopN(os::Env env, std::span<uint64_t> out) {
+sim::Task<base::Result<uint64_t>> MpmcQueue::PopN(os::Env env, std::span<uint64_t> out,
+                                                  os::Deadline deadline) {
   os::Kernel& k = *env.kernel;
   os::Thread& self = *env.self;
   if (out.empty()) {
     co_return base::ErrorCode::kInvalidArgument;
   }
   co_await k.Spend(self, k.costs().chan_fast_path, TimeCat::kUser);
+  auto& injector = fault::Injector::Global();
+  if (injector.armed()) {
+    fault::Decision d = injector.Probe(fault::points::kSlotClaim, self.last_cpu());
+    if (d.action == fault::Action::kDelay) {
+      co_await k.Spend(self, d.delay, TimeCat::kUser);
+    }
+  }
   while (count_ == 0) {
     if (closed_) {
       co_return code_;
@@ -185,12 +216,20 @@ sim::Task<base::Result<uint64_t>> MpmcQueue::PopN(os::Env env, std::span<uint64_
     m_blocked_pops_->Add();
     ++waiting_pops_;
     sim::Time park_start = k.now();
-    co_await FutexBlock(env, consumers_, [&] { return count_ == 0 && !closed_; });
+    bool expired = co_await FutexBlockUntil(env, consumers_, deadline,
+                                            [&] { return count_ == 0 && !closed_; });
     --waiting_pops_;
     sim::Duration parked = k.now() - park_start;
     m_park_ns_->Record(parked.nanos());
     obs::Trace().Record(self.last_cpu(), obs::EventType::kFutexPark, obs_obj_, 1, k.now(),
                         parked);
+    if (expired && count_ == 0 && !closed_) {
+      ++timeouts_;
+      m_timeouts_->Add();
+      obs::Trace().Record(self.last_cpu(), obs::EventType::kTimeout, obs_obj_, out.size(),
+                          k.now());
+      co_return base::ErrorCode::kTimedOut;
+    }
   }
   if (!drain_allowed_) {
     co_return code_;

@@ -31,6 +31,7 @@
 #include "chan/segment.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "os/deadline.h"
 #include "os/kernel.h"
 #include "sim/task.h"
 
@@ -69,14 +70,18 @@ class MpmcQueue {
   // the batch exceeds the free room). One fast-path accounting charge and at
   // most one futex wake per chunk — one per call in the common non-blocking
   // case. On failure, `*pushed` (when non-null) reports how many values were
-  // published before the queue closed under the call.
+  // published before the queue closed under the call. A finite `deadline`
+  // bounds every park: an expired park where the queue is still full fails
+  // with kTimedOut (partial progress reported through `*pushed`).
   sim::Task<base::Status> PushN(os::Env env, std::span<const uint64_t> values,
-                                uint64_t* pushed = nullptr);
+                                uint64_t* pushed = nullptr, os::Deadline deadline = {});
 
   // Batched pop of up to `out.size()` slots: blocks until at least one slot
   // is available, then drains what is there (never blocks for a full batch).
-  // Returns the number popped. Same close/fail semantics as Pop.
-  sim::Task<base::Result<uint64_t>> PopN(os::Env env, std::span<uint64_t> out);
+  // Returns the number popped. Same close/fail semantics as Pop; a finite
+  // `deadline` bounds the empty-queue park with kTimedOut.
+  sim::Task<base::Result<uint64_t>> PopN(os::Env env, std::span<uint64_t> out,
+                                         os::Deadline deadline = {});
 
   void Close(base::ErrorCode code = base::ErrorCode::kBrokenChannel);
   void Fail(base::ErrorCode code);
@@ -87,6 +92,7 @@ class MpmcQueue {
   uint64_t blocked_pushes() const { return blocked_pushes_; }
   uint64_t blocked_pops() const { return blocked_pops_; }
   uint64_t futex_wakes() const { return futex_wakes_; }
+  uint64_t timeouts() const { return timeouts_; }
   uint32_t obs_obj() const { return obs_obj_; }
 
  private:
@@ -118,12 +124,14 @@ class MpmcQueue {
   uint64_t waiting_pushes_ = 0;
   uint64_t waiting_pops_ = 0;
   uint64_t futex_wakes_ = 0;  // wake syscalls actually issued (stats)
+  uint64_t timeouts_ = 0;     // parks that expired with the predicate still true
   // Registry mirrors of the stats above, plus the park-time distribution;
   // trace events carry obs_obj_ so a timeline attributes to this queue.
   uint32_t obs_obj_ = 0;
   obs::Counter* m_blocked_pushes_ = nullptr;
   obs::Counter* m_blocked_pops_ = nullptr;
   obs::Counter* m_futex_wakes_ = nullptr;
+  obs::Counter* m_timeouts_ = nullptr;
   obs::Histogram* m_park_ns_ = nullptr;
   os::WaitQueue producers_;
   os::WaitQueue consumers_;

@@ -3,6 +3,7 @@
 #include <string>
 
 #include "base/check.h"
+#include "fault/fault.h"
 
 namespace dipc::codoms {
 
@@ -136,6 +137,16 @@ base::Result<Capability> Codoms::CapFromApl(hw::CpuId cpu, const hw::PageTable& 
                                             uint64_t size, Perm rights, CapType type,
                                             sim::Duration* cost) {
   *cost = machine_.costs().cap_setup;
+  auto& injector = fault::Injector::Global();
+  if (injector.armed()) {
+    // Models an exhausted revocation table / failed privileged mint; callers
+    // already carry an undo path for a denied grant, so kFault exercises it.
+    fault::Decision d = injector.Probe(fault::points::kCapMint, cpu);
+    if (d.fail()) {
+      return base::ErrorCode::kFault;
+    }
+    *cost += d.delay;
+  }
   if (size == 0 || rights == Perm::kNone) {
     return base::ErrorCode::kInvalidArgument;
   }
@@ -219,6 +230,14 @@ base::Status Codoms::CapRevoke(const Capability& cap) {
 base::Result<Capability> Codoms::CapRebind(const Capability& cap, const ThreadCapContext& ctx,
                                            sim::Duration* cost) {
   *cost = machine_.costs().cap_epoch_rebind;
+  auto& injector = fault::Injector::Global();
+  if (injector.armed()) {
+    fault::Decision d = injector.Probe(fault::points::kCapRebind);
+    if (d.fail()) {
+      return base::ErrorCode::kFault;
+    }
+    *cost += d.delay;
+  }
   if (cap.type != CapType::kAsync) {
     return base::ErrorCode::kInvalidArgument;  // sync caps have no counter
   }
@@ -238,6 +257,14 @@ base::Result<Capability> Codoms::CapRebind(const Capability& cap, const ThreadCa
 base::Status Codoms::CapStore(const hw::PageTable& pt, ThreadCapContext& ctx, hw::VirtAddr va,
                               const Capability& cap, sim::Duration* cost) {
   *cost = machine_.costs().cap_memory_op;
+  auto& injector = fault::Injector::Global();
+  if (injector.armed()) {
+    fault::Decision d = injector.Probe(fault::points::kCapStore);
+    if (d.fail()) {
+      return base::ErrorCode::kFault;
+    }
+    *cost += d.delay;
+  }
   if (va % kCapMemBytes != 0) {
     return base::ErrorCode::kInvalidArgument;
   }

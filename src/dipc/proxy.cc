@@ -6,6 +6,7 @@
 #include <string>
 
 #include "dipc/dipc.h"
+#include "fault/fault.h"
 #include "obs/trace.h"
 
 namespace dipc::core {
@@ -78,6 +79,21 @@ sim::Task<uint64_t> Proxy::Invoke(os::Env env, CallArgs args) {
   const hw::DomainTag caller_domain = ctx.current_domain;
   os::Process* caller_proc = &t.process();
 
+  sim::Duration fault_delay;
+  auto& injector = fault::Injector::Global();
+  if (injector.armed()) {
+    // Probed before the control transfer: a kill rule here murders the
+    // callee mid-invoke, so this very call runs into the death machinery.
+    fault::Decision d = injector.Probe(fault::points::kProxyInvoke, cpu);
+    if (d.fail()) {
+      t.FlagError(base::ErrorCode::kFault);
+      co_return 0;
+    }
+    if (d.action == fault::Action::kDelay) {
+      fault_delay = d.delay;
+    }
+  }
+
   // (1) The caller's `call proxy` instruction: CODOMs checks the Call
   // permission and the 64 B entry alignment (P2), switching into the proxy
   // domain implicitly.
@@ -86,7 +102,7 @@ sim::Task<uint64_t> Proxy::Invoke(os::Env env, CallArgs args) {
     t.FlagError(base::ErrorCode::kFault);
     co_return 0;
   }
-  sim::Duration call_cost = ct_in.value();
+  sim::Duration call_cost = ct_in.value() + fault_delay;
   // P2: the proxy validates the thread's stack pointer.
   call_cost += cm.Cycles(2);
 

@@ -36,6 +36,10 @@ const char* EventTypeName(EventType t) {
       return "proxy_enter";
     case EventType::kProxyExit:
       return "proxy_exit";
+    case EventType::kFaultInjected:
+      return "fault_injected";
+    case EventType::kTimeout:
+      return "timeout";
   }
   return "unknown";
 }

@@ -42,11 +42,13 @@ enum class EventType : uint8_t {
   kCapRebind,     // arg = slot index (warm epoch rebind)
   kCapRevoke,     // arg = caps revoked (teardown sweeps; hot paths count only)
   kDeathSweep,    // arg = death hooks run; obj = pid
-  kProxyEnter,    // arg = argument bytes
-  kProxyExit,     // dur = full proxy call; arg = argument bytes
+  kProxyEnter,     // arg = argument bytes
+  kProxyExit,      // dur = full proxy call; arg = argument bytes
+  kFaultInjected,  // arg = fault action (fault::Action); obj = point hash
+  kTimeout,        // arg = slots still owed when the deadline fired
 };
 
-constexpr int kEventTypeCount = static_cast<int>(EventType::kProxyExit) + 1;
+constexpr int kEventTypeCount = static_cast<int>(EventType::kTimeout) + 1;
 
 // Human-readable name for Chrome trace export and debugging.
 const char* EventTypeName(EventType t);

@@ -1,0 +1,34 @@
+#ifndef DIPC_OS_DEADLINE_H_
+#define DIPC_OS_DEADLINE_H_
+
+#include "sim/time.h"
+
+namespace dipc::os {
+
+// An absolute sim-time deadline for blocking operations. The default
+// ("never") preserves the historical block-forever behaviour, so every
+// existing call site compiles unchanged; passing `Deadline::At(t)` (or
+// `After` relative to a kernel's now()) bounds the park and surfaces
+// `ErrorCode::kTimedOut` from the blocking primitive when it expires.
+class Deadline {
+ public:
+  constexpr Deadline() = default;
+
+  static constexpr Deadline Never() { return Deadline(); }
+  static constexpr Deadline At(sim::Time t) { return Deadline(t); }
+  static constexpr Deadline After(sim::Time now, sim::Duration d) {
+    return Deadline(now + d);
+  }
+
+  constexpr bool never() const { return at_ == sim::Time::Max(); }
+  constexpr sim::Time at() const { return at_; }
+  constexpr bool ExpiredAt(sim::Time now) const { return !never() && now >= at_; }
+
+ private:
+  explicit constexpr Deadline(sim::Time t) : at_(t) {}
+  sim::Time at_ = sim::Time::Max();
+};
+
+}  // namespace dipc::os
+
+#endif  // DIPC_OS_DEADLINE_H_

@@ -8,8 +8,10 @@
 
 #include <cstdint>
 
+#include "base/result.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "os/deadline.h"
 #include "os/kernel.h"
 #include "sim/task.h"
 
@@ -34,29 +36,74 @@ class Semaphore : public KernelObject {
   static constexpr sim::Duration kFutexWaitKernel = sim::Duration::Nanos(140.0);
   static constexpr sim::Duration kFutexWakeKernel = sim::Duration::Nanos(130.0);
 
-  sim::Task<void> Wait(Env env) {
+  // Timed, failure-aware wait. Returns kOk with a token consumed, kTimedOut
+  // when a finite `deadline` expires first (no token consumed), or the
+  // Fail() code when the semaphore's owner died. The failed_ re-check after
+  // the kernel entry closes the historical hang: a Fail() landing between
+  // the user-space predicate check and the park issued its wakes while this
+  // thread was still entering the kernel, so parking anyway would sleep on
+  // an object nobody will ever post again.
+  sim::Task<base::Status> WaitUntil(Env env, Deadline deadline = {}) {
     Kernel& k = *env.kernel;
     co_await k.Spend(*env.self, kUserFastPath, TimeCat::kUser);
+    if (failed_) {
+      co_return code_;
+    }
     if (count_ > 0) {
       --count_;  // uncontended: futex not entered
-      co_return;
+      co_return base::Status::Ok();
     }
     co_await k.SyscallEnter(env);
     co_await k.Spend(*env.self, kFutexWaitKernel, TimeCat::kKernel);
-    if (count_ > 0) {
+    base::Status result = base::Status::Ok();
+    if (failed_) {
+      result = code_;  // owner died while we were entering the kernel
+    } else if (count_ > 0) {
       --count_;  // raced with a post while entering the kernel
+    } else if (deadline.ExpiredAt(k.now())) {
+      result = base::ErrorCode::kTimedOut;  // ETIMEDOUT without parking
     } else {
       m_futex_waits_->Add();
       const sim::Time park_start = k.now();
+      // Deadline timer, same shape as chan::FutexBlockUntil: it only acts
+      // while the thread is still parked (a same-instant Post wins by FIFO
+      // event order and Remove then returns false).
+      bool timer_fired = false;
+      sim::EventId timer = sim::kInvalidEventId;
+      if (!deadline.never()) {
+        Thread* self = env.self;
+        timer = k.machine().events().ScheduleAt(deadline.at(),
+                                                [&k, this, self, &timer_fired] {
+                                                  if (waiters_.Remove(self)) {
+                                                    timer_fired = true;
+                                                    (void)k.MakeRunnable(*self, std::nullopt);
+                                                  }
+                                                });
+      }
       co_await waiters_.Wait(env);
-      // Woken by Post: the token was handed to us directly.
       const sim::Duration parked = k.now() - park_start;
       m_park_ns_->Record(parked.nanos());
       obs::Trace().Record(env.self->last_cpu(), obs::EventType::kFutexPark, obs_id_, 0, k.now(),
                           parked);
+      if (timer_fired) {
+        result = base::ErrorCode::kTimedOut;
+      } else {
+        if (timer != sim::kInvalidEventId) {
+          (void)k.machine().events().Cancel(timer);
+        }
+        if (failed_) {
+          result = code_;  // woken by Fail, not by a Post: no token was handed
+        }
+        // Otherwise woken by Post: the token was handed to us directly.
+      }
     }
     co_await k.SyscallExit(env);
+    co_return result;
   }
+
+  // Untimed legacy flavor. After Fail() it returns (with the error dropped)
+  // instead of hanging; callers that need the code use WaitUntil.
+  sim::Task<void> Wait(Env env) { (void)co_await WaitUntil(env, Deadline::Never()); }
 
   sim::Task<void> Post(Env env) {
     Kernel& k = *env.kernel;
@@ -77,11 +124,26 @@ class Semaphore : public KernelObject {
     co_await k.SyscallExit(env);
   }
 
+  // Owner-death teardown: latches `code`, wakes every parked waiter with it
+  // and makes every future Wait fail immediately. Irreversible, like a
+  // futex word unmapped with its owner. `kernel` drives the wakeups (Fail
+  // runs from death hooks that carry no thread Env).
+  void Fail(Kernel& kernel, base::ErrorCode code) {
+    failed_ = true;
+    code_ = code;
+    while (Thread* t = waiters_.WakeOneThread()) {
+      (void)kernel.MakeRunnable(*t, std::nullopt);
+    }
+  }
+
   int64_t count() const { return count_; }
   size_t waiter_count() const { return waiters_.size(); }
+  bool failed() const { return failed_; }
 
  private:
   int64_t count_;
+  bool failed_ = false;
+  base::ErrorCode code_ = base::ErrorCode::kCalleeFailed;
   uint32_t obs_id_;
   WaitQueue waiters_;
   obs::Counter* m_futex_waits_;

@@ -1,0 +1,212 @@
+// Unit tests for the deterministic fault-injection engine (src/fault/):
+// plan-text parsing, scripted and probabilistic triggers, the kill-handler
+// contract, and the replay-determinism guarantee (same seed + plan ==>
+// byte-identical decision log).
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "fault/fault.h"
+#include "sim/event_queue.h"
+#include "sim/time.h"
+
+namespace dipc::fault {
+namespace {
+
+using sim::Duration;
+
+#ifndef DIPC_FAULT_OFF
+
+// Every test arms the process-wide singleton; disarm on the way out so no
+// state bleeds into unrelated suites running in the same process.
+class FaultTest : public ::testing::Test {
+ protected:
+  ~FaultTest() override { Injector::Global().Disarm(); }
+};
+
+TEST_F(FaultTest, ParseAcceptsFullGrammar) {
+  const std::string text =
+      "# chaos plan\n"
+      "seed 99\n"
+      "rule chan/send fail p=0.25 max=3\n"
+      "rule chan/slot_claim delay every=4 delay_ns=1500\n"
+      "rule fanout/credit_grant drop_wake at=7\n"
+      "rule dipc/proxy_invoke kill at=2 victim=php-worker\n";
+  auto plan = Plan::Parse(text);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan.value().seed, 99u);
+  ASSERT_EQ(plan.value().rules.size(), 4u);
+  const Rule& r0 = plan.value().rules[0];
+  EXPECT_EQ(r0.point, points::kChanSend);
+  EXPECT_EQ(r0.action, Action::kFail);
+  EXPECT_DOUBLE_EQ(r0.probability, 0.25);
+  EXPECT_EQ(r0.max_fires, 3u);
+  const Rule& r1 = plan.value().rules[1];
+  EXPECT_EQ(r1.action, Action::kDelay);
+  EXPECT_EQ(r1.every, 4u);
+  EXPECT_EQ(r1.delay, Duration::Nanos(1500));
+  const Rule& r3 = plan.value().rules[3];
+  EXPECT_EQ(r3.action, Action::kKill);
+  EXPECT_EQ(r3.at, 2u);
+  EXPECT_EQ(r3.victim, "php-worker");
+}
+
+TEST_F(FaultTest, ParseRejectsMalformedPlans) {
+  const char* bad[] = {
+      "rule chan/send explode p=0.5",        // unknown action
+      "rule chan/send delay at=1",           // delay without delay_ns
+      "rule chan/send kill at=1",            // kill without victim
+      "rule chan/send fail",                 // no trigger at all
+      "rule chan/send fail p=1.5",           // probability out of range
+      "seed banana",                         // non-numeric seed
+      "rule\n",                              // truncated directive
+  };
+  for (const char* text : bad) {
+    std::string error;
+    auto plan = Plan::Parse(text, &error);
+    EXPECT_FALSE(plan.ok()) << text;
+    EXPECT_FALSE(error.empty()) << text;
+  }
+}
+
+TEST_F(FaultTest, ScriptedTriggersFireAtExactProbes) {
+  auto plan = Plan::Parse("rule chan/send fail at=3\n");
+  ASSERT_TRUE(plan.ok());
+  Injector& inj = Injector::Global();
+  inj.Arm(plan.value(), nullptr);
+  for (int i = 1; i <= 5; ++i) {
+    Decision d = inj.Probe(points::kChanSend);
+    EXPECT_EQ(d.fail(), i == 3) << "probe " << i;
+  }
+  EXPECT_EQ(inj.fire_count(), 1u);
+  ASSERT_EQ(inj.log().size(), 1u);
+  EXPECT_EQ(inj.log()[0].seq, 0u);
+  EXPECT_EQ(inj.log()[0].point_hash, HashPoint(points::kChanSend));
+  EXPECT_EQ(inj.log()[0].action, static_cast<uint32_t>(Action::kFail));
+}
+
+TEST_F(FaultTest, EveryTriggerAndMaxCapCompose) {
+  auto plan = Plan::Parse("rule chan/slot_claim delay every=2 max=3 delay_ns=10\n");
+  ASSERT_TRUE(plan.ok());
+  Injector& inj = Injector::Global();
+  inj.Arm(plan.value(), nullptr);
+  int fired = 0;
+  for (int i = 1; i <= 12; ++i) {
+    Decision d = inj.Probe(points::kSlotClaim);
+    if (d.action == Action::kDelay) {
+      ++fired;
+      EXPECT_EQ(i % 2, 0) << "probe " << i;
+      EXPECT_EQ(d.delay, Duration::Nanos(10));
+    }
+  }
+  EXPECT_EQ(fired, 3);  // every=2 would give 6; max=3 caps it
+  EXPECT_EQ(inj.fire_count(), 3u);
+}
+
+TEST_F(FaultTest, PointsAreCountedIndependently) {
+  auto plan = Plan::Parse("rule chan/send fail at=2\n");
+  ASSERT_TRUE(plan.ok());
+  Injector& inj = Injector::Global();
+  inj.Arm(plan.value(), nullptr);
+  // Probes of OTHER points must not advance chan/send's ordinal.
+  EXPECT_FALSE(inj.Probe(points::kFutexWake).fail());
+  EXPECT_FALSE(inj.Probe(points::kChanSend).fail());  // chan/send probe #1
+  EXPECT_FALSE(inj.Probe(points::kCapMint).fail());
+  EXPECT_TRUE(inj.Probe(points::kChanSend).fail());  // chan/send probe #2
+}
+
+TEST_F(FaultTest, KillRunsHandlerAndLetsOperationProceed) {
+  auto plan = Plan::Parse("rule dipc/death_sweep kill at=1 victim=bob max=1\n");
+  ASSERT_TRUE(plan.ok());
+  Injector& inj = Injector::Global();
+  inj.Arm(plan.value(), nullptr);
+  std::vector<std::string> victims;
+  inj.SetKillHandler([&victims](const std::string& v) { victims.push_back(v); });
+  Decision d = inj.Probe(points::kDeathSweep);
+  // The kill is the side effect; the probed operation itself proceeds.
+  EXPECT_EQ(d.action, Action::kNone);
+  ASSERT_EQ(victims.size(), 1u);
+  EXPECT_EQ(victims[0], "bob");
+  EXPECT_EQ(inj.fire_count(), 1u);
+}
+
+TEST_F(FaultTest, DisarmedProbesAreInert) {
+  Injector& inj = Injector::Global();
+  inj.Disarm();
+  Decision d = inj.Probe(points::kChanSend);
+  EXPECT_EQ(d.action, Action::kNone);
+  EXPECT_FALSE(inj.armed());
+}
+
+// The replay-determinism contract: arming the same (seed, plan) and probing
+// the same sequence yields a byte-identical decision log — including the
+// probabilistic rules, whose RNG stream restarts from the plan seed.
+TEST_F(FaultTest, SameSeedAndPlanReplaysByteIdenticalLog) {
+  const std::string text =
+      "seed 1234\n"
+      "rule chan/send fail p=0.3\n"
+      "rule chan/futex_wake drop_wake p=0.15\n"
+      "rule chan/slot_claim delay every=7 delay_ns=250\n";
+  auto plan = Plan::Parse(text);
+  ASSERT_TRUE(plan.ok());
+  Injector& inj = Injector::Global();
+
+  auto run = [&inj, &plan] {
+    sim::EventQueue clock;
+    inj.Arm(plan.value(), &clock);
+    for (int i = 0; i < 500; ++i) {
+      (void)inj.Probe(points::kChanSend);
+      (void)inj.Probe(points::kFutexWake);
+      (void)inj.Probe(points::kSlotClaim);
+    }
+    return inj.log();
+  };
+  std::vector<FiredRecord> first = run();
+  std::vector<FiredRecord> second = run();
+  EXPECT_GT(first.size(), 0u);  // p=0.3 over 500 probes: statistically certain
+  ASSERT_EQ(first.size(), second.size());
+  ASSERT_EQ(0, std::memcmp(first.data(), second.data(),
+                           first.size() * sizeof(FiredRecord)));
+}
+
+TEST_F(FaultTest, DifferentSeedsDiverge) {
+  auto mk = [](uint64_t seed) {
+    Plan p;
+    p.seed = seed;
+    Rule r;
+    r.point = std::string(points::kChanSend);
+    r.action = Action::kFail;
+    r.probability = 0.5;
+    p.rules.push_back(std::move(r));
+    return p;
+  };
+  Injector& inj = Injector::Global();
+  auto run = [&inj](Plan p) {
+    inj.Arm(std::move(p), nullptr);
+    std::vector<bool> hits;
+    for (int i = 0; i < 200; ++i) {
+      hits.push_back(inj.Probe(points::kChanSend).fail());
+    }
+    return hits;
+  };
+  EXPECT_NE(run(mk(1)), run(mk(2)));
+}
+
+TEST_F(FaultTest, RearmResetsAllState) {
+  auto plan = Plan::Parse("rule chan/send fail at=1 max=1\n");
+  ASSERT_TRUE(plan.ok());
+  Injector& inj = Injector::Global();
+  inj.Arm(plan.value(), nullptr);
+  EXPECT_TRUE(inj.Probe(points::kChanSend).fail());
+  EXPECT_FALSE(inj.Probe(points::kChanSend).fail());  // max=1 spent
+  inj.Arm(plan.value(), nullptr);                     // re-arm: counters reset
+  EXPECT_EQ(inj.fire_count(), 0u);
+  EXPECT_TRUE(inj.Probe(points::kChanSend).fail());
+}
+
+#endif  // !DIPC_FAULT_OFF
+
+}  // namespace
+}  // namespace dipc::fault
