@@ -38,6 +38,11 @@ void PrintDesignPoints(JsonEmitter& json) {
               "dipc+proc", "chan!=", "chan=", "stream1", "stream32");
   for (int p = 0; p <= 20; p += 2) {
     uint64_t n = 1ull << p;
+    // One metrics window per payload size: under --metrics the registry is
+    // snapshotted + zeroed here, so each size row's counters stand alone.
+    char point[48];
+    std::snprintf(point, sizeof(point), "designpoints_n%llu", static_cast<unsigned long long>(n));
+    json.BeginSeries(point);
     int rounds = n >= (1 << 16) ? 40 : 150;
     MicroConfig cross{.arg_bytes = n, .rounds = rounds, .cross_cpu = true};
     MicroConfig same{.arg_bytes = n, .rounds = rounds, .cross_cpu = false};
@@ -84,6 +89,9 @@ void PrintFanOutSweep(dipc::bench::JsonEmitter& json) {
   std::printf("%10s %12s %12s %12s %12s\n", "receivers", "bcast b1", "bcast b32", "shard b1",
               "shard b32");
   for (uint32_t n : {1u, 2u, 4u, 8u}) {
+    char point[48];
+    std::snprintf(point, sizeof(point), "fanout_r%u", n);
+    json.BeginSeries(point);
     double bcast1 = dipc::bench::MeasureFanOutStream(
         {.payload_bytes = 64, .receivers = n, .batch = 1, .messages = 768});
     double bcast32 = dipc::bench::MeasureFanOutStream(
@@ -103,6 +111,59 @@ void PrintFanOutSweep(dipc::bench::JsonEmitter& json) {
       " delivery per publish and parallelizes consumption across receiver CPUs)\n\n");
 }
 
+// Producer-count sweep for the mirror-image fan-in channel: per-delivered-
+// message cost as more client domains feed the one consumer. Every producer
+// has its own per-slot write templates and credit line, but the descriptor
+// plane is one shared MpmcQueue, so per-message cost stays near-flat while
+// admission parallelizes across producer CPUs.
+void PrintFanInSweep(dipc::bench::JsonEmitter& json) {
+  std::printf("=== Fan-in: per-delivered-message cost vs producer count [ns] ===\n");
+  std::printf("%10s %12s %12s\n", "producers", "b1", "b32");
+  for (uint32_t n : {1u, 2u, 4u, 8u}) {
+    char point[48];
+    std::snprintf(point, sizeof(point), "fanin_p%u", n);
+    json.BeginSeries(point);
+    double b1 = dipc::bench::MeasureFanInStream(
+        {.payload_bytes = 64, .producers = n, .batch = 1, .messages = 768});
+    double b32 = dipc::bench::MeasureFanInStream(
+        {.payload_bytes = 64, .producers = n, .batch = 32, .messages = 768});
+    std::printf("%10u %12.1f %12.1f\n", n, b1, b32);
+    json.Row("fanin_b1", n, b1);
+    json.Row("fanin_b32", n, b32);
+  }
+  std::printf(
+      "(all producers publish into one shared consumer FIFO; credit lines keep one\n"
+      " producer from pinning the pool, write grants stay per-producer)\n\n");
+}
+
+// Multi-tenant fabric echo: ns per request/response round trip as the
+// tenant count grows, shared-trio vs per-channel trios. Shared trios keep
+// the whole fabric inside the 32-entry per-CPU APL cache at any tenant
+// count; per-channel trios exceed it somewhere past ~5 tenants (2 planes x
+// 3 tags each) and every cross-domain access starts paying the miss.
+void PrintFabricSweep(dipc::bench::JsonEmitter& json) {
+  std::printf("=== Service fabric: ns per echo call vs tenants (4 workers) ===\n");
+  std::printf("%10s %14s %14s\n", "tenants", "shared-trio", "per-chan trios");
+  for (uint32_t tenants : {1u, 16u, 64u, 512u}) {
+    // Hundreds of tenants mean thousands of live channels; fewer calls per
+    // tenant keep the big rows tractable.
+    int calls = tenants >= 64 ? 8 : 32;
+    char point[48];
+    std::snprintf(point, sizeof(point), "fabric_n%u", tenants);
+    json.BeginSeries(point);
+    double shared = dipc::bench::MeasureFabricEcho(
+        {.tenants = tenants, .workers = 4, .calls_per_tenant = calls, .shared_trio = true});
+    double pertrio = dipc::bench::MeasureFabricEcho(
+        {.tenants = tenants, .workers = 4, .calls_per_tenant = calls, .shared_trio = false});
+    std::printf("%10u %14.1f %14.1f\n", tenants, shared, pertrio);
+    json.Row("fabric_shared_trio", tenants, shared);
+    json.Row("fabric_pertrio", tenants, pertrio);
+  }
+  std::printf(
+      "(each tenant is a client domain with its own fan-out request plane and\n"
+      " fan-in response plane over 4 shared worker domains; opid-matched dispatch)\n\n");
+}
+
 void BM_ChannelTransfer(benchmark::State& state) {
   uint64_t n = static_cast<uint64_t>(state.range(0));
   double func = MeasureFunction({.arg_bytes = n, .rounds = 60}).roundtrip_ns;
@@ -120,6 +181,8 @@ int main(int argc, char** argv) {
   JsonEmitter json("chan_designpoints", &argc, argv);
   PrintDesignPoints(json);
   PrintFanOutSweep(json);
+  PrintFanInSweep(json);
+  PrintFabricSweep(json);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -6,10 +6,12 @@
 #include <memory>
 
 #include "chan/channel.h"
+#include "chan/fanin.h"
 #include "chan/fanout.h"
 #include "codoms/codoms.h"
 #include "dipc/dipc.h"
 #include "dipc/proxy.h"
+#include "fabric/fabric.h"
 #include "hw/machine.h"
 #include "l4/l4_gate.h"
 #include "obs/metrics.h"
@@ -626,6 +628,150 @@ double MeasureFanOutStream(const FanOutStreamConfig& config) {
   kernel.Run();
   DIPC_CHECK(measured_from >= 0 && measured_from < total);
   return (t_end - t0).nanos() / (total - measured_from);
+}
+
+double MeasureFanInStream(const FanInStreamConfig& config) {
+  const uint32_t n_prod = std::max<uint32_t>(1, config.producers);
+  const int batch = std::max(1, config.batch);
+  // One CPU for the consumer plus one per producer, mirroring the fan-out
+  // harness (many client domains feeding one server tier).
+  hw::Machine machine(1 + n_prod);
+  codoms::Codoms codoms(machine);
+  os::Kernel kernel(machine, codoms);
+  core::Dipc dipc(kernel);
+  std::vector<os::Process*> prod_procs;
+  for (uint32_t p = 0; p < n_prod; ++p) {
+    prod_procs.push_back(&dipc.CreateDipcProcess("client"));
+  }
+  os::Process& cons = dipc.CreateDipcProcess("server");
+  chan::FanInConfig cc{
+      .slots = std::max<uint32_t>(8, static_cast<uint32_t>(2 * batch) * n_prod),
+      .buf_bytes = std::max<uint64_t>(config.payload_bytes, 64)};
+  auto ch = chan::FanInChannel::Create(dipc, prod_procs, cons, cc);
+  DIPC_CHECK(ch.ok());
+  std::shared_ptr<chan::FanInChannel> fan = ch.value();
+  const int warmup = static_cast<int>(cc.slots) + batch * static_cast<int>(n_prod);
+  const int per_prod =
+      (config.messages + warmup + static_cast<int>(n_prod) - 1) / static_cast<int>(n_prod);
+  const int total = per_prod * static_cast<int>(n_prod);
+  sim::Time t0, t_end;
+  int received = 0;
+  kernel.Spawn(
+      cons, "server",
+      [&, fan](os::Env env) -> sim::Task<void> {
+        os::Kernel& k = *env.kernel;
+        while (true) {
+          auto msgs = co_await fan->RecvBatch(env, static_cast<uint32_t>(batch));
+          if (!msgs.ok()) {
+            co_return;  // kBrokenChannel after the drain
+          }
+          for (const chan::Msg& m : msgs.value()) {
+            fan->BindRecvCap(*env.self, m);
+            (void)co_await k.TouchUser(env, m.va, m.len, hw::AccessType::kRead);
+          }
+          DIPC_CHECK((co_await fan->ReleaseBatch(env, msgs.value())).ok());
+          received += static_cast<int>(msgs.value().size());
+          if (received <= warmup) {
+            t0 = env.kernel->now();
+          }
+          t_end = env.kernel->now();
+        }
+      },
+      /*pin_cpu=*/0);
+  int producers_done = 0;
+  for (uint32_t p = 0; p < n_prod; ++p) {
+    kernel.Spawn(
+        *prod_procs[p], "client",
+        [&, fan, p](os::Env env) -> sim::Task<void> {
+          os::Kernel& k = *env.kernel;
+          int sent = 0;
+          while (sent < per_prod) {
+            uint32_t want = static_cast<uint32_t>(std::min(batch, per_prod - sent));
+            auto bufs = co_await fan->AcquireBufBatch(env, p, want);
+            DIPC_CHECK(bufs.ok());
+            std::vector<chan::SendItem> items;
+            items.reserve(bufs.value().size());
+            for (const chan::SendBuf& b : bufs.value()) {
+              fan->BindSendCap(*env.self, b);
+              (void)co_await k.TouchUser(env, b.va, config.payload_bytes,
+                                         hw::AccessType::kWrite);
+              items.push_back(chan::SendItem{b, config.payload_bytes});
+            }
+            DIPC_CHECK((co_await fan->SendBatch(env, p, items)).ok());
+            sent += static_cast<int>(items.size());
+          }
+          if (++producers_done == static_cast<int>(n_prod)) {
+            fan->Close();  // consumer drains, then sees the close
+          }
+        },
+        /*pin_cpu=*/static_cast<int>(1 + p));
+  }
+  kernel.Run();
+  DIPC_CHECK(received == total && total > warmup);
+  return (t_end - t0).nanos() / (total - warmup);
+}
+
+double MeasureFabricEcho(const FabricEchoConfig& config) {
+  const uint32_t tenants = std::max<uint32_t>(1, config.tenants);
+  const uint32_t workers = std::max<uint32_t>(1, config.workers);
+  const int calls = std::max(2, config.calls_per_tenant);
+  hw::Machine machine(6);
+  codoms::Codoms codoms(machine);
+  os::Kernel kernel(machine, codoms);
+  core::Dipc dipc(kernel);
+  std::vector<os::Process*> clients;
+  std::vector<os::Process*> worker_procs;
+  for (uint32_t c = 0; c < tenants; ++c) {
+    clients.push_back(&dipc.CreateDipcProcess("tenant"));
+  }
+  for (uint32_t w = 0; w < workers; ++w) {
+    worker_procs.push_back(&dipc.CreateDipcProcess("worker"));
+  }
+  auto f = fabric::ServiceFabric::Create(dipc, clients, worker_procs,
+                                         {.req_slots = 4,
+                                          .req_bytes = std::max<uint64_t>(config.req_bytes, 8),
+                                          .resp_slots = 4,
+                                          .resp_bytes = std::max<uint64_t>(config.resp_bytes, 8),
+                                          .shared_trio = config.shared_trio});
+  DIPC_CHECK(f.ok());
+  std::shared_ptr<fabric::ServiceFabric> fab = f.value();
+  fab->StartAllDispatchers();
+  fabric::ServiceFabric::Handler echo = [](os::Env, const chan::Msg&) -> sim::Task<void> {
+    co_return;
+  };
+  for (uint32_t w = 0; w < workers; ++w) {
+    for (uint32_t c = 0; c < tenants; ++c) {
+      kernel.Spawn(*worker_procs[w], "serve", [fab, c, w, echo](os::Env env) -> sim::Task<void> {
+        co_await fab->Serve(env, c, w, echo);
+      });
+    }
+  }
+  // First quarter of every tenant's calls warms the epoch caches (and, per
+  // tenant, the APL entries the run will keep touching); the measurement
+  // window covers the rest.
+  const int warmup = static_cast<int>(tenants) * std::max(1, calls / 4);
+  const int total = static_cast<int>(tenants) * calls;
+  sim::Time t0, t_end;
+  int completed = 0;
+  int remaining = static_cast<int>(tenants);
+  for (uint32_t c = 0; c < tenants; ++c) {
+    kernel.Spawn(*clients[c], "web", [&, fab, c](os::Env env) -> sim::Task<void> {
+      for (int i = 0; i < calls; ++i) {
+        DIPC_CHECK((co_await fab->Call(env, c, fab->config().req_bytes)).ok());
+        ++completed;
+        if (completed <= warmup) {
+          t0 = env.kernel->now();
+        }
+        t_end = env.kernel->now();
+      }
+      if (--remaining == 0) {
+        fab->Close();
+      }
+    });
+  }
+  kernel.Run();
+  DIPC_CHECK(completed == total && total > warmup);
+  return (t_end - t0).nanos() / (total - warmup);
 }
 
 JsonEmitter::JsonEmitter(std::string name, int* argc, char** argv) : name_(std::move(name)) {

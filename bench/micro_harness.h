@@ -86,6 +86,38 @@ struct FanOutStreamConfig {
 };
 double MeasureFanOutStream(const FanOutStreamConfig& config);
 
+// Fan-in streaming (src/chan/fanin.h): `producers` producer domains each
+// publish their share of `messages` payloads into one consumer through a
+// FanInChannel — per-producer epoch-cached write grants, per-producer
+// credit lines, one shared descriptor FIFO. Producers run on their own
+// CPUs. Returns the steady-state wall time in ns per *delivered* message,
+// i.e. what one admission into the shared consumer costs end to end.
+struct FanInStreamConfig {
+  uint64_t payload_bytes = 64;
+  uint32_t producers = 4;
+  int batch = 1;
+  int messages = 1024;  // total across all producers
+};
+double MeasureFanInStream(const FanInStreamConfig& config);
+
+// Service-fabric echo (src/fabric/fabric.h): `tenants` client domains each
+// drive `calls_per_tenant` request/response round trips across `workers`
+// worker domains through the N x M fabric (per-tenant fan-out request
+// plane + fan-in response plane, opid-matched dispatch). `shared_trio`
+// toggles one domain-tag trio per plane direction (APL-cache friendly, the
+// default) against a private trio per channel — at hundreds of tenants the
+// latter overwhelms the 32-entry per-CPU APL cache and every access pays
+// the miss. Returns the steady-state ns per completed call.
+struct FabricEchoConfig {
+  uint32_t tenants = 8;
+  uint32_t workers = 4;
+  int calls_per_tenant = 32;
+  uint64_t req_bytes = 64;
+  uint64_t resp_bytes = 64;
+  bool shared_trio = true;
+};
+double MeasureFabricEcho(const FabricEchoConfig& config);
+
 // --json flag support: benches record (series, x, value) rows and, when the
 // flag was passed, write them to BENCH_<name>.json on destruction — the
 // machine-readable perf trajectory consumed by CI. The constructor strips

@@ -1,5 +1,6 @@
 #include "apps/oltp/oltp.h"
 
+#include <array>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -8,6 +9,7 @@
 #include "apps/oltp/disk.h"
 #include "chan/channel.h"
 #include "chan/fanout.h"
+#include "fabric/fabric.h"
 #include "codoms/codoms.h"
 #include "dipc/dipc.h"
 #include "dipc/proxy.h"
@@ -68,19 +70,10 @@ struct Ctx {
   double latency_sum_ms = 0;
   uint64_t cross_domain_calls = 0;
 
-  // kChan completion matching: in-flight operation id -> the web worker's
-  // wakeup. Dispatchers post it when the response crosses back.
-  uint64_t next_opid = 0;
-  std::unordered_map<uint64_t, std::shared_ptr<os::Semaphore>> completions;
-
-  // kChan robustness bookkeeping (see OltpConfig::supervise).
-  uint64_t requests_retried = 0;
-  uint64_t requests_failed = 0;
+  // kChan robustness bookkeeping (see OltpConfig::supervise). Retry/failure/
+  // duplicate accounting lives in the ServiceFabric now; the supervisor's
+  // respawn count is the one piece still owned here.
   uint64_t workers_respawned = 0;
-  uint64_t duplicate_completions = 0;
-  // Requests each PHP worker slot completed, ever (respawns keep the slot's
-  // counter): the supervisor's wedge heuristic watches this for stalls.
-  std::vector<uint64_t> worker_progress;
 
   std::unordered_map<uint64_t, sim::Rng> rngs;
   sim::Rng& RngFor(os::Thread& t) {
@@ -95,11 +88,6 @@ struct Ctx {
     ops = 0;
     latency_sum_ms = 0;
     cross_domain_calls = 0;
-    requests_retried = 0;
-    requests_failed = 0;
-    duplicate_completions = 0;
-    // worker_progress stays: the supervisor diffs it between heartbeats and
-    // a mid-run reset would only look like (harmless) fresh progress.
   }
 };
 
@@ -286,6 +274,11 @@ OltpResult RunOltp(const OltpConfig& config) {
   const Duration cap_load_extra =
       machine.costs().cap_memory_op * kWorstCaseCapLoadsPerInteraction;
 
+  // kChan hooks: snapshot the fabric's robustness counters when the
+  // measurement window opens and fold the window's deltas into the result.
+  std::function<void()> on_measure_start;
+  std::function<void(OltpResult&)> collect_robustness;
+
   switch (config.mode) {
     case OltpMode::kIdeal: {
       // One unsafe process; direct function calls between tiers.
@@ -381,64 +374,68 @@ OltpResult RunOltp(const OltpConfig& config) {
     }
 
     case OltpMode::kChan: {
-      // Zero-copy channels with the fan-out topology: the web tier shards
-      // requests across `chan_workers` PHP worker *domains* through ONE
-      // fan-out channel (per-receiver read grants, credit-based
-      // backpressure), each PHP worker drives its own DB peer thread over a
-      // duplex channel, and completions ride per-worker channels back to
-      // web-side dispatchers that match them to the blocked web worker by
-      // operation id. Versus kLinuxIpc this removes both the copies+glue
-      // AND most of the false concurrency: the worker tiers run
-      // chan_workers service threads total instead of one per web worker.
+      // Zero-copy channels composed into the N x M service fabric
+      // (src/fabric/): `tenants` web-tier client domains shard requests
+      // across `chan_workers` PHP worker *domains* through per-tenant
+      // fan-out request planes (per-receiver read grants, credit-based
+      // backpressure) and get completions back over per-tenant fan-in
+      // response planes, matched to the blocked web worker by operation id
+      // inside fabric::Call. Each PHP worker drives its own DB peer thread
+      // over a duplex channel. Versus kLinuxIpc this removes both the
+      // copies+glue AND most of the false concurrency: the worker tier runs
+      // chan_workers serve threads per tenant instead of one per web worker.
       const int W = std::max(1, config.chan_workers);
-      os::Process& web = dipc.CreateDipcProcess("apache");
-      os::Process& db = dipc.CreateDipcProcess("mariadb");
+      const int T = std::max(1, config.tenants);
       // Shared (not stack-local) so the supervisor and the fault-plan kill
-      // handler can keep resolving worker slots after this block exits.
+      // handler can keep resolving processes after this block exits.
+      auto webs = std::make_shared<std::vector<os::Process*>>();
+      for (int t = 0; t < T; ++t) {
+        webs->push_back(&dipc.CreateDipcProcess("apache"));
+      }
+      os::Process& db = dipc.CreateDipcProcess("mariadb");
       auto workers = std::make_shared<std::vector<os::Process*>>();
       for (int r = 0; r < W; ++r) {
         workers->push_back(&dipc.CreateDipcProcess("php-worker"));
       }
-      ctx.worker_progress.assign(static_cast<size_t>(W), 0);
       codoms::AplTable& apl = codoms.apl_table();
-      // Shared domain-tag trios per tier direction (identical trust
+      // Shared domain-tag trio on the php<->db hop (identical trust
       // relationship across workers), so the per-CPU APL cache stays warm.
+      // The web<->php planes get theirs from the fabric (shared_trios).
       struct Trio {
         hw::DomainTag ctrl, data, rt;
       };
       auto make_trio = [&apl] {
         return Trio{apl.AllocateTag(), apl.AllocateTag(), apl.AllocateTag()};
       };
-      const Trio php_web_t = make_trio(), php_db_t = make_trio();
+      const Trio php_db_t = make_trio();
 
-      // Web -> PHP tier: one fan-out channel, sharded round-robin. Credits
-      // size to the closed-loop population so admission never throttles
-      // below the worker tier's own capacity.
-      chan::FanOutConfig fan_cfg{
-          .slots = std::max<uint32_t>(8, static_cast<uint32_t>(config.threads)),
-          .buf_bytes = kPhpReqBytes};
-      auto fan_r = chan::FanOutChannel::Create(dipc, web, *workers, fan_cfg);
-      DIPC_CHECK(fan_r.ok());
-      std::shared_ptr<chan::FanOutChannel> fan = fan_r.value();
+      // Per-tenant request-plane credits size to that tenant's closed-loop
+      // population so admission never throttles below the worker tier's own
+      // capacity.
+      const auto per_tenant =
+          static_cast<uint32_t>((config.threads + T - 1) / T);
+      fabric::FabricConfig fcfg;
+      fcfg.req_slots = std::max<uint32_t>(8, per_tenant);
+      fcfg.req_bytes = kPhpReqBytes;
+      fcfg.resp_slots = std::max<uint32_t>(8, 2 * static_cast<uint32_t>(W));
+      fcfg.resp_bytes = kPhpRespBytes;
+      fcfg.shared_trio = config.shared_trios;
+      fcfg.call_deadline =
+          config.supervise ? config.request_deadline : Duration::Zero();
+      fcfg.max_call_retries = config.max_retries;
+      auto fab_r = fabric::ServiceFabric::Create(dipc, *webs, *workers, fcfg);
+      DIPC_CHECK(fab_r.ok());
+      std::shared_ptr<fabric::ServiceFabric> fab = fab_r.value();
+      fab->StartAllDispatchers();
 
-      // Wires one PHP worker slot: its completion channel back to the web
-      // tier (plus a web-side dispatcher), its duplex to a fresh DB service
-      // thread, and the worker loop itself. Shared so the supervisor can
-      // re-run it against a respawned process after RebindReceiver — the
-      // dead incarnation's channels failed with it, so every piece is
-      // created anew.
+      // Wires one PHP worker slot: its duplex to a fresh DB service thread
+      // and one fabric serve loop per tenant plane. Shared so the supervisor
+      // can re-run it against a respawned process after RebindWorker — the
+      // dead incarnation's duplex failed with it, so every piece is created
+      // anew (the fabric planes themselves survive via epoch rebind).
       auto start_worker = std::make_shared<std::function<void(uint32_t, os::Process&)>>();
-      *start_worker = [&ctx, &dipc, &kernel, fan, php_web_t, php_db_t, &web,
-                       &db](uint32_t r, os::Process& php) {
-        // Completion path: php worker -> web dispatcher.
-        auto resp_r = chan::Channel::Create(dipc, php, web,
-                                            {.slots = 8,
-                                             .buf_bytes = kPhpRespBytes,
-                                             .ctrl_tag = php_web_t.ctrl,
-                                             .data_tag = php_web_t.data,
-                                             .rt_tag = php_web_t.rt});
-        DIPC_CHECK(resp_r.ok());
-        std::shared_ptr<chan::Channel> resp = resp_r.value();
+      *start_worker = [&ctx, &dipc, &kernel, fab, php_db_t, T, &db](uint32_t r,
+                                                                    os::Process& php) {
         // PHP worker <-> its DB peer: a duplex channel (requests forward,
         // replies on the paired reverse ring).
         auto dx = chan::DuplexChannel::Create(dipc, php, db,
@@ -459,88 +456,33 @@ OltpResult RunOltp(const OltpConfig& config) {
                                        co_return co_await DbInteraction(e, ctx, 0);
                                      });
         });
-        // PHP worker: drain its shard of the fan-out, interpret, respond.
-        kernel.Spawn(
-            php, "php-worker",
-            [&ctx, fan, resp, php_db_end, r](os::Env env) -> sim::Task<void> {
-              os::Kernel& k = *env.kernel;
-              Edge db_edge = [&ctx, php_db_end](os::Env e, uint64_t v) -> sim::Task<uint64_t> {
-                auto s = co_await DuplexCall(e, *php_db_end, kDbReqBytes, kDbRespBytes);
-                (void)s;
-                co_return v + 1;
-              };
-              while (!ctx.stopped) {
-                auto msg = co_await fan->Recv(env, r);
-                if (!msg.ok()) {
-                  co_return;
-                }
-                uint64_t opid = 0;
-                DIPC_CHECK(k.UserRead(*env.self, msg.value().va,
-                                      std::as_writable_bytes(std::span(&opid, 1)))
-                               .ok());
-                (void)co_await k.TouchUser(env, msg.value().va, msg.value().len,
-                                           hw::AccessType::kRead);
-                (void)co_await PhpRequest(env, ctx, db_edge, 0);
-                if (!(co_await fan->Release(env, r, msg.value())).ok()) {
-                  co_return;
-                }
-                auto buf = co_await resp->AcquireBuf(env);
-                if (!buf.ok()) {
-                  co_return;
-                }
-                DIPC_CHECK(k.UserWrite(*env.self, buf.value().va,
-                                       std::as_bytes(std::span(&opid, 1)))
-                               .ok());
-                (void)co_await k.TouchUser(env, buf.value().va, kPhpRespBytes,
-                                           hw::AccessType::kWrite);
-                if (!(co_await resp->Send(env, buf.value(), kPhpRespBytes)).ok()) {
-                  co_return;
-                }
-                ++ctx.worker_progress[r];  // the supervisor's liveness signal
-              }
-            });
-        // Web-side completion dispatcher for this worker's responses.
-        kernel.Spawn(web, "compl-disp", [&ctx, resp](os::Env env) -> sim::Task<void> {
-          os::Kernel& k = *env.kernel;
-          while (true) {
-            auto msg = co_await resp->Recv(env);
-            if (!msg.ok()) {
-              co_return;
-            }
-            uint64_t opid = 0;
-            DIPC_CHECK(k.UserRead(*env.self, msg.value().va,
-                                  std::as_writable_bytes(std::span(&opid, 1)))
-                           .ok());
-            (void)co_await k.TouchUser(env, msg.value().va, msg.value().len,
-                                       hw::AccessType::kRead);
-            if (!(co_await resp->Release(env, msg.value())).ok()) {
-              co_return;
-            }
-            auto it = ctx.completions.find(opid);
-            if (it != ctx.completions.end()) {
-              co_await it->second->Post(env);
-            } else {
-              // The client already retried and its retry won the race: this
-              // late completion of the earlier attempt is dropped, keeping
-              // completion delivery exactly-once per operation.
-              ++ctx.duplicate_completions;
-            }
-          }
-        });
+        Edge db_edge = [&ctx, php_db_end](os::Env e, uint64_t v) -> sim::Task<uint64_t> {
+          auto s = co_await DuplexCall(e, *php_db_end, kDbReqBytes, kDbRespBytes);
+          (void)s;
+          co_return v + 1;
+        };
+        fabric::ServiceFabric::Handler handler =
+            [&ctx, db_edge](os::Env e, const chan::Msg&) -> sim::Task<void> {
+          (void)co_await PhpRequest(e, ctx, db_edge, 0);
+        };
+        // One serve loop per tenant plane: drain that tenant's shard of this
+        // worker, interpret, respond with the matching opid.
+        for (int c = 0; c < T; ++c) {
+          kernel.Spawn(php, "php-worker",
+                       [fab, c, r, handler](os::Env env) -> sim::Task<void> {
+                         co_await fab->Serve(env, static_cast<uint32_t>(c), r, handler);
+                       });
+        }
       };
       for (int r = 0; r < W; ++r) {
         (*start_worker)(static_cast<uint32_t>(r), *(*workers)[r]);
       }
 
       // Fault-plan kill rules resolve victims by process name against this
-      // run's topology (first *alive* php-worker match, so repeated kill
-      // rules murder successive incarnations, not the same corpse).
+      // run's topology (first *alive* match, so repeated kill rules murder
+      // successive incarnations, not the same corpse).
       fault::Injector::Global().SetKillHandler(
-          [&dipc, workers, &web, &db](const std::string& victim) {
-            if (victim == web.name()) {
-              dipc.KillProcess(web);
-              return;
-            }
+          [&dipc, workers, webs, &db](const std::string& victim) {
             if (victim == db.name()) {
               dipc.KillProcess(db);
               return;
@@ -551,42 +493,53 @@ OltpResult RunOltp(const OltpConfig& config) {
                 return;
               }
             }
+            for (os::Process* p : *webs) {
+              if (p->alive() && p->name() == victim) {
+                dipc.KillProcess(*p);
+                return;
+              }
+            }
           });
 
       if (config.supervise) {
         // Supervisor: heartbeat scan over the worker slots. A slot whose
         // process died (fault kill or our own verdict) is respawned into a
-        // fresh process via the fan-out's epoch-rebind machinery; a slot
-        // holding undelivered work with no progress across two consecutive
-        // heartbeats is convicted as wedged and killed (the next scan
-        // respawns it). Clients ride out the gap on deadlines + retry.
-        kernel.Spawn(web, "supervisor",
-                     [&ctx, &dipc, &config, fan, workers,
+        // fresh process via the fabric's epoch-rebind machinery (every
+        // tenant plane at once); a slot holding undelivered work with no
+        // progress across two consecutive heartbeats is convicted as wedged
+        // and killed (the next scan respawns it). Clients ride out the gap
+        // on deadlines + retry.
+        kernel.Spawn(*(*webs)[0], "supervisor",
+                     [&ctx, &dipc, &config, fab, workers,
                       start_worker](os::Env env) -> sim::Task<void> {
                        os::Kernel& k = *env.kernel;
-                       const uint32_t n = fan->receiver_count();
+                       const uint32_t n = fab->worker_count();
                        std::vector<uint64_t> last_progress(n, 0);
                        std::vector<int> stagnant(n, 0);
                        while (!ctx.stopped) {
                          co_await k.Sleep(env, config.heartbeat);
-                         if (ctx.stopped || fan->broken() != base::ErrorCode::kOk) {
+                         bool any_live_client = false;
+                         for (uint32_t c = 0; c < fab->client_count(); ++c) {
+                           any_live_client = any_live_client || !fab->client_broken(c);
+                         }
+                         if (ctx.stopped || !any_live_client) {
                            co_return;
                          }
                          for (uint32_t r = 0; r < n; ++r) {
-                           if (!fan->receiver_alive(r)) {
+                           if (!fab->worker_alive(r)) {
                              os::Process& fresh = dipc.CreateDipcProcess("php-worker");
-                             if (!fan->RebindReceiver(r, fresh).ok()) {
+                             if (!fab->RebindWorker(r, fresh).ok()) {
                                continue;
                              }
                              (*workers)[r] = &fresh;
                              (*start_worker)(r, fresh);
                              ++ctx.workers_respawned;
-                             last_progress[r] = ctx.worker_progress[r];
+                             last_progress[r] = fab->WorkerProgress(r);
                              stagnant[r] = 0;
                              continue;
                            }
-                           const bool outstanding = fan->credits(r) < fan->credit_line();
-                           if (outstanding && ctx.worker_progress[r] == last_progress[r]) {
+                           if (fab->WorkerOutstanding(r) &&
+                               fab->WorkerProgress(r) == last_progress[r]) {
                              if (++stagnant[r] >= 2) {
                                // Deliveries parked at a worker completing
                                // nothing: wedged (e.g. a lost wake). Kill it;
@@ -597,101 +550,36 @@ OltpResult RunOltp(const OltpConfig& config) {
                            } else {
                              stagnant[r] = 0;
                            }
-                           last_progress[r] = ctx.worker_progress[r];
+                           last_progress[r] = fab->WorkerProgress(r);
                          }
                        }
                      });
       }
-      // Closed-loop web workers: produce into the fan-out, block on the
-      // per-op completion. With supervision on, every blocking step carries
-      // the request deadline and a kTimedOut/kCalleeFailed/kFault attempt is
-      // retried under the SAME opid with capped exponential backoff — the
-      // one completions-map entry makes delivery exactly-once no matter how
-      // many attempts race.
+      // Closed-loop web workers, spread round-robin across the tenant
+      // domains: each operation is one fabric::Call — opid stamping, shard
+      // selection, deadline + capped-backoff retry and exactly-once
+      // completion matching all live behind that one call now.
       for (int i = 0; i < config.threads; ++i) {
-        kernel.Spawn(web, "worker", [&ctx, fan, &config](os::Env env) -> sim::Task<void> {
-          Edge php_edge = [&ctx, fan, &config](os::Env e, uint64_t v) -> sim::Task<uint64_t> {
-            os::Kernel& k = *e.kernel;
-            const uint64_t opid = ++ctx.next_opid;
-            auto sem = std::make_shared<os::Semaphore>(0);
-            ctx.completions[opid] = sem;
-            Duration backoff = Duration::Micros(20);
-            const Duration backoff_cap = Duration::Micros(640);
-            bool done = false;
-            for (int attempt = 0; !done && !ctx.stopped; ++attempt) {
-              if (attempt > 0) {
-                if (attempt > config.max_retries) {
-                  ++ctx.requests_failed;
-                  break;
-                }
-                ++ctx.requests_retried;
-                co_await k.Sleep(e, backoff);
-                backoff = backoff * 2;
-                if (backoff > backoff_cap) {
-                  backoff = backoff_cap;
-                }
-              }
-              const os::Deadline dl =
-                  config.supervise ? os::Deadline::After(k.now(), config.request_deadline)
-                                   : os::Deadline::Never();
-              auto buf = co_await fan->AcquireBuf(e, dl);
-              if (!buf.ok()) {
-                if (fan->broken() != base::ErrorCode::kOk ||
-                    buf.code() == base::ErrorCode::kBrokenChannel) {
-                  break;  // the channel itself is gone; retrying is hopeless
-                }
-                continue;  // kTimedOut / kCalleeFailed / kFault: back off
-              }
-              DIPC_CHECK(
-                  k.UserWrite(*e.self, buf.value().va, std::as_bytes(std::span(&opid, 1)))
-                      .ok());
-              (void)co_await k.TouchUser(e, buf.value().va, kPhpReqBytes,
-                                         hw::AccessType::kWrite);
-              // Shard round-robin; a shard that died under the send is
-              // retried on the next live worker (the buffer stays owned
-              // until a send succeeds). Give the buffer back when no live
-              // worker remains or the attempt's deadline fired.
-              bool sent = false;
-              while (fan->broken() == base::ErrorCode::kOk) {
-                uint32_t shard = fan->NextShard();
-                if (shard >= fan->receiver_count()) {
-                  break;
-                }
-                auto s = co_await fan->SendTo(e, buf.value(), kPhpReqBytes, shard, dl);
-                if (s.ok()) {
-                  sent = true;
-                  break;
-                }
-                if (s.code() != base::ErrorCode::kCalleeFailed) {
-                  break;  // timeout, close or a caller bug — resharding won't help
-                }
-              }
-              if (!sent) {
-                (void)co_await fan->AbandonBuf(e, buf.value());
-                if (fan->broken() != base::ErrorCode::kOk) {
-                  break;
-                }
-                continue;
-              }
-              auto w = co_await sem->WaitUntil(e, dl);
-              if (w.ok()) {
-                done = true;
-              }
-              // kTimedOut: the worker wedged or died mid-request. Back off
-              // and resend the same opid — the supervisor restores capacity
-              // and the dispatcher drops any late duplicate completion.
-            }
-            if (sem->count() > 0) {
-              // A retry raced with a late completion of an earlier attempt
-              // and both landed: the extra tokens are duplicates.
-              ctx.duplicate_completions += static_cast<uint64_t>(sem->count());
-            }
-            ctx.completions.erase(opid);
+        const auto c = static_cast<uint32_t>(i % T);
+        kernel.Spawn(*(*webs)[c], "worker", [&ctx, fab, c](os::Env env) -> sim::Task<void> {
+          Edge php_edge = [&ctx, fab, c](os::Env e, uint64_t v) -> sim::Task<uint64_t> {
+            (void)co_await fab->Call(e, c, kPhpReqBytes);
             co_return v;
           };
           co_await WebWorker(env, ctx, php_edge);
         });
       }
+      // Robustness accounting lives in the fabric now; snapshot it when the
+      // measurement window opens so the result covers that window only.
+      auto snap = std::make_shared<std::array<uint64_t, 3>>();
+      on_measure_start = [fab, snap] {
+        (*snap) = {fab->retries(), fab->failures(), fab->duplicate_completions()};
+      };
+      collect_robustness = [fab, snap](OltpResult& r) {
+        r.requests_retried = fab->retries() - (*snap)[0];
+        r.requests_failed = fab->failures() - (*snap)[1];
+        r.duplicate_completions = fab->duplicate_completions() - (*snap)[2];
+      };
       break;
     }
 
@@ -764,6 +652,9 @@ OltpResult RunOltp(const OltpConfig& config) {
   kernel.FlushIdleAccounting();
   kernel.accounting().Reset();
   ctx.ResetCounters();
+  if (on_measure_start) {
+    on_measure_start();
+  }
   kernel.RunFor(config.measure);
   kernel.FlushIdleAccounting();
   ctx.stopped = true;
@@ -775,10 +666,10 @@ OltpResult RunOltp(const OltpConfig& config) {
   result.avg_latency_ms = ctx.ops > 0 ? ctx.latency_sum_ms / static_cast<double>(ctx.ops) : 0;
   result.breakdown = kernel.accounting().Summed();
   result.cross_domain_calls = ctx.cross_domain_calls;
-  result.requests_retried = ctx.requests_retried;
-  result.requests_failed = ctx.requests_failed;
   result.workers_respawned = ctx.workers_respawned;
-  result.duplicate_completions = ctx.duplicate_completions;
+  if (collect_robustness) {
+    collect_robustness(result);
+  }
   if (armed) {
     result.faults_injected = fault::Injector::Global().fire_count();
   }

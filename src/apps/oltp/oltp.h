@@ -6,15 +6,17 @@
 //               (FastCGI-style web<->php, client/server protocol php<->db)
 //               with per-tier service-thread pools (§2.3's false concurrency).
 //   kChan     — the tiers talk over zero-copy capability channels
-//               (src/chan/): the web tier shards requests across
-//               `chan_workers` PHP worker domains through one fan-out
-//               channel (per-receiver grants + credit-based flow control),
-//               each PHP worker reaches its DB peer over a duplex channel,
-//               and completions ride per-worker channels back to web-side
-//               dispatchers. Requests and responses move by ownership grant
-//               instead of per-byte socket copies with no marshalling glue,
-//               and the worker tiers need chan_workers service threads
-//               instead of one per web worker (§2.3's false concurrency).
+//               (src/chan/) composed into an N x M service fabric
+//               (src/fabric/): `tenants` web-tier client domains shard
+//               requests across `chan_workers` PHP worker domains through
+//               per-tenant fan-out request planes (per-receiver grants +
+//               credit-based flow control) and get completions back over
+//               per-tenant fan-in response planes; each PHP worker reaches
+//               its DB peer over a duplex channel. Requests and responses
+//               move by ownership grant instead of per-byte socket copies
+//               with no marshalling glue, and the worker tiers need
+//               chan_workers service threads per tenant instead of one per
+//               web worker (§2.3's false concurrency).
 //   kDipc     — tiers are dIPC processes; calls cross tiers in place through
 //               generated proxies, arguments by reference, no service threads.
 //   kIdeal    — all tiers in one process, plain function calls (the unsafe
@@ -71,6 +73,14 @@ struct OltpConfig {
   // tier (contrast kLinuxIpc, which needs one service thread per web worker
   // — §2.3's false concurrency).
   int chan_workers = 4;
+  // kChan only: number of client (web-tier) *domains* sharing the worker
+  // tier. threads are spread round-robin across them; each tenant gets its
+  // own request/response plane pair inside the service fabric.
+  int tenants = 1;
+  // kChan only: one shared domain-tag trio per fabric plane direction
+  // (APL-cache friendly) vs a private trio per tenant channel — the
+  // many-tenant cache-thrash design point when false.
+  bool shared_trios = true;
   sim::Duration warmup = sim::Duration::Millis(40);
   sim::Duration measure = sim::Duration::Millis(400);
   uint64_t seed = 42;

@@ -27,6 +27,15 @@ inline uint64_t PackDesc(uint32_t index, uint64_t len) {
 inline uint32_t DescIndex(uint64_t desc) { return static_cast<uint32_t>(desc >> kLenBits); }
 inline uint64_t DescLen(uint64_t desc) { return desc & kLenMask; }
 
+// Owner keys for the RevocationTable partitioning: one global monotonic
+// counter shared by every channel flavor, so keys never collide across
+// channels — or channel types — in one binary (a collision would let one
+// channel's RevokeAllForOwner sweep another's grants).
+inline uint64_t NextOwnerKey() {
+  static uint64_t next = 1;  // 0 is RevocationTable::kNoOwner
+  return next++;
+}
+
 // Clears `reg` only when it still holds `cap` (same counter), so a thread
 // interleaving several channels doesn't lose another channel's live
 // capability from its register file.

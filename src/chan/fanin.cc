@@ -1,0 +1,837 @@
+#include "chan/fanin.h"
+
+#include <algorithm>
+
+#include "chan/desc.h"
+#include "chan/futex.h"
+#include "fault/fault.h"
+
+namespace dipc::chan {
+
+using internal::ClearRegIfHolds;
+using internal::DescIndex;
+using internal::DescLen;
+using internal::kLenMask;
+using internal::kMaxSlots;
+using internal::NextOwnerKey;
+using internal::PackDesc;
+using os::TimeCat;
+
+namespace {
+
+// Sentinel for slot_owner_ when nobody holds the slot.
+constexpr uint32_t kNoProducer = ~uint32_t{0};
+
+}  // namespace
+
+FanInChannel::FanInChannel(core::Dipc& dipc, std::span<os::Process* const> producers,
+                           os::Process& consumer, FanInConfig cfg)
+    : kernel_(dipc.kernel()),
+      producer_procs_(producers.begin(), producers.end()),
+      consumer_proc_(&consumer),
+      cfg_(cfg) {}
+
+void FanInChannel::RegisterMetrics() {
+  obs_id_ = obs::NewObjectId();
+  const std::string p = "fanin/" + std::to_string(obs_id_) + "/";
+  obs::Registry& reg = obs::Registry::Default();
+  m_sends_ = reg.GetCounter(p + "sends");
+  m_recvs_ = reg.GetCounter(p + "recvs");
+  m_blocked_on_credit_ = reg.GetCounter(p + "blocked_on_credit");
+  const uint32_t n = producer_count();
+  m_tx_sends_.resize(n);
+  m_tx_credits_.resize(n);
+  m_tx_stall_ns_.resize(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    const std::string tp = p + "tx/" + std::to_string(i) + "/";
+    m_tx_sends_[i] = reg.GetCounter(tp + "sends");
+    m_tx_credits_[i] = reg.GetGauge(tp + "credits");
+    m_tx_stall_ns_[i] = reg.GetHistogram(tp + "credit_stall_ns");
+  }
+}
+
+base::Result<std::shared_ptr<FanInChannel>> FanInChannel::Create(
+    core::Dipc& dipc, std::span<os::Process* const> producers, os::Process& consumer,
+    FanInConfig cfg) {
+  if (cfg.slots == 0 || cfg.slots > kMaxSlots || cfg.buf_bytes == 0 ||
+      cfg.buf_bytes > kLenMask || cfg.credits > cfg.slots || producers.empty()) {
+    return base::ErrorCode::kInvalidArgument;
+  }
+  if (!consumer.dipc_enabled()) {
+    return base::ErrorCode::kNotSupported;
+  }
+  for (os::Process* p : producers) {
+    if (p == nullptr || !p->dipc_enabled()) {
+      return base::ErrorCode::kNotSupported;
+    }
+  }
+  os::Kernel& kernel = dipc.kernel();
+  auto ch = std::shared_ptr<FanInChannel>(new FanInChannel(dipc, producers, consumer, cfg));
+  codoms::AplTable& apl = kernel.codoms().apl_table();
+  ch->ctrl_tag_ = cfg.ctrl_tag != hw::kInvalidDomainTag ? cfg.ctrl_tag : apl.AllocateTag();
+  ch->data_tag_ = cfg.data_tag != hw::kInvalidDomainTag ? cfg.data_tag : apl.AllocateTag();
+  ch->rt_tag_ = cfg.rt_tag != hw::kInvalidDomainTag ? cfg.rt_tag : apl.AllocateTag();
+  // One-time APL setup, as in Channel::Create: every endpoint may use the
+  // control segment and call into the runtime; only the runtime domain
+  // reaches the data domain.
+  apl.Grant(consumer.default_domain(), ch->ctrl_tag_, codoms::Perm::kWrite);
+  apl.Grant(consumer.default_domain(), ch->rt_tag_, codoms::Perm::kCall);
+  for (os::Process* p : ch->producer_procs_) {
+    apl.Grant(p->default_domain(), ch->ctrl_tag_, codoms::Perm::kWrite);
+    apl.Grant(p->default_domain(), ch->rt_tag_, codoms::Perm::kCall);
+  }
+  apl.Grant(ch->rt_tag_, ch->data_tag_, codoms::Perm::kWrite);
+
+  const uint32_t n_prod = ch->producer_count();
+  ch->buf_stride_ = hw::PageRoundUp(cfg.buf_bytes);
+  auto data = MapSegment(kernel, consumer, ch->buf_stride_ * cfg.slots, ch->data_tag_);
+  if (!data.ok()) {
+    return data.code();
+  }
+  ch->data_seg_ = data.value();
+  // One capability-storage slot per buffer: there is a single consumer, so
+  // (unlike fan-out) the stored read capability needs no per-peer fan.
+  auto caps = MapSegment(kernel, consumer, uint64_t{cfg.slots} * codoms::kCapMemBytes,
+                         ch->ctrl_tag_, /*cap_storage=*/true);
+  if (!caps.ok()) {
+    return caps.code();
+  }
+  ch->cap_seg_ = caps.value();
+  ch->RegisterMetrics();
+  const std::string prefix = "fanin/" + std::to_string(ch->obs_id_);
+  ch->free_ = std::make_unique<MpmcQueue>(kernel, consumer, cfg.slots, ch->ctrl_tag_,
+                                          prefix + "/free", ch->obs_id_);
+  for (uint32_t i = 0; i < cfg.slots; ++i) {
+    ch->free_->Prime(i);
+  }
+  // Every in-flight slot comes out of the `slots`-deep pool, so the
+  // descriptor FIFO can never see more than `slots` outstanding entries —
+  // publishes never block for ring space.
+  ch->desc_ = std::make_unique<MpmcQueue>(kernel, consumer, cfg.slots, ch->ctrl_tag_,
+                                          prefix + "/desc", ch->obs_id_);
+  ch->credit_line_ = cfg.credits != 0 ? cfg.credits : cfg.slots;
+  ch->sender_caps_.resize(cfg.slots);
+  ch->wcap_tmpl_.assign(n_prod, std::vector<std::optional<codoms::Capability>>(cfg.slots));
+  ch->slot_owner_.assign(cfg.slots, kNoProducer);
+  ch->slot_owner_key_.assign(cfg.slots, 0);
+  ch->rcaps_.resize(cfg.slots);
+  ch->rcap_tmpl_.resize(cfg.slots);
+  ch->credits_.assign(n_prod, ch->credit_line_);
+  for (uint32_t i = 0; i < n_prod; ++i) {
+    ch->m_tx_credits_[i]->Set(ch->credit_line_);
+  }
+  ch->alive_.assign(n_prod, true);
+  ch->owner_key_.resize(n_prod);
+  for (uint32_t i = 0; i < n_prod; ++i) {
+    ch->owner_key_[i] = NextOwnerKey();
+  }
+  ch->consumer_owner_key_ = NextOwnerKey();
+
+  std::weak_ptr<FanInChannel> weak = ch;
+  dipc.AddDeathHook([weak](os::Process& dead) {
+    auto live = weak.lock();
+    if (live == nullptr) {
+      return false;
+    }
+    live->OnProcessDeath(dead);
+    return true;
+  });
+  return ch;
+}
+
+uint32_t FanInChannel::live_producer_count() const {
+  uint32_t live = 0;
+  for (bool a : alive_) {
+    live += a ? 1 : 0;
+  }
+  return live;
+}
+
+sim::Task<base::ErrorCode> FanInChannel::AwaitCredit(os::Env env, uint32_t p, uint64_t need,
+                                                     os::Deadline deadline) {
+  const uint64_t gen = owner_key_[p];
+  sim::Time stall_start;
+  bool stalled = false;
+  while (true) {
+    if (broken_ != base::ErrorCode::kOk) {
+      co_return broken_;
+    }
+    if (closed_) {
+      co_return base::ErrorCode::kBrokenChannel;
+    }
+    if (!alive_[p] || owner_key_[p] != gen) {
+      // This producer slot was excised (and possibly rebound to a new
+      // incarnation) while we were parked — the caller belongs to the dead
+      // incarnation.
+      co_return base::ErrorCode::kCalleeFailed;
+    }
+    if (credits_[p] >= need) {
+      // No suspension between this check and the caller's reservation: the
+      // admitted credits cannot change under the caller.
+      if (stalled) {
+        sim::Duration stall = env.kernel->now() - stall_start;
+        m_tx_stall_ns_[p]->Record(stall.nanos());
+        obs::Trace().Record(env.self->last_cpu(), obs::EventType::kCreditStall, obs_id_, p,
+                            env.kernel->now(), stall);
+      }
+      co_return base::ErrorCode::kOk;
+    }
+    if (!stalled) {
+      stalled = true;
+      stall_start = env.kernel->now();
+    }
+    ++blocked_on_credit_;
+    m_blocked_on_credit_->Add();
+    ++credit_wait_count_;
+    bool expired = co_await FutexBlockUntil(env, credit_waiters_, deadline, [this, p, need, gen] {
+      return (credits_[p] < need && alive_[p] && owner_key_[p] == gen &&
+              broken_ == base::ErrorCode::kOk && !closed_);
+    });
+    --credit_wait_count_;
+    if (expired && credits_[p] < need && alive_[p] && owner_key_[p] == gen &&
+        broken_ == base::ErrorCode::kOk && !closed_) {
+      // Deadline fired with the gate still closed: nothing admitted, nothing
+      // granted — the caller surfaces kTimedOut leak-free.
+      obs::Trace().Record(env.self->last_cpu(), obs::EventType::kTimeout, obs_id_, need,
+                          env.kernel->now());
+      co_return base::ErrorCode::kTimedOut;
+    }
+  }
+}
+
+base::Result<codoms::Capability> FanInChannel::GrantCap(os::Env env, uint32_t index, uint32_t p,
+                                                        codoms::Perm rights,
+                                                        sim::Duration* cost) {
+  const bool write = rights == codoms::Perm::kWrite;
+  std::optional<codoms::Capability>& tmpl = write ? wcap_tmpl_[p][index] : rcap_tmpl_[index];
+  codoms::ThreadCapContext& ctx = env.self->cap_ctx();
+  hw::DomainTag saved = ctx.current_domain;
+  ctx.current_domain = rt_tag_;
+  sim::Duration c;
+  base::Result<codoms::Capability> cap = base::ErrorCode::kFault;
+  if (tmpl.has_value()) {
+    cap = env.kernel->codoms().CapRebind(*tmpl, ctx, &c);
+    c += obs::Trace().event_cost();
+    obs::Trace().Record(env.self->last_cpu(), obs::EventType::kCapRebind, obs_id_, index,
+                        env.kernel->now());
+  } else {
+    ++cold_mints_;
+    c += obs::Trace().event_cost();
+    obs::Trace().Record(env.self->last_cpu(), obs::EventType::kCapMint, obs_id_, index,
+                        env.kernel->now());
+    cap = env.kernel->codoms().CapFromApl(env.self->last_cpu(),
+                                          env.self->process().page_table(), ctx, buf_va(index),
+                                          buf_stride_, rights, codoms::CapType::kAsync, &c);
+    if (cap.ok()) {
+      // Per-endpoint grant bookkeeping: producer counters carry the
+      // producer's owner key (a dead producer's grants are revocable — and
+      // auditable — as one set), consumer counters the consumer's.
+      env.kernel->codoms().revocations().SetOwner(
+          cap.value().revocation_id, write ? owner_key_[p] : consumer_owner_key_);
+    }
+  }
+  ctx.current_domain = saved;
+  *cost += c;
+  if (cap.ok()) {
+    tmpl = cap.value();
+  }
+  return cap;
+}
+
+sim::Task<base::Result<SendBuf>> FanInChannel::AcquireBuf(os::Env env, uint32_t producer,
+                                                          os::Deadline deadline) {
+  auto batch = co_await AcquireBufBatch(env, producer, 1, deadline);
+  if (!batch.ok()) {
+    co_return batch.code();
+  }
+  co_return batch.value()[0];
+}
+
+sim::Task<base::Result<std::vector<SendBuf>>> FanInChannel::AcquireBufBatch(
+    os::Env env, uint32_t producer, uint32_t max_n, os::Deadline deadline) {
+  os::Kernel& k = *env.kernel;
+  if (max_n == 0 || producer >= producer_count()) {
+    co_return base::ErrorCode::kInvalidArgument;
+  }
+  if (broken_ != base::ErrorCode::kOk) {
+    co_return broken_;
+  }
+  if (!alive_[producer]) {
+    co_return base::ErrorCode::kCalleeFailed;
+  }
+  const uint64_t gen = owner_key_[producer];
+  // Per-producer admission: don't even take a buffer while this producer's
+  // credit line is exhausted — that is what keeps one flooding producer from
+  // draining the shared pool under everyone else.
+  base::ErrorCode gate = co_await AwaitCredit(env, producer, 1, deadline);
+  if (gate != base::ErrorCode::kOk) {
+    co_return gate;
+  }
+  // Reserve the credits before the (possibly blocking) pool pop, so a
+  // sibling thread of the same producer cannot overshoot the line across
+  // our suspension; unused reservations are refunded below.
+  const uint32_t want =
+      static_cast<uint32_t>(std::min<uint64_t>({max_n, credits_[producer], cfg_.slots}));
+  credits_[producer] -= want;
+  m_tx_credits_[producer]->Set(static_cast<int64_t>(credits_[producer]));
+  std::vector<uint64_t> indices(want);
+  auto popped = co_await free_->PopN(env, std::span(indices), deadline);
+  if (!popped.ok() || !alive_[producer] || owner_key_[producer] != gen) {
+    if (alive_[producer] && owner_key_[producer] == gen) {
+      RefundCredits(producer, want);
+    } else if (popped.ok()) {
+      // Excised (or rebound) while parked in the pool: the slots we popped
+      // belong back in the pool, the reservation died with the incarnation.
+      (void)co_await free_->PushN(env, std::span(indices.data(), popped.value()));
+    }
+    if (!popped.ok()) {
+      co_return broken_ != base::ErrorCode::kOk ? broken_ : popped.code();
+    }
+    co_return base::ErrorCode::kCalleeFailed;
+  }
+  indices.resize(popped.value());
+  RefundCredits(producer, want - indices.size());
+  sim::Duration cost = k.costs().function_call + k.costs().domain_switch * 2;
+  std::vector<codoms::Capability> caps;
+  caps.reserve(indices.size());
+  for (uint64_t idx : indices) {
+    auto cap =
+        GrantCap(env, static_cast<uint32_t>(idx), producer, codoms::Perm::kWrite, &cost);
+    if (!cap.ok()) {
+      for (const auto& granted : caps) {
+        DIPC_CHECK(k.codoms().CapRevoke(granted).ok());
+      }
+      (void)co_await free_->PushN(env, std::span(indices));
+      RefundCredits(producer, indices.size());
+      co_return cap.code();
+    }
+    caps.push_back(cap.value());
+  }
+  cost += obs::Trace().event_cost();
+  obs::Trace().Record(env.self->last_cpu(), obs::EventType::kAcquireBatch, obs_id_,
+                      indices.size(), k.now());
+  co_await k.Spend(*env.self, cost, TimeCat::kUser);
+  if (broken_ != base::ErrorCode::kOk) {
+    for (const auto& granted : caps) {
+      DIPC_CHECK(k.codoms().CapRevoke(granted).ok());
+    }
+    co_return broken_;
+  }
+  if (!alive_[producer] || owner_key_[producer] != gen) {
+    // Excised during the Spend: the death sweep already revoked this
+    // producer's grants and recycled any slots it had claimed — but these
+    // were claimed under the sweep's nose (recorded below), so hand them
+    // back ourselves.
+    for (const auto& granted : caps) {
+      (void)k.codoms().CapRevoke(granted);
+    }
+    (void)co_await free_->PushN(env, std::span(indices));
+    co_return base::ErrorCode::kCalleeFailed;
+  }
+  std::vector<SendBuf> out;
+  out.reserve(indices.size());
+  for (size_t j = 0; j < indices.size(); ++j) {
+    auto index = static_cast<uint32_t>(indices[j]);
+    sender_caps_[index] = caps[j];
+    slot_owner_[index] = producer;
+    slot_owner_key_[index] = gen;
+    out.push_back(SendBuf{buf_va(index), cfg_.buf_bytes, index});
+  }
+  env.self->cap_ctx().regs.Set(kSenderCapReg, caps.back());
+  co_return out;
+}
+
+void FanInChannel::BindSendCap(os::Thread& t, const SendBuf& buf) const {
+  if (buf.index < cfg_.slots && sender_caps_[buf.index].has_value()) {
+    t.cap_ctx().regs.Set(kSenderCapReg, *sender_caps_[buf.index]);
+  }
+}
+
+void FanInChannel::BindRecvCap(os::Thread& t, const Msg& msg) const {
+  if (msg.index < cfg_.slots && rcaps_[msg.index].has_value()) {
+    t.cap_ctx().regs.Set(kReceiverCapReg, *rcaps_[msg.index]);
+  }
+}
+
+sim::Task<base::Status> FanInChannel::Send(os::Env env, uint32_t producer, const SendBuf& buf,
+                                           uint64_t len) {
+  SendItem item{buf, len};
+  co_return co_await SendBatch(env, producer, std::span(&item, 1));
+}
+
+sim::Task<base::Status> FanInChannel::SendBatch(os::Env env, uint32_t producer,
+                                                std::span<const SendItem> items) {
+  os::Kernel& k = *env.kernel;
+  const hw::CostModel& cm = k.costs();
+  if (items.empty() || producer >= producer_count()) {
+    co_return base::ErrorCode::kInvalidArgument;
+  }
+  sim::Duration fault_delay;
+  auto& injector = fault::Injector::Global();
+  if (injector.armed()) {
+    // Probed before the broken_ check so a scripted "kill at the Nth send"
+    // surfaces through the regular dead-peer path on this very call.
+    fault::Decision d = injector.Probe(fault::points::kChanSend, env.self->last_cpu());
+    if (d.fail()) {
+      co_return base::ErrorCode::kFault;
+    }
+    if (d.action == fault::Action::kDelay) {
+      fault_delay = d.delay;
+    }
+  }
+  if (broken_ != base::ErrorCode::kOk) {
+    co_return broken_;
+  }
+  if (closed_) {
+    co_return base::ErrorCode::kBrokenChannel;
+  }
+  if (!alive_[producer]) {
+    co_return base::ErrorCode::kCalleeFailed;
+  }
+  const uint64_t gen = owner_key_[producer];
+  for (size_t j = 0; j < items.size(); ++j) {
+    const SendItem& it = items[j];
+    if (it.buf.index >= cfg_.slots || it.len == 0 || it.len > cfg_.buf_bytes ||
+        !sender_caps_[it.buf.index].has_value() || slot_owner_[it.buf.index] != producer ||
+        slot_owner_key_[it.buf.index] != gen) {
+      co_return base::ErrorCode::kInvalidArgument;
+    }
+    for (size_t i = 0; i < j; ++i) {
+      if (items[i].buf.index == it.buf.index) {
+        co_return base::ErrorCode::kInvalidArgument;
+      }
+    }
+  }
+  // Admission credit was paid at acquire, so there is no gate here. The
+  // delivery plan (consumer read grants) is computed and recorded
+  // synchronously — no suspension point can change ownership under us.
+  sim::Duration cost = cm.chan_fast_path + cm.function_call + cm.domain_switch * 2 + fault_delay;
+  std::vector<codoms::Capability> granted;  // undo list
+  granted.reserve(items.size());
+  for (size_t j = 0; j < items.size(); ++j) {
+    const uint32_t index = items[j].buf.index;
+    auto rcap = GrantCap(env, index, producer, codoms::Perm::kRead, &cost);
+    base::Status stored = base::ErrorCode::kFault;
+    if (rcap.ok()) {
+      sim::Duration store_cost;
+      stored = k.codoms().CapStore(env.self->process().page_table(), env.self->cap_ctx(),
+                                   CapSlotVa(index), rcap.value(), &store_cost);
+      cost += store_cost;
+    }
+    if (!rcap.ok() || !stored.ok()) {
+      // Undo everything this call granted; the producer still owns every
+      // buffer of the batch.
+      if (rcap.ok()) {
+        DIPC_CHECK(k.codoms().CapRevoke(rcap.value()).ok());
+      }
+      for (size_t jj = 0; jj < j; ++jj) {
+        DIPC_CHECK(k.codoms().CapRevoke(granted[jj]).ok());
+        rcaps_[items[jj].buf.index].reset();
+      }
+      co_return rcap.ok() ? stored : base::Status(rcap.code());
+    }
+    granted.push_back(rcap.value());
+    rcaps_[index] = rcap.value();
+  }
+  // The write-grant revokes land after the Spend (the producer may be
+  // excised mid-suspension and the sweep must still see which slots it
+  // held), but always before any descriptor is published — the consumer can
+  // never observe a message whose writer still holds the buffer.
+  cost += cm.cap_revoke * items.size();
+  cost += obs::Trace().event_cost();
+  obs::Trace().Record(env.self->last_cpu(), obs::EventType::kSendBatch, obs_id_, items.size(),
+                      k.now());
+  co_await k.Spend(*env.self, cost, TimeCat::kUser);
+  if (broken_ != base::ErrorCode::kOk) {
+    // Consumer died during the Spend: teardown already swept every recorded
+    // grant (they were recorded before the suspension).
+    co_return broken_;
+  }
+  if (!alive_[producer] || owner_key_[producer] != gen) {
+    // This producer was excised during the Spend: its write grants and the
+    // planned read grants were swept and its slots recycled. Nothing to
+    // publish, nothing left to own.
+    co_return base::ErrorCode::kCalleeFailed;
+  }
+  std::vector<uint64_t> descs;
+  descs.reserve(items.size());
+  for (const SendItem& it : items) {
+    const uint32_t index = it.buf.index;
+    ClearRegIfHolds(*env.self, kSenderCapReg, *sender_caps_[index]);
+    DIPC_CHECK(k.codoms().CapRevoke(*sender_caps_[index]).ok());
+    sender_caps_[index].reset();
+    descs.push_back(PackDesc(index, it.len));
+  }
+  // Publish: one batched descriptor push, at most one futex wake. Slots are
+  // pool-bounded, so the ring always has room and this never parks.
+  auto pushed = co_await desc_->PushN(env, std::span(descs));
+  if (!pushed.ok()) {
+    co_return broken_ != base::ErrorCode::kOk ? broken_ : pushed.code();
+  }
+  sends_ += items.size();
+  m_sends_->Add(items.size());
+  m_tx_sends_[producer]->Add(items.size());
+  co_return base::Status::Ok();
+}
+
+sim::Task<base::Status> FanInChannel::AbandonBuf(os::Env env, uint32_t producer,
+                                                 const SendBuf& buf) {
+  co_return co_await AbandonBufBatch(env, producer, std::span(&buf, 1));
+}
+
+sim::Task<base::Status> FanInChannel::AbandonBufBatch(os::Env env, uint32_t producer,
+                                                      std::span<const SendBuf> bufs) {
+  os::Kernel& k = *env.kernel;
+  const hw::CostModel& cm = k.costs();
+  if (bufs.empty() || producer >= producer_count()) {
+    co_return base::ErrorCode::kInvalidArgument;
+  }
+  const uint64_t gen = owner_key_[producer];
+  for (size_t j = 0; j < bufs.size(); ++j) {
+    if (bufs[j].index >= cfg_.slots || !sender_caps_[bufs[j].index].has_value() ||
+        slot_owner_[bufs[j].index] != producer || slot_owner_key_[bufs[j].index] != gen) {
+      co_return broken_ != base::ErrorCode::kOk ? broken_
+                                                : base::ErrorCode::kInvalidArgument;
+    }
+    for (size_t i = 0; i < j; ++i) {
+      if (bufs[i].index == bufs[j].index) {
+        co_return base::ErrorCode::kInvalidArgument;
+      }
+    }
+  }
+  sim::Duration cost = cm.chan_fast_path;
+  std::vector<uint64_t> indices;
+  indices.reserve(bufs.size());
+  for (const SendBuf& b : bufs) {
+    ClearRegIfHolds(*env.self, kSenderCapReg, *sender_caps_[b.index]);
+    DIPC_CHECK(k.codoms().CapRevoke(*sender_caps_[b.index]).ok());
+    cost += cm.cap_revoke;
+    sender_caps_[b.index].reset();
+    slot_owner_[b.index] = kNoProducer;
+    indices.push_back(b.index);
+  }
+  co_await k.Spend(*env.self, cost, TimeCat::kUser);
+  if (broken_ != base::ErrorCode::kOk) {
+    co_return broken_;  // teardown already retired the pool
+  }
+  if (alive_[producer] && owner_key_[producer] == gen) {
+    RefundCredits(producer, indices.size());
+  }
+  auto pushed = co_await free_->PushN(env, std::span(indices));
+  if (!pushed.ok()) {
+    // After an orderly Close the free list is retired; the revocations
+    // above are all that matters. Only dead-peer errors surface.
+    co_return broken_ != base::ErrorCode::kOk ? base::Status(broken_) : base::Status::Ok();
+  }
+  if (credit_wait_count_ > 0) {
+    co_await FutexWakeCommitted(env, credit_waiters_);
+  }
+  co_return base::Status::Ok();
+}
+
+sim::Task<base::Result<Msg>> FanInChannel::Recv(os::Env env, os::Deadline deadline) {
+  auto batch = co_await RecvBatch(env, 1, deadline);
+  if (!batch.ok()) {
+    co_return batch.code();
+  }
+  co_return batch.value()[0];
+}
+
+sim::Task<base::Result<std::vector<Msg>>> FanInChannel::RecvBatch(os::Env env, uint32_t max_n,
+                                                                  os::Deadline deadline) {
+  os::Kernel& k = *env.kernel;
+  if (max_n == 0) {
+    co_return base::ErrorCode::kInvalidArgument;
+  }
+  if (broken_ != base::ErrorCode::kOk) {
+    co_return broken_;
+  }
+  std::vector<uint64_t> descs(std::min<uint32_t>(max_n, cfg_.slots));
+  auto popped = co_await desc_->PopN(env, std::span(descs), deadline);
+  if (!popped.ok()) {
+    co_return broken_ != base::ErrorCode::kOk ? broken_ : popped.code();
+  }
+  descs.resize(popped.value());
+  sim::Duration cost;
+  std::vector<Msg> out;
+  std::vector<codoms::Capability> caps;
+  std::vector<uint64_t> corrupted;
+  out.reserve(descs.size());
+  caps.reserve(descs.size());
+  for (uint64_t desc : descs) {
+    uint32_t index = DescIndex(desc);
+    uint64_t len = DescLen(desc);
+    sim::Duration load_cost;
+    auto cap = k.codoms().CapLoad(env.self->process().page_table(), env.self->cap_ctx(),
+                                  CapSlotVa(index), &load_cost);
+    cost += load_cost;
+    if (!cap.ok()) {
+      // A plain write destroyed the stored capability; recycle the delivery
+      // and keep the healthy messages (cf. Channel::RecvBatch).
+      corrupted.push_back(index);
+      continue;
+    }
+    caps.push_back(cap.value());
+    out.push_back(Msg{buf_va(index), len, index});
+  }
+  cost += obs::Trace().event_cost();
+  obs::Trace().Record(env.self->last_cpu(), obs::EventType::kRecvBatch, obs_id_, out.size(),
+                      k.now());
+  co_await k.Spend(*env.self, cost, TimeCat::kUser);
+  if (broken_ != base::ErrorCode::kOk) {
+    co_return broken_;
+  }
+  if (!corrupted.empty()) {
+    std::vector<uint64_t> freed;
+    for (uint64_t index : corrupted) {
+      DropDelivery(static_cast<uint32_t>(index), &freed);
+    }
+    if (!freed.empty()) {
+      (void)co_await free_->PushN(env, std::span(freed));
+      if (broken_ != base::ErrorCode::kOk) {
+        co_return broken_;
+      }
+    }
+    if (credit_wait_count_ > 0) {
+      co_await FutexWakeCommitted(env, credit_waiters_);
+    }
+  }
+  if (out.empty()) {
+    co_return base::ErrorCode::kFault;
+  }
+  env.self->cap_ctx().regs.Set(kReceiverCapReg, caps.front());
+  recvs_ += out.size();
+  m_recvs_->Add(out.size());
+  co_return out;
+}
+
+sim::Task<base::Status> FanInChannel::Release(os::Env env, const Msg& msg) {
+  co_return co_await ReleaseBatch(env, std::span(&msg, 1));
+}
+
+sim::Task<base::Status> FanInChannel::ReleaseBatch(os::Env env, std::span<const Msg> msgs) {
+  os::Kernel& k = *env.kernel;
+  const hw::CostModel& cm = k.costs();
+  if (msgs.empty()) {
+    co_return base::ErrorCode::kInvalidArgument;
+  }
+  for (size_t j = 0; j < msgs.size(); ++j) {
+    if (msgs[j].index >= cfg_.slots) {
+      co_return base::ErrorCode::kInvalidArgument;
+    }
+    for (size_t i = 0; i < j; ++i) {
+      if (msgs[i].index == msgs[j].index) {
+        co_return base::ErrorCode::kInvalidArgument;
+      }
+    }
+  }
+  if (broken_ != base::ErrorCode::kOk) {
+    co_return broken_;
+  }
+  for (const Msg& msg : msgs) {
+    if (!rcaps_[msg.index].has_value()) {
+      co_return base::ErrorCode::kInvalidArgument;
+    }
+  }
+  sim::Duration cost = cm.chan_fast_path;
+  std::vector<uint64_t> freed;
+  for (const Msg& msg : msgs) {
+    ClearRegIfHolds(*env.self, kReceiverCapReg, *rcaps_[msg.index]);
+    DropDelivery(msg.index, &freed);
+    cost += cm.cap_revoke;
+  }
+  cost += obs::Trace().event_cost();
+  obs::Trace().Record(env.self->last_cpu(), obs::EventType::kCreditGrant, obs_id_, msgs.size(),
+                      k.now());
+  co_await k.Spend(*env.self, cost, TimeCat::kUser);
+  if (broken_ != base::ErrorCode::kOk) {
+    co_return broken_;
+  }
+  if (!freed.empty()) {
+    auto pushed = co_await free_->PushN(env, std::span(freed));
+    if (!pushed.ok() && broken_ != base::ErrorCode::kOk) {
+      co_return broken_;
+    }
+  }
+  // Returned credit may unblock a parked producer (wake-suppressed).
+  if (credit_wait_count_ > 0) {
+    auto& injector = fault::Injector::Global();
+    if (injector.armed()) {
+      fault::Decision d = injector.Probe(fault::points::kFanInCreditGrant, env.self->last_cpu());
+      if (d.drop_wake()) {
+        // Injected lost credit wake: the credits are back (bookkeeping above
+        // is done) but no parked producer hears it — deadline-armed waiters
+        // recover, never-deadline waiters rely on the next release.
+        co_return base::Status::Ok();
+      }
+      if (d.action == fault::Action::kDelay) {
+        co_await k.Spend(*env.self, d.delay, TimeCat::kUser);
+      }
+    }
+    co_await FutexWakeCommitted(env, credit_waiters_);
+  }
+  co_return base::Status::Ok();
+}
+
+void FanInChannel::RefundCredits(uint32_t p, uint64_t n) {
+  if (n == 0) {
+    return;
+  }
+  credits_[p] += n;
+  DIPC_CHECK(credits_[p] <= credit_line_);
+  m_tx_credits_[p]->Set(static_cast<int64_t>(credits_[p]));
+}
+
+void FanInChannel::DropDelivery(uint32_t index, std::vector<uint64_t>* freed) {
+  std::optional<codoms::Capability>& cap = rcaps_[index];
+  if (!cap.has_value()) {
+    return;
+  }
+  DIPC_CHECK(kernel_.codoms().CapRevoke(*cap).ok());
+  cap.reset();
+  const uint32_t p = slot_owner_[index];
+  slot_owner_[index] = kNoProducer;
+  if (p != kNoProducer && alive_[p] && owner_key_[p] == slot_owner_key_[index]) {
+    // The admission credit returns to the producer that paid it — unless
+    // that incarnation died (or was rebound, which restored a full line).
+    RefundCredits(p, 1);
+  }
+  freed->push_back(index);
+}
+
+void FanInChannel::Close() {
+  closed_ = true;
+  free_->Close(base::ErrorCode::kBrokenChannel);
+  desc_->Close(base::ErrorCode::kBrokenChannel);
+  while (os::Thread* t = credit_waiters_.WakeOneThread()) {
+    (void)kernel_.MakeRunnable(*t, std::nullopt);
+  }
+}
+
+uint64_t FanInChannel::LiveGrantCount() const {
+  const codoms::RevocationTable& rt = kernel_.codoms().revocations();
+  uint64_t live = 0;
+  for (const auto& cap : sender_caps_) {
+    if (cap.has_value() && rt.Epoch(cap->revocation_id) == cap->revocation_epoch) {
+      ++live;
+    }
+  }
+  for (const auto& cap : rcaps_) {
+    if (cap.has_value() && rt.Epoch(cap->revocation_id) == cap->revocation_epoch) {
+      ++live;
+    }
+  }
+  return live;
+}
+
+void FanInChannel::OnProcessDeath(os::Process& proc) {
+  if (broken_ != base::ErrorCode::kOk) {
+    return;
+  }
+  if (&proc == consumer_proc_) {
+    // Consumer death breaks the whole group (there is nobody left to
+    // deliver to): sweep every in-flight grant and fail every queue.
+    broken_ = base::ErrorCode::kCalleeFailed;
+    for (auto& cap : sender_caps_) {
+      if (cap.has_value()) {
+        DIPC_CHECK(kernel_.codoms().CapRevoke(*cap).ok());
+        cap.reset();
+      }
+    }
+    for (auto& cap : rcaps_) {
+      if (cap.has_value()) {
+        DIPC_CHECK(kernel_.codoms().CapRevoke(*cap).ok());
+        cap.reset();
+      }
+    }
+    for (uint32_t p = 0; p < producer_count(); ++p) {
+      kernel_.codoms().revocations().RevokeAllForOwner(owner_key_[p]);
+    }
+    kernel_.codoms().revocations().RevokeAllForOwner(consumer_owner_key_);
+    free_->Fail(base::ErrorCode::kCalleeFailed);
+    desc_->Fail(base::ErrorCode::kCalleeFailed);
+    while (os::Thread* t = credit_waiters_.WakeOneThread()) {
+      (void)kernel_.MakeRunnable(*t, std::nullopt);
+    }
+    return;
+  }
+  // Producer death: excise that producer alone. Slots it had acquired but
+  // not yet published return to the pool (their write grants revoked); its
+  // published messages stay — the payload is immutable and consumer-owned by
+  // the time a descriptor exists, and late releases refund nobody (the
+  // owner-key generation check in DropDelivery). Everybody else's grants,
+  // credits and the consumer FIFO are untouched — the group keeps flowing.
+  bool any = false;
+  for (uint32_t p = 0; p < producer_count(); ++p) {
+    if (producer_procs_[p] != &proc || !alive_[p]) {
+      continue;
+    }
+    any = true;
+    alive_[p] = false;
+    for (uint32_t i = 0; i < cfg_.slots; ++i) {
+      if (slot_owner_[i] != p || slot_owner_key_[i] != owner_key_[p] ||
+          !sender_caps_[i].has_value()) {
+        continue;
+      }
+      // Acquired (or mid-send) and never published: revoke the write grant,
+      // drop any planned-but-unpublished read grant, recycle the slot.
+      DIPC_CHECK(kernel_.codoms().CapRevoke(*sender_caps_[i]).ok());
+      sender_caps_[i].reset();
+      if (rcaps_[i].has_value()) {
+        DIPC_CHECK(kernel_.codoms().CapRevoke(*rcaps_[i]).ok());
+        rcaps_[i].reset();
+      }
+      slot_owner_[i] = kNoProducer;
+      free_->PushNoEnv(i);
+    }
+    kernel_.codoms().revocations().RevokeAllForOwner(owner_key_[p]);
+  }
+  if (any) {
+    // Parked threads of the dead incarnation must wake to see kCalleeFailed
+    // (the generation check turns them away).
+    while (os::Thread* t = credit_waiters_.WakeOneThread()) {
+      (void)kernel_.MakeRunnable(*t, std::nullopt);
+    }
+  }
+}
+
+base::Status FanInChannel::RebindProducer(uint32_t producer, os::Process& proc) {
+  if (producer >= producer_count() || !proc.dipc_enabled()) {
+    return base::ErrorCode::kInvalidArgument;
+  }
+  if (broken_ != base::ErrorCode::kOk) {
+    return broken_;
+  }
+  if (closed_) {
+    return base::ErrorCode::kBrokenChannel;
+  }
+  if (alive_[producer]) {
+    // Only a slot OnProcessDeath already swept may be rebound: the sweep is
+    // what guarantees no grant of the old incarnation survives.
+    return base::ErrorCode::kInvalidArgument;
+  }
+  codoms::AplTable& apl = kernel_.codoms().apl_table();
+  apl.Grant(proc.default_domain(), ctrl_tag_, codoms::Perm::kWrite);
+  apl.Grant(proc.default_domain(), rt_tag_, codoms::Perm::kCall);
+  producer_procs_[producer] = &proc;
+  // Fresh owner key: the dead incarnation's counters stay bulk-revoked under
+  // the old key, and its still-queued messages release against the old
+  // generation (no credit refund bleeds into the fresh line).
+  owner_key_[producer] = NextOwnerKey();
+  for (auto& tmpl : wcap_tmpl_[producer]) {
+    // Every template points at a revoked counter; the next grant re-mints
+    // cold and re-tags it with the new owner key.
+    tmpl.reset();
+  }
+  credits_[producer] = credit_line_;
+  m_tx_credits_[producer]->Set(static_cast<int64_t>(credit_line_));
+  alive_[producer] = true;
+  // No descriptor-FIFO swap (unlike RebindReceiver): the FIFO belongs to the
+  // consumer and never failed. Parked producers re-check their gates.
+  while (os::Thread* t = credit_waiters_.WakeOneThread()) {
+    (void)kernel_.MakeRunnable(*t, std::nullopt);
+  }
+  return base::Status::Ok();
+}
+
+}  // namespace dipc::chan

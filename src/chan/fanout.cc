@@ -16,16 +16,7 @@ using internal::kMaxSlots;
 using internal::PackDesc;
 using os::TimeCat;
 
-namespace {
-
-// Owner keys for the RevocationTable partitioning; global monotonic so keys
-// never collide across channels (or across machines in one test binary).
-uint64_t NextOwnerKey() {
-  static uint64_t next = 1;  // 0 is RevocationTable::kNoOwner
-  return next++;
-}
-
-}  // namespace
+using internal::NextOwnerKey;
 
 FanOutChannel::FanOutChannel(core::Dipc& dipc, os::Process& producer,
                              std::span<os::Process* const> receivers, FanOutConfig cfg)
@@ -537,19 +528,7 @@ sim::Task<base::Status> FanOutChannel::SendCommon(os::Env env, std::span<const S
     }
     pending_[index] = static_cast<uint32_t>(dests[j].size());
   }
-  // Move semantics: the producer's ownership of the whole batch ends before
-  // any receiver can observe a descriptor.
-  std::vector<uint64_t> orphaned;  // slots every receiver dropped
-  for (size_t j = 0; j < items.size(); ++j) {
-    const uint32_t index = items[j].buf.index;
-    ClearRegIfHolds(*env.self, kSenderCapReg, *sender_caps_[index]);
-    DIPC_CHECK(k.codoms().CapRevoke(*sender_caps_[index]).ok());
-    cost += cm.cap_revoke;
-    sender_caps_[index].reset();
-    if (dests[j].empty()) {
-      orphaned.push_back(index);
-    }
-  }
+  cost += cm.cap_revoke * items.size();
   cost += obs::Trace().event_cost();
   obs::Trace().Record(env.self->last_cpu(), obs::EventType::kSendBatch, obs_id_, items.size(),
                       k.now());
@@ -558,6 +537,49 @@ sim::Task<base::Status> FanOutChannel::SendCommon(os::Env env, std::span<const S
     // Producer died during the Spend: teardown already swept every recorded
     // grant (they were recorded before the suspension).
     co_return broken_;
+  }
+  // Move semantics: the producer's ownership ends *after* the Spend — so a
+  // receiver death during the suspension sweeps against an accurate
+  // ownership picture (DropDelivery never recycles a slot whose write grant
+  // is still held) — but always *before* any descriptor is published: no
+  // receiver can observe a message whose writer still owns the buffer.
+  bool any_deliverable = false;
+  for (size_t j = 0; j < items.size() && !any_deliverable; ++j) {
+    const uint32_t index = items[j].buf.index;
+    for (uint32_t r : dests[j]) {
+      if (alive_[r] && rcaps_[r][index].has_value()) {
+        any_deliverable = true;
+        break;
+      }
+    }
+  }
+  if (!any_deliverable && (live_receiver_count() == 0 || target < receiver_count())) {
+    // Every planned destination died during the Spend (the sweep revoked
+    // the read grants and dropped the pending shares, but left the slots
+    // with their writer). The send failed with the producer still owning
+    // every buffer — the documented contract — so it can re-shard via
+    // NextShard()/SendTo or hand the buffers back with AbandonBufBatch.
+    co_return base::ErrorCode::kCalleeFailed;
+  }
+  std::vector<uint64_t> orphaned;  // slots with nobody left to deliver to
+  for (size_t j = 0; j < items.size(); ++j) {
+    const uint32_t index = items[j].buf.index;
+    ClearRegIfHolds(*env.self, kSenderCapReg, *sender_caps_[index]);
+    DIPC_CHECK(k.codoms().CapRevoke(*sender_caps_[index]).ok());
+    sender_caps_[index].reset();
+    bool deliverable = false;
+    for (uint32_t r : dests[j]) {
+      if (alive_[r] && rcaps_[r][index].has_value()) {
+        deliverable = true;
+        break;
+      }
+    }
+    if (!deliverable) {
+      // Dropped by every laggard at plan time, or every planned destination
+      // of this one item died mid-Spend while a sibling item still delivers
+      // (broadcast at-most-once): the slot has no holder left — recycle it.
+      orphaned.push_back(index);
+    }
   }
   if (!orphaned.empty()) {
     (void)co_await free_->PushN(env, std::span(orphaned));
@@ -772,7 +794,11 @@ void FanOutChannel::DropDelivery(uint32_t receiver, uint32_t index,
   DIPC_CHECK(kernel_.codoms().CapRevoke(*cap).ok());
   cap.reset();
   DIPC_CHECK(pending_[index] > 0);
-  if (--pending_[index] == 0) {
+  if (--pending_[index] == 0 && !sender_caps_[index].has_value()) {
+    // A held write grant means the producer is mid-send (between its plan
+    // and its post-Spend ownership handoff): the slot is still the
+    // producer's and must NOT return to the pool — SendCommon either
+    // retains it (failed send, retryable) or recycles it itself.
     freed->push_back(index);
   }
 }

@@ -1,0 +1,338 @@
+#include "fabric/fabric.h"
+
+#include <string>
+
+#include "base/check.h"
+#include "fault/fault.h"
+
+namespace dipc::fabric {
+
+using os::TimeCat;
+using sim::Duration;
+
+ServiceFabric::ServiceFabric(core::Dipc& dipc, std::span<os::Process* const> clients,
+                             std::span<os::Process* const> workers, FabricConfig cfg)
+    : dipc_(dipc),
+      kernel_(dipc.kernel()),
+      client_procs_(clients.begin(), clients.end()),
+      worker_procs_(workers.begin(), workers.end()),
+      cfg_(cfg) {}
+
+void ServiceFabric::RegisterMetrics() {
+  obs_id_ = obs::NewObjectId();
+  const std::string p = "fabric/" + std::to_string(obs_id_) + "/";
+  obs::Registry& reg = obs::Registry::Default();
+  m_calls_ = reg.GetCounter(p + "calls");
+  m_completions_ = reg.GetCounter(p + "completions");
+  m_retries_ = reg.GetCounter(p + "retries");
+  m_failures_ = reg.GetCounter(p + "failures");
+  m_duplicates_ = reg.GetCounter(p + "duplicate_completions");
+  m_rebinds_ = reg.GetCounter(p + "worker_rebinds");
+  m_call_ns_ = reg.GetHistogram(p + "call_ns");
+}
+
+base::Result<std::shared_ptr<ServiceFabric>> ServiceFabric::Create(
+    core::Dipc& dipc, std::span<os::Process* const> clients,
+    std::span<os::Process* const> workers, FabricConfig cfg) {
+  if (clients.empty() || workers.empty() || cfg.req_bytes < sizeof(uint64_t) ||
+      cfg.resp_bytes < sizeof(uint64_t)) {
+    return base::ErrorCode::kInvalidArgument;
+  }
+  auto fab = std::shared_ptr<ServiceFabric>(new ServiceFabric(dipc, clients, workers, cfg));
+  fab->RegisterMetrics();
+  fab->progress_.assign(workers.size(), 0);
+
+  // Tag trios: shared across planes by default (identical trust relationship
+  // for every tenant), so the per-CPU APL cache sees 6 tags no matter how
+  // many clients ride the fabric. Leaving the tags invalid makes each
+  // channel allocate its own trio — the cache-thrash design point.
+  chan::FanOutConfig req_cfg{.slots = cfg.req_slots,
+                             .buf_bytes = cfg.req_bytes,
+                             .credits = cfg.req_credits,
+                             .lag_policy = chan::LagPolicy::kBlock};
+  chan::FanInConfig resp_cfg{
+      .slots = cfg.resp_slots, .buf_bytes = cfg.resp_bytes, .credits = cfg.resp_credits};
+  if (cfg.shared_trio) {
+    codoms::AplTable& apl = dipc.kernel().codoms().apl_table();
+    req_cfg.ctrl_tag = apl.AllocateTag();
+    req_cfg.data_tag = apl.AllocateTag();
+    req_cfg.rt_tag = apl.AllocateTag();
+    resp_cfg.ctrl_tag = apl.AllocateTag();
+    resp_cfg.data_tag = apl.AllocateTag();
+    resp_cfg.rt_tag = apl.AllocateTag();
+  }
+  fab->req_.reserve(clients.size());
+  fab->resp_.reserve(clients.size());
+  for (os::Process* c : clients) {
+    auto req = chan::FanOutChannel::Create(dipc, *c, workers, req_cfg);
+    if (!req.ok()) {
+      return req.code();
+    }
+    auto resp = chan::FanInChannel::Create(dipc, workers, *c, resp_cfg);
+    if (!resp.ok()) {
+      return resp.code();
+    }
+    fab->req_.push_back(req.value());
+    fab->resp_.push_back(resp.value());
+  }
+  return fab;
+}
+
+bool ServiceFabric::client_broken(uint32_t c) const {
+  return req_[c]->broken() != base::ErrorCode::kOk ||
+         resp_[c]->broken() != base::ErrorCode::kOk;
+}
+
+bool ServiceFabric::worker_alive(uint32_t w) const {
+  for (uint32_t c = 0; c < client_count(); ++c) {
+    if (!client_broken(c)) {
+      return req_[c]->receiver_alive(w);
+    }
+  }
+  return false;
+}
+
+bool ServiceFabric::WorkerOutstanding(uint32_t w) const {
+  for (uint32_t c = 0; c < client_count(); ++c) {
+    if (!client_broken(c) && req_[c]->credits(w) < req_[c]->credit_line()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+base::Status ServiceFabric::RebindWorker(uint32_t worker, os::Process& proc) {
+  if (worker >= worker_count()) {
+    return base::ErrorCode::kInvalidArgument;
+  }
+  // Dead-client planes are skipped: their channels are broken and the other
+  // tenants must not be held hostage by them.
+  base::Status st = base::ErrorCode::kBrokenChannel;
+  bool any_live = false;
+  for (uint32_t c = 0; c < client_count(); ++c) {
+    if (client_broken(c)) {
+      continue;
+    }
+    any_live = true;
+    base::Status s = req_[c]->RebindReceiver(worker, proc);
+    if (!s.ok()) {
+      return s;
+    }
+    s = resp_[c]->RebindProducer(worker, proc);
+    if (!s.ok()) {
+      return s;
+    }
+    st = base::Status::Ok();
+  }
+  if (!any_live) {
+    return st;
+  }
+  worker_procs_[worker] = &proc;
+  ++rebinds_;
+  m_rebinds_->Add();
+  return base::Status::Ok();
+}
+
+sim::Task<base::Status> ServiceFabric::Call(os::Env env, uint32_t client, uint64_t req_len) {
+  os::Kernel& k = *env.kernel;
+  if (client >= client_count() || req_len < sizeof(uint64_t) || req_len > cfg_.req_bytes) {
+    co_return base::ErrorCode::kInvalidArgument;
+  }
+  const std::shared_ptr<chan::FanOutChannel>& req = req_[client];
+  const uint64_t opid = ++next_opid_;
+  auto sem = std::make_shared<os::Semaphore>(0);
+  completions_[opid] = sem;
+  ++calls_;
+  m_calls_->Add();
+  const sim::Time t0 = k.now();
+  Duration backoff = cfg_.backoff_initial;
+  auto& injector = fault::Injector::Global();
+  bool done = false;
+  // Every blocking step of an attempt carries the per-attempt deadline; a
+  // kTimedOut/kCalleeFailed/kFault attempt is retried under the SAME opid
+  // with capped exponential backoff — the single completions-map entry keeps
+  // delivery exactly-once no matter how many attempts race.
+  for (int attempt = 0; !done && !stopped_; ++attempt) {
+    if (attempt > 0) {
+      if (attempt > cfg_.max_call_retries) {
+        ++failed_;
+        m_failures_->Add();
+        break;
+      }
+      ++retried_;
+      m_retries_->Add();
+      co_await k.Sleep(env, backoff);
+      backoff = backoff * 2;
+      if (backoff > cfg_.backoff_cap) {
+        backoff = cfg_.backoff_cap;
+      }
+    }
+    if (injector.armed()) {
+      fault::Decision d = injector.Probe(fault::points::kFabricDispatch, env.self->last_cpu());
+      if (d.fail()) {
+        continue;  // this attempt is lost before it starts; back off and retry
+      }
+      if (d.action == fault::Action::kDelay) {
+        co_await k.Spend(*env.self, d.delay, TimeCat::kUser);
+      }
+    }
+    const os::Deadline dl = cfg_.call_deadline > Duration::Zero()
+                                ? os::Deadline::After(k.now(), cfg_.call_deadline)
+                                : os::Deadline::Never();
+    auto buf = co_await req->AcquireBuf(env, dl);
+    if (!buf.ok()) {
+      if (req->broken() != base::ErrorCode::kOk ||
+          buf.code() == base::ErrorCode::kBrokenChannel) {
+        break;  // the plane itself is gone; retrying is hopeless
+      }
+      continue;  // kTimedOut / kCalleeFailed / kFault: back off
+    }
+    DIPC_CHECK(
+        k.UserWrite(*env.self, buf.value().va, std::as_bytes(std::span(&opid, 1))).ok());
+    (void)co_await k.TouchUser(env, buf.value().va, req_len, hw::AccessType::kWrite);
+    // Shard round-robin; a shard that died under the send is retried on the
+    // next live worker (the buffer stays owned until a send succeeds). Give
+    // the buffer back when no live worker remains or the deadline fired.
+    bool sent = false;
+    while (req->broken() == base::ErrorCode::kOk) {
+      uint32_t shard = req->NextShard();
+      if (shard >= req->receiver_count()) {
+        break;
+      }
+      auto s = co_await req->SendTo(env, buf.value(), req_len, shard, dl);
+      if (s.ok()) {
+        sent = true;
+        break;
+      }
+      if (s.code() != base::ErrorCode::kCalleeFailed) {
+        break;  // timeout, close or a caller bug — resharding won't help
+      }
+    }
+    if (!sent) {
+      (void)co_await req->AbandonBuf(env, buf.value());
+      if (req->broken() != base::ErrorCode::kOk) {
+        break;
+      }
+      continue;
+    }
+    auto w = co_await sem->WaitUntil(env, dl);
+    if (w.ok()) {
+      done = true;
+    }
+    // kTimedOut: the worker wedged or died mid-request. Back off and resend
+    // the same opid — the supervisor restores capacity and the dispatcher
+    // drops any late duplicate completion.
+  }
+  if (sem->count() > 0) {
+    // A retry raced with a late completion of an earlier attempt and both
+    // landed: the extra tokens are duplicates.
+    duplicates_ += static_cast<uint64_t>(sem->count());
+    m_duplicates_->Add(static_cast<uint64_t>(sem->count()));
+  }
+  completions_.erase(opid);
+  if (!done) {
+    co_return base::ErrorCode::kCalleeFailed;
+  }
+  ++completed_;
+  m_completions_->Add();
+  const Duration rtt = k.now() - t0;
+  m_call_ns_->Record(rtt.nanos());
+  obs::Trace().Record(env.self->last_cpu(), obs::EventType::kFabricDispatch, obs_id_, opid,
+                      k.now(), rtt);
+  co_return base::Status::Ok();
+}
+
+sim::Task<void> ServiceFabric::Serve(os::Env env, uint32_t client, uint32_t worker,
+                                     Handler handler) {
+  os::Kernel& k = *env.kernel;
+  DIPC_CHECK(client < client_count() && worker < worker_count());
+  const std::shared_ptr<chan::FanOutChannel>& req = req_[client];
+  const std::shared_ptr<chan::FanInChannel>& resp = resp_[client];
+  while (!stopped_) {
+    auto msg = co_await req->Recv(env, worker);
+    if (!msg.ok()) {
+      co_return;
+    }
+    uint64_t opid = 0;
+    if (!k.UserRead(*env.self, msg.value().va, std::as_writable_bytes(std::span(&opid, 1)))
+             .ok()) {
+      // This worker incarnation was killed between Recv handing over the
+      // message and the header read: its grants are already swept. The
+      // client will time out and retry the opid elsewhere.
+      co_return;
+    }
+    (void)co_await k.TouchUser(env, msg.value().va, msg.value().len, hw::AccessType::kRead);
+    co_await handler(env, msg.value());
+    if (!(co_await req->Release(env, worker, msg.value())).ok()) {
+      co_return;
+    }
+    auto buf = co_await resp->AcquireBuf(env, worker);
+    if (!buf.ok()) {
+      co_return;
+    }
+    if (!k.UserWrite(*env.self, buf.value().va, std::as_bytes(std::span(&opid, 1))).ok()) {
+      co_return;  // killed after the acquire; the write grant is gone
+    }
+    (void)co_await k.TouchUser(env, buf.value().va, cfg_.resp_bytes, hw::AccessType::kWrite);
+    if (!(co_await resp->Send(env, worker, buf.value(), cfg_.resp_bytes)).ok()) {
+      co_return;
+    }
+    ++progress_[worker];  // the supervisor's liveness signal
+  }
+}
+
+void ServiceFabric::StartDispatcher(uint32_t client) {
+  DIPC_CHECK(client < client_count());
+  auto self = shared_from_this();
+  kernel_.Spawn(*client_procs_[client], "fabric-disp",
+                [self, client](os::Env env) -> sim::Task<void> {
+                  os::Kernel& k = *env.kernel;
+                  const std::shared_ptr<chan::FanInChannel>& resp = self->resp_[client];
+                  while (true) {
+                    auto msg = co_await resp->Recv(env);
+                    if (!msg.ok()) {
+                      co_return;
+                    }
+                    uint64_t opid = 0;
+                    if (!k.UserRead(*env.self, msg.value().va,
+                                    std::as_writable_bytes(std::span(&opid, 1)))
+                             .ok()) {
+                      co_return;  // client died mid-dispatch; teardown swept us
+                    }
+                    (void)co_await k.TouchUser(env, msg.value().va, msg.value().len,
+                                               hw::AccessType::kRead);
+                    if (!(co_await resp->Release(env, msg.value())).ok()) {
+                      co_return;
+                    }
+                    auto it = self->completions_.find(opid);
+                    if (it != self->completions_.end()) {
+                      co_await it->second->Post(env);
+                    } else {
+                      // The client already retried and its retry won the
+                      // race: this late completion of the earlier attempt is
+                      // dropped, keeping completion delivery exactly-once
+                      // per operation.
+                      ++self->duplicates_;
+                      self->m_duplicates_->Add();
+                    }
+                  }
+                });
+}
+
+void ServiceFabric::StartAllDispatchers() {
+  for (uint32_t c = 0; c < client_count(); ++c) {
+    StartDispatcher(c);
+  }
+}
+
+void ServiceFabric::Close() {
+  stopped_ = true;
+  for (auto& ch : req_) {
+    ch->Close();
+  }
+  for (auto& ch : resp_) {
+    ch->Close();
+  }
+}
+
+}  // namespace dipc::fabric

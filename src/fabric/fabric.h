@@ -1,0 +1,170 @@
+// N x M service fabric: M client domains sharded across N worker domains
+// behind one handle, with per-worker reverse rings feeding each client.
+//
+// This generalizes the opid-matched request/response dispatch that
+// src/apps/oltp/ used to hand-roll per worker. Per client the fabric
+// composes the two channel flavors into the duplex pattern pushed N-wide:
+//
+//        requests (FanOutChannel, sharded SendTo)
+//   client c ========================================> workers 0..N-1
+//        <======================================== responses
+//        (FanInChannel: every worker a producer, client the consumer)
+//
+//   - Call(): the client-side request path — opid-stamped request, shard
+//     round-robin with re-shard on dead workers, per-attempt deadline and
+//     capped-backoff retry under the SAME opid, blocking on a per-operation
+//     completion semaphore. Exactly-once: one completions-map entry per
+//     operation; late completions of earlier attempts are dropped at
+//     dispatch and counted.
+//   - Serve(): the worker-side loop for one (client, worker) pair — drain
+//     the request shard, run the app handler, respond with the matching
+//     opid into the client's fan-in as that worker's producer slot.
+//   - StartDispatcher(): per-client completion pump draining the fan-in
+//     and posting the matching semaphore.
+//   - RebindWorker(): the supervisor's respawn path — one call splices a
+//     fresh process into worker w's receiver slot on every client's
+//     request plane AND its producer slot on every client's response
+//     plane (FanOutChannel::RebindReceiver + FanInChannel::RebindProducer).
+//
+// Tag strategy: with FabricConfig::shared_trio (default) all request
+// planes share one domain-tag trio and all response planes another —
+// 6 tags total no matter how many clients, so hundreds of tenants stay
+// within the 32-entry per-CPU APL cache. Disabling it gives every channel
+// its own trio (the cache-thrash design point the benches sweep).
+#ifndef DIPC_FABRIC_FABRIC_H_
+#define DIPC_FABRIC_FABRIC_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "base/result.h"
+#include "chan/fanin.h"
+#include "chan/fanout.h"
+#include "dipc/dipc.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "os/deadline.h"
+#include "os/kernel.h"
+#include "os/semaphore.h"
+#include "sim/task.h"
+
+namespace dipc::fabric {
+
+struct FabricConfig {
+  uint32_t req_slots = 8;     // per-client request-plane pool
+  uint64_t req_bytes = 512;   // >= 8 (the opid header)
+  uint32_t resp_slots = 8;    // per-client response-plane pool
+  uint64_t resp_bytes = 2048;
+  uint32_t req_credits = 0;   // per-worker credit line, request plane (0 = slots)
+  uint32_t resp_credits = 0;  // per-worker credit line, response plane (0 = slots)
+  // One shared tag trio across all request planes + one across all response
+  // planes (APL-cache friendly) vs a private trio per channel.
+  bool shared_trio = true;
+  // Per-attempt deadline for every blocking step of Call(); zero waits
+  // forever (no retries fire without it).
+  sim::Duration call_deadline = sim::Duration::Zero();
+  int max_call_retries = 0;  // further attempts after the first
+  sim::Duration backoff_initial = sim::Duration::Micros(20);
+  sim::Duration backoff_cap = sim::Duration::Micros(640);
+};
+
+class ServiceFabric : public std::enable_shared_from_this<ServiceFabric> {
+ public:
+  // Runs with the request payload (already delivered, not yet released);
+  // the fabric handles opid extraction, release and the response itself.
+  using Handler = std::function<sim::Task<void>(os::Env, const chan::Msg&)>;
+
+  static base::Result<std::shared_ptr<ServiceFabric>> Create(
+      core::Dipc& dipc, std::span<os::Process* const> clients,
+      std::span<os::Process* const> workers, FabricConfig cfg = {});
+
+  // One request/response round trip from client `client` (call on a thread
+  // of that client's process). `req_len` in [8, req_bytes]. Returns kOk once
+  // the completion arrived; kCalleeFailed when every retry was exhausted or
+  // the client's planes broke.
+  sim::Task<base::Status> Call(os::Env env, uint32_t client, uint64_t req_len);
+
+  // Worker-side serve loop for one (client, worker) pair; spawn it on a
+  // thread of worker w's *current* process (and again after every rebind).
+  // Exits when either plane fails for this endpoint.
+  sim::Task<void> Serve(os::Env env, uint32_t client, uint32_t worker, Handler handler);
+
+  // Spawns client c's completion dispatcher thread (named "fabric-disp").
+  void StartDispatcher(uint32_t client);
+  void StartAllDispatchers();
+
+  // Supervisor respawn: rebind worker w's endpoints on every live client
+  // plane to `proc`. Best-effort across broken (dead-client) planes.
+  base::Status RebindWorker(uint32_t worker, os::Process& proc);
+
+  // Stops Call/Serve loops and closes every plane (orderly).
+  void Close();
+
+  // ---- Introspection ----
+  uint32_t client_count() const { return static_cast<uint32_t>(client_procs_.size()); }
+  uint32_t worker_count() const { return static_cast<uint32_t>(worker_procs_.size()); }
+  // Worker liveness as seen by the first live client plane.
+  bool worker_alive(uint32_t w) const;
+  // True when some live client plane has undelivered work at worker w.
+  bool WorkerOutstanding(uint32_t w) const;
+  // Requests worker slot w completed, ever (rebinds keep the counter) — the
+  // supervisor's wedge heuristic diffs this between heartbeats.
+  uint64_t WorkerProgress(uint32_t w) const { return progress_[w]; }
+  // True once client c's planes are unusable (its process died).
+  bool client_broken(uint32_t c) const;
+  uint64_t calls() const { return calls_; }
+  uint64_t completions() const { return completed_; }
+  uint64_t retries() const { return retried_; }
+  uint64_t failures() const { return failed_; }
+  uint64_t duplicate_completions() const { return duplicates_; }
+  uint64_t worker_rebinds() const { return rebinds_; }
+  const FabricConfig& config() const { return cfg_; }
+  uint32_t obs_id() const { return obs_id_; }
+  // Plane access (tests / stress harness).
+  const std::shared_ptr<chan::FanOutChannel>& request_plane(uint32_t c) const {
+    return req_[c];
+  }
+  const std::shared_ptr<chan::FanInChannel>& response_plane(uint32_t c) const {
+    return resp_[c];
+  }
+
+ private:
+  ServiceFabric(core::Dipc& dipc, std::span<os::Process* const> clients,
+                std::span<os::Process* const> workers, FabricConfig cfg);
+  void RegisterMetrics();
+
+  core::Dipc& dipc_;
+  os::Kernel& kernel_;
+  std::vector<os::Process*> client_procs_;
+  std::vector<os::Process*> worker_procs_;  // current incarnations
+  FabricConfig cfg_;
+  std::vector<std::shared_ptr<chan::FanOutChannel>> req_;  // per client
+  std::vector<std::shared_ptr<chan::FanInChannel>> resp_;  // per client
+  bool stopped_ = false;
+  // Opid-matched completion delivery (fabric-wide unique opids).
+  uint64_t next_opid_ = 0;
+  std::unordered_map<uint64_t, std::shared_ptr<os::Semaphore>> completions_;
+  std::vector<uint64_t> progress_;  // per worker slot
+  uint64_t calls_ = 0;
+  uint64_t completed_ = 0;
+  uint64_t retried_ = 0;
+  uint64_t failed_ = 0;
+  uint64_t duplicates_ = 0;
+  uint64_t rebinds_ = 0;
+  uint32_t obs_id_ = 0;
+  obs::Counter* m_calls_ = nullptr;
+  obs::Counter* m_completions_ = nullptr;
+  obs::Counter* m_retries_ = nullptr;
+  obs::Counter* m_failures_ = nullptr;
+  obs::Counter* m_duplicates_ = nullptr;
+  obs::Counter* m_rebinds_ = nullptr;
+  obs::Histogram* m_call_ns_ = nullptr;
+};
+
+}  // namespace dipc::fabric
+
+#endif  // DIPC_FABRIC_FABRIC_H_

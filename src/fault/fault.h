@@ -53,6 +53,8 @@ inline constexpr std::string_view kFutexPark = "chan/futex_park";
 inline constexpr std::string_view kFutexWake = "chan/futex_wake";
 inline constexpr std::string_view kChanSend = "chan/send";
 inline constexpr std::string_view kCreditGrant = "fanout/credit_grant";
+inline constexpr std::string_view kFanInCreditGrant = "fanin/credit_grant";
+inline constexpr std::string_view kFabricDispatch = "fabric/dispatch";
 inline constexpr std::string_view kProxyInvoke = "dipc/proxy_invoke";
 inline constexpr std::string_view kDeathSweep = "dipc/death_sweep";
 }  // namespace points

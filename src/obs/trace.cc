@@ -40,6 +40,8 @@ const char* EventTypeName(EventType t) {
       return "fault_injected";
     case EventType::kTimeout:
       return "timeout";
+    case EventType::kFabricDispatch:
+      return "fabric_dispatch";
   }
   return "unknown";
 }

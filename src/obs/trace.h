@@ -46,9 +46,10 @@ enum class EventType : uint8_t {
   kProxyExit,      // dur = full proxy call; arg = argument bytes
   kFaultInjected,  // arg = fault action (fault::Action); obj = point hash
   kTimeout,        // arg = slots still owed when the deadline fired
+  kFabricDispatch,  // dur = request round trip; arg = opid; obj = fabric id
 };
 
-constexpr int kEventTypeCount = static_cast<int>(EventType::kTimeout) + 1;
+constexpr int kEventTypeCount = static_cast<int>(EventType::kFabricDispatch) + 1;
 
 // Human-readable name for Chrome trace export and debugging.
 const char* EventTypeName(EventType t);

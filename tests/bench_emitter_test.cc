@@ -1,0 +1,126 @@
+// Regression tests for JsonEmitter's --metrics series windows
+// (bench/micro_harness.h): BeginSeries must snapshot the metric registry
+// under the open label and zero it, so each series' counters cover exactly
+// its own measurement — the bug being pinned down is a bench that never
+// calls BeginSeries (or only some sweeps do) silently attributing the whole
+// binary's accumulated counters to every series.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "micro_harness.h"
+#include "obs/metrics.h"
+
+namespace dipc::bench {
+namespace {
+
+// Builds a mutable argv the emitter can strip flags from.
+struct Argv {
+  explicit Argv(std::vector<std::string> args) : storage(std::move(args)) {
+    for (auto& a : storage) {
+      ptrs.push_back(a.data());
+    }
+    ptrs.push_back(nullptr);
+    argc = static_cast<int>(storage.size());
+  }
+  std::vector<std::string> storage;
+  std::vector<char*> ptrs;
+  int argc;
+};
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+TEST(BenchEmitter, BeginSeriesIsolatesMetricsPerSeries) {
+#ifdef DIPC_OBS_OFF
+  GTEST_SKIP() << "observability compiled out (-DDIPC_OBS_OFF)";
+#endif
+  obs::Registry::Default().Reset();
+  const std::string path = "BENCH_emitter_iso_test.json";
+  std::remove(path.c_str());
+  {
+    Argv av({"bench", "--json", "--metrics"});
+    JsonEmitter json("emitter_iso_test", &av.argc, av.ptrs.data());
+    ASSERT_TRUE(json.enabled());
+    ASSERT_TRUE(json.metrics());
+    json.BeginSeries("window_a");
+    obs::Registry::Default().GetCounter("emitter_test/x")->Add(3);
+    json.Row("a", 1, 10.0);
+    json.BeginSeries("window_b");
+    obs::Registry::Default().GetCounter("emitter_test/x")->Add(5);
+    json.Row("b", 1, 20.0);
+  }  // destructor closes window_b and writes the file
+  const std::string body = ReadFile(path);
+  ASSERT_FALSE(body.empty());
+  // Each window sees only its own increments: 3 then 5, never the
+  // accumulated 8 a missing reset would produce.
+  const size_t a = body.find("\"window_a\"");
+  const size_t b = body.find("\"window_b\"");
+  ASSERT_NE(a, std::string::npos);
+  ASSERT_NE(b, std::string::npos);
+  ASSERT_LT(a, b);
+  const std::string win_a = body.substr(a, b - a);
+  const std::string win_b = body.substr(b);
+  EXPECT_NE(win_a.find("\"emitter_test/x\": 3"), std::string::npos) << win_a;
+  EXPECT_NE(win_b.find("\"emitter_test/x\": 5"), std::string::npos) << win_b;
+  EXPECT_EQ(body.find("\"emitter_test/x\": 8"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(BenchEmitter, NoBeginSeriesKeepsWholeRunSnapshot) {
+#ifdef DIPC_OBS_OFF
+  GTEST_SKIP() << "observability compiled out (-DDIPC_OBS_OFF)";
+#endif
+  obs::Registry::Default().Reset();
+  const std::string path = "BENCH_emitter_whole_test.json";
+  std::remove(path.c_str());
+  {
+    Argv av({"bench", "--json", "--metrics"});
+    JsonEmitter json("emitter_whole_test", &av.argc, av.ptrs.data());
+    obs::Registry::Default().GetCounter("emitter_test/y")->Add(4);
+    json.Row("a", 1, 10.0);
+    obs::Registry::Default().GetCounter("emitter_test/y")->Add(4);
+    json.Row("a", 2, 20.0);
+  }
+  const std::string body = ReadFile(path);
+  ASSERT_FALSE(body.empty());
+  // Legacy shape: one cumulative snapshot for the whole binary.
+  EXPECT_NE(body.find("\"emitter_test/y\": 8"), std::string::npos) << body;
+  std::remove(path.c_str());
+}
+
+TEST(BenchEmitter, MetricsFlagOffMakesBeginSeriesFree) {
+#ifdef DIPC_OBS_OFF
+  GTEST_SKIP() << "observability compiled out (-DDIPC_OBS_OFF)";
+#endif
+  obs::Registry::Default().Reset();
+  const std::string path = "BENCH_emitter_off_test.json";
+  std::remove(path.c_str());
+  {
+    Argv av({"bench", "--json"});
+    JsonEmitter json("emitter_off_test", &av.argc, av.ptrs.data());
+    json.BeginSeries("window_a");
+    obs::Registry::Default().GetCounter("emitter_test/z")->Add(7);
+    json.Row("a", 1, 10.0);
+    // Without --metrics, BeginSeries must not reset the registry (another
+    // concurrent consumer may be reading it) and no metrics key is emitted.
+    EXPECT_EQ(obs::Registry::Default().GetCounter("emitter_test/z")->value(), 7u);
+    json.BeginSeries("window_b");
+    EXPECT_EQ(obs::Registry::Default().GetCounter("emitter_test/z")->value(), 7u);
+  }
+  const std::string body = ReadFile(path);
+  ASSERT_FALSE(body.empty());
+  EXPECT_EQ(body.find("\"metrics\""), std::string::npos) << body;
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace dipc::bench

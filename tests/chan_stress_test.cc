@@ -25,12 +25,15 @@
 #include <vector>
 
 #include "chan/channel.h"
+#include "chan/fanin.h"
 #include "chan/fanout.h"
 #include "chan/mpmc_queue.h"
 #include "codoms/codoms.h"
 #include "dipc/dipc.h"
+#include "fabric/fabric.h"
 #include "hw/machine.h"
 #include "obs/trace.h"
+#include "os/deadline.h"
 #include "os/kernel.h"
 #include "sim/random.h"
 
@@ -546,6 +549,261 @@ TEST(ChanStress, FanOutRandomKillsRevokePerReceiverAndLeakNothing) {
     for (uint64_t id = 0; id < rt.size(); ++id) {
       EXPECT_GE(rt.Epoch(id), 1u) << "unrevoked counter " << id;
     }
+    if (trace_guard.DumpIfFailed()) {
+      break;
+    }
+  }
+}
+
+// --- FanInChannel: randomized M->1 traffic with mid-run kills ---
+
+TEST(ChanStress, FanInRandomKillsExciseProducersAndLeakNothing) {
+  for (uint64_t seed = 1; seed <= 15; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    SeedTraceGuard trace_guard("fanin_kill", seed);
+    Rng rng(seed);
+    hw::Machine machine(6);
+    codoms::Codoms codoms(machine);
+    os::Kernel kernel(machine, codoms);
+    core::Dipc dipc(kernel);
+    const uint32_t n_prod = static_cast<uint32_t>(rng.UniformInt(2, 4));
+    std::vector<os::Process*> producers;
+    for (uint32_t p = 0; p < n_prod; ++p) {
+      producers.push_back(&dipc.CreateDipcProcess("client"));
+    }
+    os::Process& cons = dipc.CreateDipcProcess("server");
+    const uint32_t slots = static_cast<uint32_t>(rng.UniformInt(2, 6));
+    const uint32_t credits = rng.Chance(0.5) ? static_cast<uint32_t>(rng.UniformInt(1, slots)) : 0;
+    auto ch = FanInChannel::Create(dipc, producers, cons,
+                                   {.slots = slots, .buf_bytes = 4096, .credits = credits});
+    ASSERT_TRUE(ch.ok());
+    std::shared_ptr<FanInChannel> fan = ch.value();
+    std::vector<std::vector<uint64_t>> got(n_prod);
+    uint64_t cseed = rng.Next();
+    kernel.Spawn(
+        cons, "server",
+        [&, fan, cseed](os::Env env) -> sim::Task<void> {
+          os::Kernel& k = *env.kernel;
+          Rng crng(cseed);
+          // Bound the whole drain: once the traffic (and the kills) are
+          // over, the timeout closes the group so the run always ends.
+          const os::Deadline dl = os::Deadline::After(k.now(), Duration::Micros(150));
+          while (true) {
+            auto msgs = co_await fan->RecvBatch(
+                env, static_cast<uint32_t>(crng.UniformInt(1, slots)), dl);
+            if (!msgs.ok()) {
+              if (msgs.code() == ErrorCode::kTimedOut) {
+                fan->Close();
+              }
+              co_return;
+            }
+            for (const Msg& m : msgs.value()) {
+              fan->BindRecvCap(*env.self, m);
+              uint64_t tagged[2] = {0, 0};  // {producer, seq}
+              if (k.UserRead(*env.self, m.va, std::as_writable_bytes(std::span(tagged))).ok() &&
+                  tagged[0] < n_prod) {
+                got[tagged[0]].push_back(tagged[1]);
+              }
+            }
+            if (!(co_await fan->ReleaseBatch(env, msgs.value())).ok()) {
+              co_return;
+            }
+            if (crng.Chance(0.3)) {
+              co_await k.Sleep(env, Duration::Nanos(crng.UniformInt(20, 900)));
+            }
+          }
+        },
+        /*pin_cpu=*/0);
+    for (uint32_t p = 0; p < n_prod; ++p) {
+      uint64_t pseed = rng.Next();
+      kernel.Spawn(
+          *producers[p], "client",
+          [&, fan, p, pseed](os::Env env) -> sim::Task<void> {
+            os::Kernel& k = *env.kernel;
+            Rng prng(pseed);
+            uint64_t seq = 0;
+            for (int round = 0; round < 60; ++round) {
+              auto buf = co_await fan->AcquireBuf(env, p);
+              if (!buf.ok()) {
+                co_return;  // excised, broken or closed
+              }
+              uint64_t tagged[2] = {p, seq};
+              if (!k.UserWrite(*env.self, buf.value().va, std::as_bytes(std::span(tagged)))
+                       .ok()) {
+                co_return;
+              }
+              if (!(co_await fan->Send(env, p, buf.value(), 64)).ok()) {
+                // While the group is healthy the buffer stays ours on a
+                // failed publish: hand it back instead of leaking the slot.
+                if (fan->broken() == ErrorCode::kOk) {
+                  (void)co_await fan->AbandonBuf(env, p, buf.value());
+                }
+                co_return;
+              }
+              ++seq;
+              if (prng.Chance(0.2)) {
+                co_await k.Sleep(env, Duration::Nanos(prng.UniformInt(20, 600)));
+              }
+            }
+          },
+          /*pin_cpu=*/static_cast<int>(1 + p % 4));
+    }
+    // Killer: one or two victims — usually producers (individual excision),
+    // sometimes the consumer (whole-group breakage).
+    os::Process& killer = dipc.CreateDipcProcess("killer");
+    const int kills = 1 + (rng.Chance(0.4) ? 1 : 0);
+    std::vector<std::pair<double, int>> plan;  // (ns, victim: -1 consumer)
+    for (int i = 0; i < kills; ++i) {
+      int victim = rng.Chance(0.2) ? -1 : static_cast<int>(rng.UniformInt(0, n_prod - 1));
+      plan.emplace_back(static_cast<double>(rng.UniformInt(300, 40000)), victim);
+    }
+    std::sort(plan.begin(), plan.end());
+    kernel.Spawn(
+        killer, "killer",
+        [&, plan](os::Env env) -> sim::Task<void> {
+          double elapsed = 0;
+          for (const auto& [at_ns, victim] : plan) {
+            if (at_ns > elapsed) {
+              co_await env.kernel->Sleep(env, Duration::Nanos(at_ns - elapsed));
+              elapsed = at_ns;
+            }
+            os::Process* target = victim < 0 ? &cons : producers[victim];
+            dipc.KillProcess(*target);
+            // Excision (or breakage) drains the victim's owner key
+            // immediately and completely.
+            const uint64_t owner = victim < 0
+                                       ? fan->consumer_owner()
+                                       : fan->producer_owner(static_cast<uint32_t>(victim));
+            EXPECT_EQ(codoms.revocations().LiveCountForOwner(owner), 0u);
+          }
+        },
+        /*pin_cpu=*/5);
+    kernel.Run();
+    // Per producer: a duplicate-free, strictly increasing (FIFO) subset of
+    // what that producer published.
+    for (uint32_t p = 0; p < n_prod; ++p) {
+      for (size_t i = 1; i < got[p].size(); ++i) {
+        EXPECT_LT(got[p][i - 1], got[p][i]) << "producer " << p << " order/duplicate";
+      }
+    }
+    EXPECT_EQ(fan->LiveGrantCount(), 0u);
+    EXPECT_EQ(codoms.revocations().live_count(), 0u);
+    const codoms::RevocationTable& rt = codoms.revocations();
+    for (uint64_t id = 0; id < rt.size(); ++id) {
+      EXPECT_GE(rt.Epoch(id), 1u) << "unrevoked counter " << id;
+    }
+    if (trace_guard.DumpIfFailed()) {
+      break;
+    }
+  }
+}
+
+// --- ServiceFabric: randomized N x M calls with mid-run worker kills ---
+
+TEST(ChanStress, FabricRandomWorkerKillsKeepCompletionsExactlyOnce) {
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    SeedTraceGuard trace_guard("fabric_kill", seed);
+    Rng rng(seed);
+    hw::Machine machine(6);
+    codoms::Codoms codoms(machine);
+    os::Kernel kernel(machine, codoms);
+    core::Dipc dipc(kernel);
+    const uint32_t n_cli = static_cast<uint32_t>(rng.UniformInt(2, 3));
+    const uint32_t n_wrk = static_cast<uint32_t>(rng.UniformInt(2, 3));
+    std::vector<os::Process*> clients;
+    std::vector<os::Process*> workers;
+    for (uint32_t c = 0; c < n_cli; ++c) {
+      clients.push_back(&dipc.CreateDipcProcess("tenant"));
+    }
+    for (uint32_t w = 0; w < n_wrk; ++w) {
+      workers.push_back(&dipc.CreateDipcProcess("worker"));
+    }
+    auto f = fabric::ServiceFabric::Create(
+        dipc, clients, workers,
+        {.req_slots = 4, .req_bytes = 64, .resp_slots = 4, .resp_bytes = 64,
+         .call_deadline = Duration::Micros(200), .max_call_retries = 10});
+    ASSERT_TRUE(f.ok());
+    std::shared_ptr<fabric::ServiceFabric> fab = f.value();
+    fab->StartAllDispatchers();
+    fabric::ServiceFabric::Handler echo = [](os::Env, const chan::Msg&) -> sim::Task<void> {
+      co_return;
+    };
+    for (uint32_t w = 0; w < n_wrk; ++w) {
+      for (uint32_t c = 0; c < n_cli; ++c) {
+        kernel.Spawn(*workers[w], "serve", [fab, c, w, echo](os::Env env) -> sim::Task<void> {
+          co_await fab->Serve(env, c, w, echo);
+        });
+      }
+    }
+    // Kill plan first, so the expectations below know which clients stay
+    // healthy. Never kill every worker: the survivors must absorb the load.
+    const int kills = 1 + (rng.Chance(0.4) ? 1 : 0);
+    std::vector<std::pair<double, int>> plan;  // (ns, victim: -1 a client)
+    int killed_client = -1;
+    for (int i = 0; i < kills && i < static_cast<int>(n_wrk) - 1 + 1; ++i) {
+      if (rng.Chance(0.25) && killed_client < 0) {
+        killed_client = static_cast<int>(rng.UniformInt(0, n_cli - 1));
+        plan.emplace_back(static_cast<double>(rng.UniformInt(300, 50000)), -1);
+      } else if (static_cast<int>(rng.UniformInt(0, n_wrk - 1)) == 0 || kills == 1) {
+        plan.emplace_back(static_cast<double>(rng.UniformInt(300, 50000)), 0);
+      } else {
+        plan.emplace_back(static_cast<double>(rng.UniformInt(300, 50000)), 1);
+      }
+    }
+    std::sort(plan.begin(), plan.end());
+    uint64_t ok_calls = 0;
+    int remaining = static_cast<int>(n_cli);
+    for (uint32_t c = 0; c < n_cli; ++c) {
+      uint64_t cseed = rng.Next();
+      const bool healthy = killed_client < 0 || static_cast<uint32_t>(killed_client) != c;
+      kernel.Spawn(*clients[c], "web", [&, fab, c, cseed, healthy](os::Env env) -> sim::Task<void> {
+        Rng crng(cseed);
+        for (int i = 0; i < 12; ++i) {
+          auto s = co_await fab->Call(env, c, 16);
+          if (s.ok()) {
+            ++ok_calls;
+          } else if (healthy) {
+            // With at least one worker alive at all times, a healthy
+            // client's calls must keep completing through the reshards.
+            ADD_FAILURE() << "tenant " << c << " call " << i << " failed: "
+                          << static_cast<int>(s.code());
+          }
+          if (crng.Chance(0.3)) {
+            co_await env.kernel->Sleep(env, Duration::Nanos(crng.UniformInt(50, 800)));
+          }
+        }
+        if (--remaining == 0) {
+          fab->Close();
+        }
+      });
+    }
+    os::Process& killer = dipc.CreateDipcProcess("killer");
+    kernel.Spawn(killer, "killer", [&, plan](os::Env env) -> sim::Task<void> {
+      double elapsed = 0;
+      for (const auto& [at_ns, victim] : plan) {
+        if (at_ns > elapsed) {
+          co_await env.kernel->Sleep(env, Duration::Nanos(at_ns - elapsed));
+          elapsed = at_ns;
+        }
+        dipc.KillProcess(victim < 0 ? *clients[killed_client] : *workers[victim]);
+      }
+    });
+    kernel.Run();
+    // Exactly-once: completions() counts exactly the Calls that returned
+    // kOk; late completions of superseded attempts were dropped at the
+    // dispatcher (counted as duplicates, never delivered twice).
+    EXPECT_EQ(fab->completions(), ok_calls);
+    EXPECT_EQ(fab->calls(), static_cast<uint64_t>(n_cli) * 12);
+    if (killed_client < 0) {
+      // No client died: every Call either completed or was counted failed.
+      EXPECT_EQ(fab->completions() + fab->failures(), fab->calls());
+    }
+    for (uint32_t c = 0; c < n_cli; ++c) {
+      EXPECT_EQ(fab->request_plane(c)->LiveGrantCount(), 0u) << "tenant " << c;
+      EXPECT_EQ(fab->response_plane(c)->LiveGrantCount(), 0u) << "tenant " << c;
+    }
+    EXPECT_EQ(codoms.revocations().live_count(), 0u);
     if (trace_guard.DumpIfFailed()) {
       break;
     }

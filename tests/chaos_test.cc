@@ -86,6 +86,42 @@ TEST(ChaosTest, FullSweepCompletesEveryRequestExactlyOnce) {
   EXPECT_GE(r.faults_injected, 1u);
 }
 
+TEST(ChaosTest, MultiTenantFabricSweepKeepsExactlyOnce) {
+#ifdef DIPC_FAULT_OFF
+  GTEST_SKIP() << "fault injection compiled out (-DDIPC_FAULT_OFF)";
+#endif
+  // The N x M plane sweep: 8 tenant client domains share 4 PHP workers, so
+  // one murdered worker tears a receiver slot out of 8 fan-out request
+  // planes and a producer line out of 8 fan-in response planes at once —
+  // every plane must excise and rebind without losing a single opid. On top
+  // of the kills, wake drops on both credit paths and scripted dispatch
+  // failures exercise the retry/backoff seam under the SAME opid.
+  const char* trace_out = std::getenv("DIPC_CHAOS_TRACE");
+  if (trace_out != nullptr) {
+    obs::Trace().Enable();
+  }
+  OltpConfig cfg = ChaosConfig(
+      "seed 19\n"
+      "rule chan/send kill every=900 victim=php-worker max=3\n"
+      "rule fanin/credit_grant drop_wake p=0.01\n"
+      "rule fanout/credit_grant drop_wake p=0.01\n"
+      "rule fabric/dispatch fail p=0.005\n");
+  cfg.tenants = 8;
+  cfg.chan_workers = 4;
+  cfg.threads = 16;
+  OltpResult r = RunOltp(cfg);
+  if (trace_out != nullptr) {
+    if (r.requests_failed != 0 || r.operations == 0) {
+      obs::Trace().ExportChromeTrace("fabric_" + std::string(trace_out));
+    }
+    obs::Trace().Disable();
+  }
+  EXPECT_GT(r.operations, 0u);
+  EXPECT_EQ(r.requests_failed, 0u) << "a tenant plane lost an operation";
+  EXPECT_GE(r.faults_injected, 1u);
+  EXPECT_GE(r.workers_respawned, 1u) << "supervisor never healed a dead slot";
+}
+
 TEST(ChaosTest, SameSeedAndPlanReplaysIdentically) {
 #ifdef DIPC_FAULT_OFF
   GTEST_SKIP() << "fault injection compiled out (-DDIPC_FAULT_OFF)";

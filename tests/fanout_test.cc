@@ -540,6 +540,122 @@ TEST_F(FanOutTest, DeadShardSendToIsRetryableAndAbandonRecyclesSlots) {
   EXPECT_EQ(codoms_.revocations().live_count(), 0u);
 }
 
+TEST_F(FanOutTest, ReboundReceiverReentersRotationWithoutSkewingShards) {
+  // NextShard fairness regression: a receiver that dies and is later rebound
+  // must re-enter the round-robin at its old index — the cursor may neither
+  // double-visit its neighbours nor skip the revived slot.
+  os::Process& prod = dipc_.CreateDipcProcess("producer");
+  auto receivers = MakeReceivers(3);
+  auto ch = FanOutChannel::Create(dipc_, prod, receivers, {.slots = 6, .buf_bytes = 4096});
+  ASSERT_TRUE(ch.ok());
+  std::shared_ptr<FanOutChannel> fan = ch.value();
+  std::vector<int> got(4, 0);  // 0, 1 (old incarnation), 2, 1 (rebound)
+  auto recv_loop = [&, fan](uint32_t r, int counter) {
+    return [&, fan, r, counter](os::Env env) -> sim::Task<void> {
+      while (true) {
+        auto msg = co_await fan->Recv(env, r);
+        if (!msg.ok()) {
+          co_return;
+        }
+        ++got[counter];
+        if (!(co_await fan->Release(env, r, msg.value())).ok()) {
+          co_return;
+        }
+      }
+    };
+  };
+  for (uint32_t r = 0; r < 3; ++r) {
+    kernel_.Spawn(*receivers[r], "worker", recv_loop(r, static_cast<int>(r)));
+  }
+  kernel_.Spawn(prod, "producer", [&, fan](os::Env env) -> sim::Task<void> {
+    auto shard_send = [&](int n) -> sim::Task<void> {
+      for (int i = 0; i < n; ++i) {
+        auto buf = co_await fan->AcquireBuf(env);
+        DIPC_CHECK(buf.ok());
+        uint32_t shard = fan->NextShard();
+        DIPC_CHECK(shard < fan->receiver_count());
+        DIPC_CHECK((co_await fan->SendTo(env, buf.value(), 64, shard)).ok());
+      }
+    };
+    co_await shard_send(2);  // cursor now past slots 0 and 1
+    co_await env.kernel->Sleep(env, Duration::Micros(50));  // killer fires at 30
+    EXPECT_FALSE(fan->receiver_alive(1));
+    co_await shard_send(1);  // lands on slot 2 (slot 1 is dead, not skipped-forever)
+    os::Process& fresh = dipc_.CreateDipcProcess("worker-1b");
+    EXPECT_TRUE(fan->RebindReceiver(1, fresh).ok());
+    kernel_.Spawn(fresh, "worker", recv_loop(1, 3));
+    co_await shard_send(9);  // full rotations: exactly three per live slot
+    co_await env.kernel->Sleep(env, Duration::Micros(50));  // drain releases
+    fan->Close();
+  });
+  os::Process& killer = dipc_.CreateDipcProcess("killer");
+  kernel_.Spawn(killer, "killer", [&](os::Env env) -> sim::Task<void> {
+    co_await env.kernel->Sleep(env, Duration::Micros(30));
+    dipc_.KillProcess(*receivers[1]);
+  });
+  kernel_.Run();
+  EXPECT_EQ(got[0], 1 + 3);  // one before the kill, three after the rebind
+  EXPECT_EQ(got[1], 1);      // the old incarnation saw only its first shard
+  EXPECT_EQ(got[2], 1 + 3);
+  EXPECT_EQ(got[3], 3);  // the rebound slot takes its full share, no skew
+  EXPECT_EQ(fan->LiveGrantCount(), 0u);
+  EXPECT_EQ(codoms_.revocations().live_count(), 0u);
+}
+
+TEST_F(FanOutTest, ShardDeathDuringSendSpendLeavesBufferOwnedAndRetryable) {
+  // The mid-send ownership regression: the target dies while the producer is
+  // suspended inside SendTo's runtime charge. The failed send must leave the
+  // producer owning the buffer — the old code revoked the write grant before
+  // the suspension, so the death sweep freed the slot while the caller was
+  // promised it could retry, aliasing the next acquire.
+  os::Process& prod = dipc_.CreateDipcProcess("producer");
+  auto receivers = MakeReceivers(2);
+  auto ch = FanOutChannel::Create(dipc_, prod, receivers, {.slots = 2, .buf_bytes = 4096});
+  ASSERT_TRUE(ch.ok());
+  std::shared_ptr<FanOutChannel> fan = ch.value();
+  int live_got = 0;
+  kernel_.Spawn(*receivers[0], "live", [&, fan](os::Env env) -> sim::Task<void> {
+    while (true) {
+      auto msg = co_await fan->Recv(env, 0);
+      if (!msg.ok()) {
+        co_return;
+      }
+      ++live_got;
+      EXPECT_TRUE((co_await fan->Release(env, 0, msg.value())).ok());
+    }
+  });
+  kernel_.Spawn(*receivers[1], "doomed", [&, fan](os::Env env) -> sim::Task<void> {
+    auto msg = co_await fan->Recv(env, 1);
+    EXPECT_FALSE(msg.ok());  // killed while parked
+  });
+  kernel_.Spawn(prod, "producer", [&, fan](os::Env env) -> sim::Task<void> {
+    auto buf = co_await fan->AcquireBuf(env);
+    DIPC_CHECK(buf.ok());
+    // Widen the send's Spend window so the killer (t=5us) fires inside it.
+    machine_.costs().chan_fast_path = Duration::Micros(10);
+    auto s = co_await fan->SendTo(env, buf.value(), 64, 1);
+    EXPECT_GE(env.kernel->now().micros(), 10.0);  // we were inside the Spend
+    EXPECT_EQ(s.code(), ErrorCode::kCalleeFailed);
+    EXPECT_EQ(fan->broken(), ErrorCode::kOk);
+    EXPECT_FALSE(fan->receiver_alive(1));
+    // Ownership survived the mid-Spend death: the write grant is live and
+    // the very same buffer reshards onto the live receiver.
+    EXPECT_GE(fan->LiveGrantCount(), 1u);
+    EXPECT_TRUE((co_await fan->SendTo(env, buf.value(), 64, 0)).ok());
+    co_await env.kernel->Sleep(env, Duration::Millis(1));  // drain the release
+    fan->Close();
+  });
+  os::Process& killer = dipc_.CreateDipcProcess("killer");
+  kernel_.Spawn(killer, "killer", [&](os::Env env) -> sim::Task<void> {
+    co_await env.kernel->Sleep(env, Duration::Micros(5));
+    dipc_.KillProcess(*receivers[1]);
+  });
+  kernel_.Run();
+  EXPECT_EQ(live_got, 1);
+  EXPECT_EQ(fan->LiveGrantCount(), 0u);
+  EXPECT_EQ(codoms_.revocations().live_count(), 0u);
+}
+
 TEST_F(FanOutTest, AllReceiversDeadFailsProducerOps) {
   os::Process& prod = dipc_.CreateDipcProcess("producer");
   auto receivers = MakeReceivers(2);

@@ -9,7 +9,15 @@ threshold (default 15%). Lower is better for every series (values are ns).
 
 Usage:
   bench_trend.py BASELINE_DIR CURRENT_DIR [--threshold PCT] [--warn-only]
+                 [--prefix-threshold PREFIX=PCT ...]
   bench_trend.py --self-test
+
+One global threshold fits nobody: microbenchmark points are stable to a few
+percent while the OLTP macro rows are workload-noisy. --prefix-threshold
+overrides the default for every (bench, series) whose "bench/series" name
+starts with PREFIX; the longest matching prefix wins, so
+  --prefix-threshold 'fig8_oltp/=30' --prefix-threshold 'fig8_oltp/chan_mem_workers=20'
+loosens all fig8 series to 30% except the worker sweep at 20%.
 
 New series (no baseline) and removed series are reported but never fail the
 gate: trajectory files are expected to grow. The "metrics" object optionally
@@ -47,10 +55,24 @@ def load_dir(path):
     return rows
 
 
-def compare(baseline, current, threshold_pct):
+def threshold_for(key, default_pct, prefix_thresholds):
+    """Threshold for one (bench, series, x) key: longest matching prefix of
+    "bench/series" wins; the default applies when nothing matches."""
+    name = f"{key[0]}/{key[1]}"
+    best_len = -1
+    best_pct = default_pct
+    for prefix, pct in prefix_thresholds:
+        if name.startswith(prefix) and len(prefix) > best_len:
+            best_len = len(prefix)
+            best_pct = pct
+    return best_pct
+
+
+def compare(baseline, current, threshold_pct, prefix_thresholds=()):
     """Returns (regressions, improvements, new_keys, removed_keys).
 
-    A regression is (key, base, cur, delta_pct) with delta over threshold.
+    A regression is (key, base, cur, delta_pct, threshold_pct) with delta
+    over that key's threshold (per-prefix override or the default).
     """
     regressions = []
     improvements = []
@@ -60,11 +82,12 @@ def compare(baseline, current, threshold_pct):
             continue
         if base <= 0:
             continue  # degenerate baseline; nothing sensible to gate on
+        thr = threshold_for(key, threshold_pct, prefix_thresholds)
         delta_pct = (cur - base) / base * 100.0
-        if delta_pct > threshold_pct:
-            regressions.append((key, base, cur, delta_pct))
-        elif delta_pct < -threshold_pct:
-            improvements.append((key, base, cur, delta_pct))
+        if delta_pct > thr:
+            regressions.append((key, base, cur, delta_pct, thr))
+        elif delta_pct < -thr:
+            improvements.append((key, base, cur, delta_pct, thr))
     new_keys = sorted(set(current) - set(baseline))
     removed_keys = sorted(set(baseline) - set(current))
     return regressions, improvements, new_keys, removed_keys
@@ -75,7 +98,7 @@ def fmt_key(key):
     return f"{bench}/{series}@{x}"
 
 
-def run(baseline_dir, current_dir, threshold_pct, warn_only):
+def run(baseline_dir, current_dir, threshold_pct, warn_only, prefix_thresholds=()):
     baseline = load_dir(baseline_dir)
     current = load_dir(current_dir)
     if not current:
@@ -85,28 +108,44 @@ def run(baseline_dir, current_dir, threshold_pct, warn_only):
         print(f"no baseline data in {baseline_dir}; nothing to gate (first run?)")
         return 0
     regressions, improvements, new_keys, removed_keys = compare(
-        baseline, current, threshold_pct
+        baseline, current, threshold_pct, prefix_thresholds
     )
     matched = len(set(baseline) & set(current))
+    overrides = (
+        ", ".join(f"{p}={t:.1f}%" for p, t in prefix_thresholds)
+        if prefix_thresholds
+        else "none"
+    )
     print(
         f"compared {matched} series points "
         f"({len(new_keys)} new, {len(removed_keys)} removed), "
-        f"threshold {threshold_pct:.1f}%"
+        f"threshold {threshold_pct:.1f}% (prefix overrides: {overrides})"
     )
-    for key, base, cur, delta in improvements:
+    for key, base, cur, delta, thr in improvements:
         print(f"  improved  {fmt_key(key)}: {base:.1f} -> {cur:.1f} ns ({delta:+.1f}%)")
     for key in new_keys:
         print(f"  new       {fmt_key(key)}: {current[key]:.1f} ns")
     for key in removed_keys:
         print(f"  removed   {fmt_key(key)} (baseline {baseline[key]:.1f} ns)")
-    for key, base, cur, delta in regressions:
-        print(f"  REGRESSED {fmt_key(key)}: {base:.1f} -> {cur:.1f} ns ({delta:+.1f}%)")
+    for key, base, cur, delta, thr in regressions:
+        print(
+            f"  REGRESSED {fmt_key(key)}: {base:.1f} -> {cur:.1f} ns "
+            f"({delta:+.1f}% > {thr:.1f}%)"
+        )
     if regressions:
         verdict = "warning" if warn_only else "FAIL"
-        print(f"{verdict}: {len(regressions)} series regressed > {threshold_pct:.1f}%")
+        print(f"{verdict}: {len(regressions)} series regressed past their threshold")
         return 0 if warn_only else 1
     print("ok: no regressions")
     return 0
+
+
+def parse_prefix_threshold(spec):
+    """Parses one --prefix-threshold PREFIX=PCT argument."""
+    prefix, sep, pct = spec.rpartition("=")
+    if not sep or not prefix:
+        raise ValueError(f"expected PREFIX=PCT, got {spec!r}")
+    return prefix, float(pct)
 
 
 def self_test():
@@ -153,6 +192,29 @@ def self_test():
         assert run(bdir, cdir, 15.0, warn_only=False) == 1
         assert run(bdir, cdir, 15.0, warn_only=True) == 0
         assert run(bdir, cdir, 50.0, warn_only=False) == 0
+        # Per-prefix thresholds: the override names "t/a" and lifts only
+        # that series past its +30% delta; an unrelated prefix changes
+        # nothing; the longest matching prefix wins over a shorter one.
+        assert threshold_for(("t", "a", 2), 15.0, [("t/", 40.0)]) == 40.0
+        assert threshold_for(("t", "a", 2), 15.0, [("u/", 40.0)]) == 15.0
+        assert threshold_for(("t", "a", 2), 15.0, [("t/", 40.0), ("t/a", 25.0)]) == 25.0
+        assert threshold_for(("t", "a", 2), 15.0, [("t/a", 25.0), ("t/", 40.0)]) == 25.0
+        regs, _, _, _ = compare(baseline, current, 15.0, [("t/a", 40.0)])
+        assert regs == [], regs
+        regs, _, _, _ = compare(baseline, current, 15.0, [("other/", 40.0)])
+        assert [r[0] for r in regs] == [("t", "a", 2)], regs
+        assert run(bdir, cdir, 15.0, warn_only=False, prefix_thresholds=[("t/", 40.0)]) == 0
+        assert run(bdir, cdir, 40.0, warn_only=False, prefix_thresholds=[("t/a", 15.0)]) == 1
+        # CLI spec parsing, including '=' in the series name.
+        assert parse_prefix_threshold("fig8_oltp/=30") == ("fig8_oltp/", 30.0)
+        assert parse_prefix_threshold("t/a=25.5") == ("t/a", 25.5)
+        for bad in ("noequals", "=30", "t/a="):
+            try:
+                parse_prefix_threshold(bad)
+            except ValueError:
+                pass
+            else:
+                raise AssertionError(f"{bad!r} should not parse")
         # Missing baseline never fails (first CI run on a branch).
         empty = os.path.join(tmp, "empty")
         os.mkdir(empty)
@@ -174,6 +236,14 @@ def main():
         help="regression threshold in percent (default 15)",
     )
     ap.add_argument(
+        "--prefix-threshold",
+        action="append",
+        default=[],
+        metavar="PREFIX=PCT",
+        help="per-series threshold override for keys whose bench/series name "
+        "starts with PREFIX (repeatable; longest matching prefix wins)",
+    )
+    ap.add_argument(
         "--warn-only",
         action="store_true",
         help="report regressions but exit 0 (CI warm-up mode)",
@@ -184,7 +254,13 @@ def main():
         sys.exit(self_test())
     if not args.baseline or not args.current:
         ap.error("baseline and current directories are required (or --self-test)")
-    sys.exit(run(args.baseline, args.current, args.threshold, args.warn_only))
+    try:
+        prefix_thresholds = [parse_prefix_threshold(s) for s in args.prefix_threshold]
+    except ValueError as e:
+        ap.error(str(e))
+    sys.exit(
+        run(args.baseline, args.current, args.threshold, args.warn_only, prefix_thresholds)
+    )
 
 
 if __name__ == "__main__":
