@@ -33,8 +33,13 @@ OltpConfig Fig1Config(OltpMode mode) {
 }
 
 void PrintFig1(dipc::bench::JsonEmitter& json) {
+  // Series boundaries bracket each configuration so --metrics counters
+  // attribute to the run that produced them, not the whole process.
+  json.BeginSeries("linux");
   OltpResult linux_r = RunOltp(Fig1Config(OltpMode::kLinuxIpc));
+  json.BeginSeries("chan");
   OltpResult chan_r = RunOltp(Fig1Config(OltpMode::kChan));
+  json.BeginSeries("ideal");
   OltpResult ideal_r = RunOltp(Fig1Config(OltpMode::kIdeal));
   std::printf("=== Figure 1: OLTP stack time breakdown (in-memory DB, lightly loaded) ===\n");
   std::printf("%-16s %12s %8s %8s %8s\n", "config", "latency[ms]", "user%", "kernel%", "idle%");

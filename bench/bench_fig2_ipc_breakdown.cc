@@ -44,11 +44,19 @@ void PrintFig2(JsonEmitter& json) {
               "(2)sys", "(3)dsp", "(4)krn", "(5)sch", "(6)pgt", "(7)idl");
   MicroConfig same{.arg_bytes = 1, .rounds = 400, .cross_cpu = false};
   MicroConfig cross{.arg_bytes = 1, .rounds = 400, .cross_cpu = true};
+  // One metrics series per primitive: BeginSeries resets the registry, so
+  // --metrics counters attribute to the measurement that produced them.
+  json.BeginSeries("sem_same");
   PrintRow(json, "Sem. (=CPU)", "sem_same", MeasureSemaphore(same));
+  json.BeginSeries("sem_cross");
   PrintRow(json, "Sem. (!=CPU)", "sem_cross", MeasureSemaphore(cross));
+  json.BeginSeries("l4_same");
   PrintRow(json, "L4 (=CPU)", "l4_same", MeasureL4(same));
+  json.BeginSeries("l4_cross");
   PrintRow(json, "L4 (!=CPU)", "l4_cross", MeasureL4(cross));
+  json.BeginSeries("rpc_same");
   PrintRow(json, "Local RPC (=CPU)", "rpc_same", MeasureLocalRpc(same));
+  json.BeginSeries("rpc_cross");
   PrintRow(json, "Local RPC (!=CPU)", "rpc_cross", MeasureLocalRpc(cross));
   std::printf("(reference: function call ~2 ns, empty syscall ~34 ns)\n\n");
 }

@@ -34,25 +34,44 @@ void PrintFig5Table(JsonEmitter& json) {
   MicroConfig same{.arg_bytes = 1, .rounds = 400, .cross_cpu = false};
   MicroConfig cross{.arg_bytes = 1, .rounds = 400, .cross_cpu = true};
 
+  // Each primitive gets its own metrics series (BeginSeries resets the
+  // registry), so --metrics counters attribute to one measurement each.
+  json.BeginSeries("func");
   double func = MeasureFunction(same).roundtrip_ns;
+  json.BeginSeries("syscall");
   double sys = MeasureSyscall(same).roundtrip_ns;
+  json.BeginSeries("dipc_low");
   double dipc_low = MeasureDipc({.cross_process = false, .high_policy = false}).roundtrip_ns;
+  json.BeginSeries("dipc_high");
   double dipc_high = MeasureDipc({.cross_process = false, .high_policy = true}).roundtrip_ns;
+  json.BeginSeries("sem_same");
   double sem_same = MeasureSemaphore(same).roundtrip_ns;
+  json.BeginSeries("sem_cross");
   double sem_cross = MeasureSemaphore(cross).roundtrip_ns;
+  json.BeginSeries("pipe_same");
   double pipe_same = MeasurePipe(same).roundtrip_ns;
+  json.BeginSeries("pipe_cross");
   double pipe_cross = MeasurePipe(cross).roundtrip_ns;
+  json.BeginSeries("dipc_proc_low");
   double proc_low = MeasureDipc({.cross_process = true, .high_policy = false}).roundtrip_ns;
+  json.BeginSeries("dipc_proc_high");
   double proc_high = MeasureDipc({.cross_process = true, .high_policy = true}).roundtrip_ns;
+  json.BeginSeries("rpc_same");
   double rpc_same = MeasureLocalRpc(same).roundtrip_ns;
+  json.BeginSeries("rpc_cross");
   double rpc_cross = MeasureLocalRpc(cross).roundtrip_ns;
+  json.BeginSeries("l4_same");
   double l4_same = MeasureL4(same).roundtrip_ns;
+  json.BeginSeries("l4_cross");
   double l4_cross = MeasureL4(cross).roundtrip_ns;
+  json.BeginSeries("dipc_user_rpc");
   double user_rpc = MeasureDipcUserRpc(cross).roundtrip_ns;
+  json.BeginSeries("dipc_proc_low_notls");
   double proc_low_notls =
       MeasureDipc({.cross_process = true, .high_policy = false, .arg_bytes = 1, .rounds = 300,
                    .elide_tls_switch = true})
           .roundtrip_ns;
+  json.BeginSeries("dipc_proc_high_notls");
   double proc_high_notls =
       MeasureDipc({.cross_process = true, .high_policy = true, .arg_bytes = 1, .rounds = 300,
                    .elide_tls_switch = true})

@@ -36,6 +36,9 @@ void PrintFig7(JsonEmitter& json) {
               "Sem", "Pipe", "Chan");
   for (int p = 0; p <= 12; p += 2) {
     uint64_t n = 1ull << p;
+    // One metrics series per size row (baseline + all variants), so the
+    // --metrics counters of each sweep point stay attributable.
+    json.BeginSeries("lat_n" + std::to_string(n));
     double base = RunNetpipe({.isolation = DriverIsolation::kInline, .transfer_bytes = n})
                       .latency_us;
     std::printf("%9llu", static_cast<unsigned long long>(n));
@@ -51,6 +54,7 @@ void PrintFig7(JsonEmitter& json) {
               "Sem", "Pipe", "Chan");
   for (int p = 6; p <= 12; p += 2) {
     uint64_t n = 1ull << p;
+    json.BeginSeries("bw_n" + std::to_string(n));
     double base = RunNetpipe({.isolation = DriverIsolation::kInline, .transfer_bytes = n})
                       .bandwidth_mbps;
     std::printf("%9llu", static_cast<unsigned long long>(n));
@@ -67,6 +71,7 @@ void PrintFig7(JsonEmitter& json) {
   std::printf("\nchannel driver, streaming bursts (64 B): per-request time [us]\n");
   std::printf("%9s %12s\n", "burst", "per-req[us]");
   for (int burst : {1, 4, 16, 64}) {
+    json.BeginSeries("chan_burst_b" + std::to_string(burst));
     NetpipeResult r = RunNetpipe({.isolation = DriverIsolation::kChannel,
                                   .transfer_bytes = 64,
                                   .rounds = 64,

@@ -78,6 +78,9 @@ int main(int argc, char** argv) {
   std::printf("paper: try-based code ~2.5x faster (compiler co-optimization).\n");
   std::printf("compare BM_SetjmpGuardedCall vs BM_TryGuardedCall below.\n\n");
   if (json.enabled()) {
+    // Host-timed code emits no simulator counters; the series boundary keeps
+    // the --metrics schema uniform with the simulated benches.
+    json.BeginSeries("setjmp_guarded_call");
     double setjmp_ns = TimePerCallNs([](int acc) {
       std::jmp_buf env;
       if (setjmp(env) == 0) {
@@ -87,6 +90,7 @@ int main(int argc, char** argv) {
       }
       return acc;
     });
+    json.BeginSeries("try_guarded_call");
     double try_ns = TimePerCallNs([](int acc) {
       try {
         acc += SimpleFunction(acc);

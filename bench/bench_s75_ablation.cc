@@ -45,6 +45,9 @@ OltpConfig BaseConfig(OltpMode mode) {
 }
 
 void PrintAblation(JsonEmitter& json) {
+  // Series boundaries bracket each simulated run so --metrics counters
+  // attribute per measurement instead of smearing over the whole process.
+  json.BeginSeries("linux_base");
   OltpResult linux_r = RunOltp(BaseConfig(OltpMode::kLinuxIpc));
   std::printf("=== §7.5 ablations (in-memory DB, 256 threads) ===\n");
   std::printf("Linux baseline: %.0f ops/min\n\n", linux_r.ops_per_min);
@@ -55,6 +58,7 @@ void PrintAblation(JsonEmitter& json) {
   for (double scale : {1.0, 2.0, 4.0, 8.0, 14.0, 20.0}) {
     OltpConfig c = BaseConfig(OltpMode::kDipc);
     c.proxy_cost_scale = scale;
+    json.BeginSeries("proxy_scale_x" + std::to_string(static_cast<int>(scale)));
     OltpResult r = RunOltp(c);
     std::printf("%11.0fx %14.0f %11.2fx\n", scale, r.ops_per_min,
                 r.ops_per_min / linux_r.ops_per_min);
@@ -64,9 +68,11 @@ void PrintAblation(JsonEmitter& json) {
 
   std::printf("(b) worst-case capability loads\n");
   OltpConfig base = BaseConfig(OltpMode::kDipc);
+  json.BeginSeries("dipc_base");
   OltpResult r_base = RunOltp(base);
   OltpConfig caps = base;
   caps.worst_case_cap_loads = true;
+  json.BeginSeries("dipc_worst_case_caps");
   OltpResult r_caps = RunOltp(caps);
   std::printf("dIPC             : %14.0f ops/min (%.2fx vs Linux)\n", r_base.ops_per_min,
               r_base.ops_per_min / linux_r.ops_per_min);
@@ -132,6 +138,7 @@ void PrintAplPressure(JsonEmitter& json) {
   // Each call touches caller + proxy + callee-domain APL entries, so the
   // cache covers roughly 32/3 concurrently-cycling entry points.
   for (int n : {2, 4, 8, 10, 16, 32}) {
+    json.BeginSeries("apl_pressure_d" + std::to_string(n));
     double ns = MeasureAplPressure(n);
     std::printf("%14d %16.1f\n", n, ns);
     json.Row("apl_pressure_ns_per_call", static_cast<uint64_t>(n), ns);

@@ -67,6 +67,10 @@ void PrintTable1(JsonEmitter& json) {
   auto row = [&json](const char* name, const char* key, ArchCosts c) {
     std::printf("%-16s %12.1f %12.1f %12.1f %14.1f\n", name, c.switch_ns, c.data64_ns, c.data4k_ns,
                 c.switch_ns + c.data4k_ns);
+    // Pure cost-model arithmetic emits no counters, but the series boundary
+    // keeps the --metrics schema uniform across all benches (and would catch
+    // any simulation sneaking into a future cost model).
+    json.BeginSeries(key);
     json.Row(std::string(key) + "_switch", 0, c.switch_ns);
     json.Row(std::string(key) + "_data64", 0, c.data64_ns);
     json.Row(std::string(key) + "_data4k", 0, c.data4k_ns);

@@ -70,6 +70,7 @@ base::Result<std::shared_ptr<Channel>> Channel::Create(core::Dipc& dipc, os::Pro
   ch->receiver_caps_.resize(cfg.slots);
   ch->wcap_tmpl_.resize(cfg.slots);
   ch->rcap_tmpl_.resize(cfg.slots);
+  ch->tctx_.resize(cfg.slots, 0);
 
   std::weak_ptr<Channel> weak = ch;
   dipc.AddDeathHook([weak](os::Process& dead) {
@@ -317,6 +318,7 @@ sim::Task<base::Status> Channel::SendBatch(os::Env env, std::span<const SendItem
   descs.reserve(items.size());
   for (size_t j = 0; j < items.size(); ++j) {
     receiver_caps_[items[j].buf.index] = rcaps[j];
+    tctx_[items[j].buf.index] = items[j].buf.tctx;
     descs.push_back(PackDesc(items[j].buf.index, items[j].len));
   }
   uint64_t published = 0;
@@ -399,7 +401,7 @@ sim::Task<base::Result<std::vector<Msg>>> Channel::RecvBatch(os::Env env, uint32
       continue;
     }
     caps.push_back(cap.value());
-    out.push_back(Msg{buf_va(index), len, index});
+    out.push_back(Msg{buf_va(index), len, index, tctx_[index]});
   }
   cost += obs::Trace().event_cost();
   obs::Trace().Record(env.self->last_cpu(), obs::EventType::kRecvBatch, obs_id_, out.size(),

@@ -76,10 +76,14 @@ struct ChannelConfig {
 };
 
 // A buffer the sender owns (write capability in register kSenderCapReg).
+// `tctx` is the packed request trace context (chan/desc.h PackTraceWord):
+// nonzero values ride the descriptor's side-band word to the receiver,
+// correlating the hop with the originating fabric call. 0 = untraced.
 struct SendBuf {
   hw::VirtAddr va = 0;
   uint64_t capacity = 0;
   uint32_t index = 0;
+  uint64_t tctx = 0;
 };
 
 // A buffer plus its payload length, for SendBatch.
@@ -88,11 +92,13 @@ struct SendItem {
   uint64_t len = 0;
 };
 
-// A received message (read capability in register kReceiverCapReg).
+// A received message (read capability in register kReceiverCapReg). `tctx`
+// carries the sender's packed trace context, 0 when untraced.
 struct Msg {
   hw::VirtAddr va = 0;
   uint64_t len = 0;
   uint32_t index = 0;
+  uint64_t tctx = 0;
 };
 
 class Channel : public std::enable_shared_from_this<Channel> {
@@ -228,6 +234,10 @@ class Channel : public std::enable_shared_from_this<Channel> {
   // runtime's APL and re-snapshotted (never re-minted) on every rotation.
   std::vector<std::optional<codoms::Capability>> wcap_tmpl_;
   std::vector<std::optional<codoms::Capability>> rcap_tmpl_;
+  // Per-slot trace-context side-band (the descriptor's spare header word):
+  // written at publish, read at Recv. Slot ownership moves with the
+  // descriptor, so sender and receiver never touch the same entry at once.
+  std::vector<uint64_t> tctx_;
   base::ErrorCode broken_ = base::ErrorCode::kOk;
   uint64_t sends_ = 0;
   uint64_t recvs_ = 0;

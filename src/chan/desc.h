@@ -7,6 +7,7 @@
 
 #include "base/check.h"
 #include "codoms/capability.h"
+#include "obs/trace.h"
 #include "os/kernel.h"
 
 namespace dipc::chan::internal {
@@ -26,6 +27,27 @@ inline uint64_t PackDesc(uint32_t index, uint64_t len) {
 
 inline uint32_t DescIndex(uint64_t desc) { return static_cast<uint32_t>(desc >> kLenBits); }
 inline uint64_t DescLen(uint64_t desc) { return desc & kLenMask; }
+
+// The descriptor's spare header word: one per-slot side-band word riding
+// with every published buffer, carrying the request trace context
+// (obs::TraceCtx) across the hop. Layout: opid in the top 48 bits, retry
+// attempt in the next 8, hop counter in the low 8 — so a 0 word means "not
+// request-scoped" and channels that never see a fabric call pay nothing.
+inline constexpr uint64_t kTraceOpidBits = 48;
+inline constexpr uint64_t kTraceOpidMask = (uint64_t{1} << kTraceOpidBits) - 1;
+
+inline uint64_t PackTraceWord(const obs::TraceCtx& ctx) {
+  return ((ctx.opid & kTraceOpidMask) << 16) | (uint64_t{ctx.attempt} << 8) |
+         uint64_t{ctx.hop};
+}
+
+inline obs::TraceCtx UnpackTraceWord(uint64_t word) {
+  obs::TraceCtx ctx;
+  ctx.opid = word >> 16;
+  ctx.attempt = static_cast<uint8_t>((word >> 8) & 0xff);
+  ctx.hop = static_cast<uint8_t>(word & 0xff);
+  return ctx;
+}
 
 // Owner keys for the RevocationTable partitioning: one global monotonic
 // counter shared by every channel flavor, so keys never collide across

@@ -111,6 +111,7 @@ base::Result<std::shared_ptr<FanInChannel>> FanInChannel::Create(
                                           prefix + "/desc", ch->obs_id_);
   ch->credit_line_ = cfg.credits != 0 ? cfg.credits : cfg.slots;
   ch->sender_caps_.resize(cfg.slots);
+  ch->tctx_.assign(cfg.slots, 0);
   ch->wcap_tmpl_.assign(n_prod, std::vector<std::optional<codoms::Capability>>(cfg.slots));
   ch->slot_owner_.assign(cfg.slots, kNoProducer);
   ch->slot_owner_key_.assign(cfg.slots, 0);
@@ -457,6 +458,7 @@ sim::Task<base::Status> FanInChannel::SendBatch(os::Env env, uint32_t producer,
   descs.reserve(items.size());
   for (const SendItem& it : items) {
     const uint32_t index = it.buf.index;
+    tctx_[index] = it.buf.tctx;
     ClearRegIfHolds(*env.self, kSenderCapReg, *sender_caps_[index]);
     DIPC_CHECK(k.codoms().CapRevoke(*sender_caps_[index]).ok());
     sender_caps_[index].reset();
@@ -572,7 +574,7 @@ sim::Task<base::Result<std::vector<Msg>>> FanInChannel::RecvBatch(os::Env env, u
       continue;
     }
     caps.push_back(cap.value());
-    out.push_back(Msg{buf_va(index), len, index});
+    out.push_back(Msg{buf_va(index), len, index, tctx_[index]});
   }
   cost += obs::Trace().event_cost();
   obs::Trace().Record(env.self->last_cpu(), obs::EventType::kRecvBatch, obs_id_, out.size(),

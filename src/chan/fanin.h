@@ -206,6 +206,9 @@ class FanInChannel : public std::enable_shared_from_this<FanInChannel> {
   // Producer-side in-flight write caps + per-(producer, slot) templates.
   std::vector<std::optional<codoms::Capability>> sender_caps_;
   std::vector<std::vector<std::optional<codoms::Capability>>> wcap_tmpl_;  // [p][slot]
+  // Per-slot trace-context side-band (chan/desc.h): stamped at publish,
+  // read at RecvBatch; slot ownership moves with the descriptor.
+  std::vector<uint64_t> tctx_;
   // Which producer currently holds / sent each slot, and under which
   // owner-key generation (guards credit refunds across RebindProducer).
   std::vector<uint32_t> slot_owner_;

@@ -115,6 +115,7 @@ base::Result<std::shared_ptr<FanOutChannel>> FanOutChannel::Create(
   }
   ch->sender_caps_.resize(cfg.slots);
   ch->wcap_tmpl_.resize(cfg.slots);
+  ch->tctx_.assign(cfg.slots, 0);
   ch->rcaps_.assign(n_recv, std::vector<std::optional<codoms::Capability>>(cfg.slots));
   ch->rcap_tmpl_.assign(n_recv, std::vector<std::optional<codoms::Capability>>(cfg.slots));
   ch->pending_.assign(cfg.slots, 0);
@@ -564,6 +565,7 @@ sim::Task<base::Status> FanOutChannel::SendCommon(os::Env env, std::span<const S
   std::vector<uint64_t> orphaned;  // slots with nobody left to deliver to
   for (size_t j = 0; j < items.size(); ++j) {
     const uint32_t index = items[j].buf.index;
+    tctx_[index] = items[j].buf.tctx;
     ClearRegIfHolds(*env.self, kSenderCapReg, *sender_caps_[index]);
     DIPC_CHECK(k.codoms().CapRevoke(*sender_caps_[index]).ok());
     sender_caps_[index].reset();
@@ -674,7 +676,7 @@ sim::Task<base::Result<std::vector<Msg>>> FanOutChannel::RecvBatch(os::Env env,
       continue;
     }
     caps.push_back(cap.value());
-    out.push_back(Msg{buf_va(index), len, index});
+    out.push_back(Msg{buf_va(index), len, index, tctx_[index]});
   }
   cost += obs::Trace().event_cost();
   obs::Trace().Record(env.self->last_cpu(), obs::EventType::kRecvBatch, obs_id_, out.size(),

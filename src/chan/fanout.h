@@ -245,6 +245,10 @@ class FanOutChannel : public std::enable_shared_from_this<FanOutChannel> {
   // Producer-side in-flight write caps + per-slot write templates.
   std::vector<std::optional<codoms::Capability>> sender_caps_;
   std::vector<std::optional<codoms::Capability>> wcap_tmpl_;
+  // Per-slot trace-context side-band (chan/desc.h): stamped at publish,
+  // read at RecvBatch. Ownership moves with the descriptor, so this is
+  // single-writer per slot at any instant.
+  std::vector<uint64_t> tctx_;
   // Per-receiver in-flight read caps + templates, [receiver][slot].
   std::vector<std::vector<std::optional<codoms::Capability>>> rcaps_;
   std::vector<std::vector<std::optional<codoms::Capability>>> rcap_tmpl_;

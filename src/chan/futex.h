@@ -10,6 +10,8 @@
 #define DIPC_CHAN_FUTEX_H_
 
 #include "fault/fault.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "os/deadline.h"
 #include "os/kernel.h"
 #include "os/semaphore.h"
@@ -44,29 +46,43 @@ inline sim::Task<bool> FutexBlockUntil(os::Env env, os::WaitQueue& q, os::Deadli
   if (still_blocked()) {
     if (deadline.ExpiredAt(k.now())) {
       timed_out = true;  // ETIMEDOUT without parking, like FUTEX_WAIT
-    } else if (deadline.never()) {
-      co_await q.Wait(env);
     } else {
-      // The timer only acts if the thread is still parked on `q`: a normal
-      // wake at the same instant wins (FIFO event order) and Remove returns
-      // false. MakeRunnable on a thread killed while parked is a safe no-op,
-      // and the coroutine frame outlives the kill (kernel keeps Thread::task_
-      // until teardown), so capturing frame locals by reference is sound.
-      bool timer_fired = false;
-      os::Thread* self = env.self;
-      sim::EventId timer = k.machine().events().ScheduleAt(
-          deadline.at(), [&k, &q, self, &timer_fired] {
-            if (q.Remove(self)) {
-              timer_fired = true;
-              (void)k.MakeRunnable(*self, std::nullopt);
-            }
-          });
-      co_await q.Wait(env);
-      if (timer_fired) {
-        timed_out = true;
+      // Park telemetry: global parked-thread gauge, queue-length instant,
+      // and the parked interval billed to the domain as futex-wait time
+      // (blocked time — deliberately outside the CPU-time categories).
+      obs::Gauge* waiters_gauge = obs::Registry::Default().GetGauge("os/sched/futex_waiters");
+      waiters_gauge->Add(1);
+      obs::Trace().Record(env.self->last_cpu(), obs::EventType::kFutexQDepth, /*obj=*/0,
+                          static_cast<uint64_t>(q.size() + 1), k.now());
+      const sim::Time park_start = k.now();
+      if (deadline.never()) {
+        co_await q.Wait(env);
       } else {
-        (void)k.machine().events().Cancel(timer);
+        // The timer only acts if the thread is still parked on `q`: a normal
+        // wake at the same instant wins (FIFO event order) and Remove returns
+        // false. MakeRunnable on a thread killed while parked is a safe no-op,
+        // and the coroutine frame outlives the kill (kernel keeps
+        // Thread::task_ until teardown), so capturing frame locals by
+        // reference is sound.
+        bool timer_fired = false;
+        os::Thread* self = env.self;
+        sim::EventId timer = k.machine().events().ScheduleAt(
+            deadline.at(), [&k, &q, self, &timer_fired] {
+              if (q.Remove(self)) {
+                timer_fired = true;
+                (void)k.MakeRunnable(*self, std::nullopt);
+              }
+            });
+        co_await q.Wait(env);
+        if (timer_fired) {
+          timed_out = true;
+        } else {
+          (void)k.machine().events().Cancel(timer);
+        }
       }
+      waiters_gauge->Sub(1);
+      obs::ChargeDomainTime(static_cast<uint32_t>(env.self->cap_ctx().current_domain),
+                            obs::DomainTimeKind::kFutexWait, (k.now() - park_start).picos());
     }
   }
   co_await k.SyscallExit(env);

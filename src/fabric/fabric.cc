@@ -3,12 +3,35 @@
 #include <string>
 
 #include "base/check.h"
+#include "chan/desc.h"
 #include "fault/fault.h"
 
 namespace dipc::fabric {
 
 using os::TimeCat;
 using sim::Duration;
+
+namespace {
+
+// Hop numbering for one fabric operation, in causal order. The number is
+// packed into both the hop-span arg and the descriptor trace word, so the
+// assembler can order spans within a request without trusting timestamps.
+constexpr uint8_t kHopReqAcquire = 0;
+constexpr uint8_t kHopReqSend = 1;
+constexpr uint8_t kHopWorkerRecv = 2;
+constexpr uint8_t kHopHandler = 3;
+constexpr uint8_t kHopRespSend = 4;
+constexpr uint8_t kHopCompletion = 5;
+
+// Hop-span arg layout: (aux << 16) | (hop << 8) | attempt, where aux is the
+// hop-specific index (client, shard or worker). The opid rides the event's
+// dedicated field; trace_assemble.py decodes this word for the track layout.
+uint64_t HopArg(uint32_t aux, uint8_t hop, uint8_t attempt) {
+  return (static_cast<uint64_t>(aux) << 16) | (static_cast<uint64_t>(hop) << 8) |
+         static_cast<uint64_t>(attempt);
+}
+
+}  // namespace
 
 ServiceFabric::ServiceFabric(core::Dipc& dipc, std::span<os::Process* const> clients,
                              std::span<os::Process* const> workers, FabricConfig cfg)
@@ -179,6 +202,8 @@ sim::Task<base::Status> ServiceFabric::Call(os::Env env, uint32_t client, uint64
     const os::Deadline dl = cfg_.call_deadline > Duration::Zero()
                                 ? os::Deadline::After(k.now(), cfg_.call_deadline)
                                 : os::Deadline::Never();
+    const uint8_t att = static_cast<uint8_t>(attempt > 255 ? 255 : attempt);
+    const sim::Time t_acq = k.now();
     auto buf = co_await req->AcquireBuf(env, dl);
     if (!buf.ok()) {
       if (req->broken() != base::ErrorCode::kOk ||
@@ -187,21 +212,29 @@ sim::Task<base::Status> ServiceFabric::Call(os::Env env, uint32_t client, uint64
       }
       continue;  // kTimedOut / kCalleeFailed / kFault: back off
     }
-    DIPC_CHECK(
-        k.UserWrite(*env.self, buf.value().va, std::as_bytes(std::span(&opid, 1))).ok());
-    (void)co_await k.TouchUser(env, buf.value().va, req_len, hw::AccessType::kWrite);
+    obs::Trace().Record(env.self->last_cpu(), obs::EventType::kReqAcquire, obs_id_,
+                        HopArg(client, kHopReqAcquire, att), k.now(), k.now() - t_acq, opid);
+    // The spare descriptor header word carries the trace context across the
+    // request plane: the worker's recv hop unpacks the same opid from it.
+    chan::SendBuf sb = buf.value();
+    sb.tctx = chan::internal::PackTraceWord(obs::TraceCtx{opid, kHopWorkerRecv, att});
+    DIPC_CHECK(k.UserWrite(*env.self, sb.va, std::as_bytes(std::span(&opid, 1))).ok());
+    (void)co_await k.TouchUser(env, sb.va, req_len, hw::AccessType::kWrite);
     // Shard round-robin; a shard that died under the send is retried on the
     // next live worker (the buffer stays owned until a send succeeds). Give
     // the buffer back when no live worker remains or the deadline fired.
     bool sent = false;
+    uint32_t shard_used = 0;
+    const sim::Time t_send = k.now();
     while (req->broken() == base::ErrorCode::kOk) {
       uint32_t shard = req->NextShard();
       if (shard >= req->receiver_count()) {
         break;
       }
-      auto s = co_await req->SendTo(env, buf.value(), req_len, shard, dl);
+      auto s = co_await req->SendTo(env, sb, req_len, shard, dl);
       if (s.ok()) {
         sent = true;
+        shard_used = shard;
         break;
       }
       if (s.code() != base::ErrorCode::kCalleeFailed) {
@@ -209,12 +242,14 @@ sim::Task<base::Status> ServiceFabric::Call(os::Env env, uint32_t client, uint64
       }
     }
     if (!sent) {
-      (void)co_await req->AbandonBuf(env, buf.value());
+      (void)co_await req->AbandonBuf(env, sb);
       if (req->broken() != base::ErrorCode::kOk) {
         break;
       }
       continue;
     }
+    obs::Trace().Record(env.self->last_cpu(), obs::EventType::kReqSend, obs_id_,
+                        HopArg(shard_used, kHopReqSend, att), k.now(), k.now() - t_send, opid);
     auto w = co_await sem->WaitUntil(env, dl);
     if (w.ok()) {
       done = true;
@@ -238,7 +273,7 @@ sim::Task<base::Status> ServiceFabric::Call(os::Env env, uint32_t client, uint64
   const Duration rtt = k.now() - t0;
   m_call_ns_->Record(rtt.nanos());
   obs::Trace().Record(env.self->last_cpu(), obs::EventType::kFabricDispatch, obs_id_, opid,
-                      k.now(), rtt);
+                      k.now(), rtt, opid);
   co_return base::Status::Ok();
 }
 
@@ -249,10 +284,17 @@ sim::Task<void> ServiceFabric::Serve(os::Env env, uint32_t client, uint32_t work
   const std::shared_ptr<chan::FanOutChannel>& req = req_[client];
   const std::shared_ptr<chan::FanInChannel>& resp = resp_[client];
   while (!stopped_) {
+    const sim::Time t_recv = k.now();
     auto msg = co_await req->Recv(env, worker);
     if (!msg.ok()) {
       co_return;
     }
+    // The descriptor trace word joins this hop to the client's opid. The recv
+    // span deliberately includes idle time waiting for work (queueing delay).
+    const obs::TraceCtx rctx = chan::internal::UnpackTraceWord(msg.value().tctx);
+    obs::Trace().Record(env.self->last_cpu(), obs::EventType::kWorkerRecv, obs_id_,
+                        HopArg(worker, rctx.hop, rctx.attempt), k.now(), k.now() - t_recv,
+                        rctx.opid);
     uint64_t opid = 0;
     if (!k.UserRead(*env.self, msg.value().va, std::as_writable_bytes(std::span(&opid, 1)))
              .ok()) {
@@ -262,21 +304,32 @@ sim::Task<void> ServiceFabric::Serve(os::Env env, uint32_t client, uint32_t work
       co_return;
     }
     (void)co_await k.TouchUser(env, msg.value().va, msg.value().len, hw::AccessType::kRead);
+    const sim::Time t_handler = k.now();
     co_await handler(env, msg.value());
+    obs::Trace().Record(env.self->last_cpu(), obs::EventType::kHandler, obs_id_,
+                        HopArg(worker, kHopHandler, rctx.attempt), k.now(),
+                        k.now() - t_handler, rctx.opid);
     if (!(co_await req->Release(env, worker, msg.value())).ok()) {
       co_return;
     }
+    const sim::Time t_resp = k.now();
     auto buf = co_await resp->AcquireBuf(env, worker);
     if (!buf.ok()) {
       co_return;
     }
-    if (!k.UserWrite(*env.self, buf.value().va, std::as_bytes(std::span(&opid, 1))).ok()) {
+    chan::SendBuf rb = buf.value();
+    rb.tctx = chan::internal::PackTraceWord(
+        obs::TraceCtx{rctx.opid, kHopCompletion, rctx.attempt});
+    if (!k.UserWrite(*env.self, rb.va, std::as_bytes(std::span(&opid, 1))).ok()) {
       co_return;  // killed after the acquire; the write grant is gone
     }
-    (void)co_await k.TouchUser(env, buf.value().va, cfg_.resp_bytes, hw::AccessType::kWrite);
-    if (!(co_await resp->Send(env, worker, buf.value(), cfg_.resp_bytes)).ok()) {
+    (void)co_await k.TouchUser(env, rb.va, cfg_.resp_bytes, hw::AccessType::kWrite);
+    if (!(co_await resp->Send(env, worker, rb, cfg_.resp_bytes)).ok()) {
       co_return;
     }
+    obs::Trace().Record(env.self->last_cpu(), obs::EventType::kRespSend, obs_id_,
+                        HopArg(worker, kHopRespSend, rctx.attempt), k.now(), k.now() - t_resp,
+                        rctx.opid);
     ++progress_[worker];  // the supervisor's liveness signal
   }
 }
@@ -289,10 +342,13 @@ void ServiceFabric::StartDispatcher(uint32_t client) {
                   os::Kernel& k = *env.kernel;
                   const std::shared_ptr<chan::FanInChannel>& resp = self->resp_[client];
                   while (true) {
+                    const sim::Time t_disp = k.now();
                     auto msg = co_await resp->Recv(env);
                     if (!msg.ok()) {
                       co_return;
                     }
+                    const obs::TraceCtx cctx =
+                        chan::internal::UnpackTraceWord(msg.value().tctx);
                     uint64_t opid = 0;
                     if (!k.UserRead(*env.self, msg.value().va,
                                     std::as_writable_bytes(std::span(&opid, 1)))
@@ -315,6 +371,12 @@ void ServiceFabric::StartDispatcher(uint32_t client) {
                       ++self->duplicates_;
                       self->m_duplicates_->Add();
                     }
+                    // Recorded even for dropped duplicates — the forensic
+                    // value of a late completion is exactly why it's traced.
+                    obs::Trace().Record(env.self->last_cpu(),
+                                        obs::EventType::kCompletionDispatch, self->obs_id_,
+                                        HopArg(client, cctx.hop, cctx.attempt), k.now(),
+                                        k.now() - t_disp, cctx.opid);
                   }
                 });
 }

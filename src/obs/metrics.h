@@ -191,6 +191,33 @@ class Registry {
   Impl& impl() const;
 };
 
+// Per-domain simulated-time attribution, charged by os::Kernel whenever a
+// thread spends modeled time. Kinds mirror the paper's Fig. 2 question —
+// where does a cross-domain call's time go — collapsed to what a profiler
+// would bill a tenant for: its own user code, kernel work done on its
+// behalf, data-plane copies, time parked on futexes, and proxy trampolines.
+enum class DomainTimeKind : uint8_t {
+  kUser,
+  kKernel,
+  kCopy,
+  kFutexWait,
+  kProxy,
+  kCount,
+};
+
+// Metric-name component for one kind ("user", "kernel", ...).
+const char* DomainTimeKindName(DomainTimeKind kind);
+
+#ifndef DIPC_OBS_OFF
+// Adds `ps` picoseconds of `kind` time to the default-registry counter
+// "domain/<tag>/time_ns/<kind>". Counters hold nanoseconds; sub-ns residue
+// carries over per (tag, kind) so long runs don't systematically truncate
+// (the acceptance bound joins these sums against wall sim-time at 5%).
+void ChargeDomainTime(uint32_t domain_tag, DomainTimeKind kind, int64_t ps);
+#else
+inline void ChargeDomainTime(uint32_t, DomainTimeKind, int64_t) {}
+#endif
+
 }  // namespace dipc::obs
 
 #endif  // DIPC_OBS_METRICS_H_

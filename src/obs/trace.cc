@@ -42,6 +42,24 @@ const char* EventTypeName(EventType t) {
       return "timeout";
     case EventType::kFabricDispatch:
       return "fabric_dispatch";
+    case EventType::kReqAcquire:
+      return "req_acquire";
+    case EventType::kReqSend:
+      return "req_send";
+    case EventType::kWorkerRecv:
+      return "worker_recv";
+    case EventType::kHandler:
+      return "handler";
+    case EventType::kRespSend:
+      return "resp_send";
+    case EventType::kCompletionDispatch:
+      return "completion_dispatch";
+    case EventType::kSchedMigrate:
+      return "sched_migrate";
+    case EventType::kRunqDepth:
+      return "runq_depth";
+    case EventType::kFutexQDepth:
+      return "futexq_depth";
   }
   return "unknown";
 }
@@ -77,13 +95,14 @@ void TraceRing::Enable(uint32_t capacity_per_cpu) {
 void TraceRing::Disable() { enabled_.store(false, std::memory_order_relaxed); }
 
 void TraceRing::RecordSlow(uint32_t cpu, EventType type, uint32_t obj, uint64_t arg,
-                           sim::Time ts, sim::Duration dur) {
+                           sim::Time ts, sim::Duration dur, uint64_t opid) {
   CpuRing& r = rings_[cpu % kMaxCpus];
   uint64_t i = r.next.fetch_add(1, std::memory_order_relaxed);
   TraceEvent& e = r.slots[i % capacity_];
   e.ts_ps = ts.picos();
   e.dur_ps = dur.picos();
   e.arg = arg;
+  e.opid = opid;
   e.obj = obj;
   e.cpu = cpu;
   e.type = type;
@@ -101,6 +120,19 @@ uint64_t TraceRing::recorded(uint32_t cpu) const {
 
 uint64_t TraceRing::held(uint32_t cpu) const {
   return std::min<uint64_t>(recorded(cpu), capacity_);
+}
+
+uint64_t TraceRing::dropped(uint32_t cpu) const {
+  uint64_t n = recorded(cpu);
+  return n > capacity_ ? n - capacity_ : 0;
+}
+
+uint64_t TraceRing::total_dropped() const {
+  uint64_t total = 0;
+  for (uint32_t cpu = 0; cpu < kMaxCpus; ++cpu) {
+    total += dropped(cpu);
+  }
+  return total;
 }
 
 std::vector<TraceEvent> TraceRing::Snapshot() const {
@@ -125,10 +157,13 @@ std::vector<TraceEvent> TraceRing::Snapshot() const {
 
 void TraceRing::Enable(uint32_t) {}
 void TraceRing::Disable() {}
-void TraceRing::RecordSlow(uint32_t, EventType, uint32_t, uint64_t, sim::Time, sim::Duration) {}
+void TraceRing::RecordSlow(uint32_t, EventType, uint32_t, uint64_t, sim::Time, sim::Duration,
+                           uint64_t) {}
 void TraceRing::Clear() {}
 uint64_t TraceRing::recorded(uint32_t) const { return 0; }
 uint64_t TraceRing::held(uint32_t) const { return 0; }
+uint64_t TraceRing::dropped(uint32_t) const { return 0; }
+uint64_t TraceRing::total_dropped() const { return 0; }
 std::vector<TraceEvent> TraceRing::Snapshot() const { return {}; }
 
 #endif  // DIPC_OBS_OFF
@@ -142,7 +177,7 @@ std::string TraceRing::ChromeTraceJson() const {
       "{\"ph\": \"M\", \"pid\": 0, \"name\": \"process_name\", "
       "\"args\": {\"name\": \"dipc-sim\"}}";
   std::vector<TraceEvent> events = Snapshot();
-  char buf[256];
+  char buf[320];
   for (const TraceEvent& e : events) {
     double ts_us = static_cast<double>(e.ts_ps) / 1e6;
     if (e.dur_ps > 0) {
@@ -151,19 +186,26 @@ std::string TraceRing::ChromeTraceJson() const {
       // events are recorded at completion, so shift back by dur.
       snprintf(buf, sizeof(buf),
                ",\n{\"ph\": \"X\", \"pid\": 0, \"tid\": %u, \"name\": \"%s\", "
-               "\"ts\": %.6f, \"dur\": %.6f, \"args\": {\"obj\": %u, \"arg\": %llu}}",
+               "\"ts\": %.6f, \"dur\": %.6f, "
+               "\"args\": {\"obj\": %u, \"arg\": %llu, \"opid\": %llu}}",
                e.cpu, EventTypeName(e.type), ts_us - dur_us, dur_us, e.obj,
-               static_cast<unsigned long long>(e.arg));
+               static_cast<unsigned long long>(e.arg),
+               static_cast<unsigned long long>(e.opid));
     } else {
       snprintf(buf, sizeof(buf),
                ",\n{\"ph\": \"i\", \"pid\": 0, \"tid\": %u, \"name\": \"%s\", "
-               "\"ts\": %.6f, \"s\": \"t\", \"args\": {\"obj\": %u, \"arg\": %llu}}",
+               "\"ts\": %.6f, \"s\": \"t\", "
+               "\"args\": {\"obj\": %u, \"arg\": %llu, \"opid\": %llu}}",
                e.cpu, EventTypeName(e.type), ts_us, e.obj,
-               static_cast<unsigned long long>(e.arg));
+               static_cast<unsigned long long>(e.arg),
+               static_cast<unsigned long long>(e.opid));
     }
     out += buf;
   }
-  out += "\n], \"displayTimeUnit\": \"ns\"}\n";
+  char tail[96];
+  snprintf(tail, sizeof(tail), "\n], \"displayTimeUnit\": \"ns\", \"droppedEvents\": %llu}\n",
+           static_cast<unsigned long long>(total_dropped()));
+  out += tail;
   return out;
 }
 

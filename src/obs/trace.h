@@ -47,9 +47,22 @@ enum class EventType : uint8_t {
   kFaultInjected,  // arg = fault action (fault::Action); obj = point hash
   kTimeout,        // arg = slots still owed when the deadline fired
   kFabricDispatch,  // dur = request round trip; arg = opid; obj = fabric id
+  // Request-hop spans: every hop of one fabric Call carries the same opid
+  // (TraceEvent::opid), so the assembler can stitch a per-request flame.
+  // arg packs (aux << 16) | (hop << 8) | attempt; see chan/desc.h.
+  kReqAcquire,          // dur = client request-slot acquire
+  kReqSend,             // dur = request-plane send (client -> worker shard)
+  kWorkerRecv,          // dur = worker recv incl. idle wait for the request
+  kHandler,             // dur = handler body on the worker
+  kRespSend,            // dur = response-plane send (worker -> client)
+  kCompletionDispatch,  // dur = completion recv+post on the client dispatcher
+  // Scheduler observability: why a wedged worker stalled.
+  kSchedMigrate,  // instant; obj = tid, arg = (from_cpu << 32) | to_cpu
+  kRunqDepth,     // instant; arg = run-queue depth after the change
+  kFutexQDepth,   // instant; obj = wait-queue obs id, arg = queue length
 };
 
-constexpr int kEventTypeCount = static_cast<int>(EventType::kFabricDispatch) + 1;
+constexpr int kEventTypeCount = static_cast<int>(EventType::kFutexQDepth) + 1;
 
 // Human-readable name for Chrome trace export and debugging.
 const char* EventTypeName(EventType t);
@@ -58,9 +71,21 @@ struct TraceEvent {
   int64_t ts_ps = 0;   // sim time at event start
   int64_t dur_ps = 0;  // >0 for span ("X") events, 0 for instants
   uint64_t arg = 0;    // type-specific payload (batch size, waiters, ...)
+  uint64_t opid = 0;   // request correlation id, 0 = not request-scoped
   uint32_t obj = 0;    // object id (channel/fanout/queue/...), 0 = none
   uint32_t cpu = 0;    // simulated CPU the event happened on
   EventType type = EventType::kAcquireBatch;
+};
+
+// Request-scoped trace context threaded through fabric Call/Serve and the
+// channel descriptor side-band (chan/desc.h packs it into one header word).
+// `hop` increments at every traced hop; `attempt` distinguishes fabric
+// retries of the same opid so the assembler can lay them out as sibling
+// tracks.
+struct TraceCtx {
+  uint64_t opid = 0;   // 48 usable bits on the wire
+  uint8_t hop = 0;
+  uint8_t attempt = 0;
 };
 
 class TraceRing {
@@ -86,12 +111,12 @@ class TraceRing {
   }
 
   void Record(uint32_t cpu, EventType type, uint32_t obj, uint64_t arg, sim::Time ts,
-              sim::Duration dur = sim::Duration::Zero()) {
+              sim::Duration dur = sim::Duration::Zero(), uint64_t opid = 0) {
 #ifndef DIPC_OBS_OFF
     if (!enabled()) {
       return;
     }
-    RecordSlow(cpu, type, obj, arg, ts, dur);
+    RecordSlow(cpu, type, obj, arg, ts, dur, opid);
 #else
     (void)cpu;
     (void)type;
@@ -99,6 +124,7 @@ class TraceRing {
     (void)arg;
     (void)ts;
     (void)dur;
+    (void)opid;
 #endif
   }
 
@@ -108,6 +134,12 @@ class TraceRing {
   // Events recorded (before wraparound loss) / currently held, per CPU.
   uint64_t recorded(uint32_t cpu) const;
   uint64_t held(uint32_t cpu) const;
+
+  // Events lost to wraparound (recorded - capacity when positive), per CPU
+  // and summed. Nonzero drops mean the export is missing the oldest events —
+  // size the ring up (Enable(capacity)) or trace a shorter window.
+  uint64_t dropped(uint32_t cpu) const;
+  uint64_t total_dropped() const;
 
   // All held events across CPUs, sorted by timestamp. Caller must ensure no
   // concurrent writers (quiesce the sim first).
@@ -128,7 +160,7 @@ class TraceRing {
   };
 
   void RecordSlow(uint32_t cpu, EventType type, uint32_t obj, uint64_t arg, sim::Time ts,
-                  sim::Duration dur);
+                  sim::Duration dur, uint64_t opid);
 
   std::atomic<bool> enabled_{false};
   uint32_t capacity_ = 0;

@@ -21,6 +21,8 @@
 #include "base/result.h"
 #include "codoms/codoms.h"
 #include "hw/machine.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "os/accounting.h"
 #include "os/process.h"
 #include "os/thread.h"
@@ -29,6 +31,24 @@
 namespace dipc::os {
 
 class WaitQueue;
+
+// Which per-domain time bucket a TimeCat charge bills to (obs domain-time
+// attribution). User code is the domain's own work; every kernel-side
+// category — crossings, dispatch, kernel work, scheduling, page-table
+// switches — is kernel work done on the domain's behalf; proxies bill
+// separately (they are the cost dIPC removes). Idle is nobody's time.
+constexpr obs::DomainTimeKind DomainKindFor(TimeCat cat) {
+  switch (cat) {
+    case TimeCat::kUser:
+      return obs::DomainTimeKind::kUser;
+    case TimeCat::kProxy:
+      return obs::DomainTimeKind::kProxy;
+    case TimeCat::kIdle:
+      return obs::DomainTimeKind::kCount;  // unattributed
+    default:
+      return obs::DomainTimeKind::kKernel;
+  }
+}
 
 class Kernel {
  public:
@@ -80,11 +100,24 @@ class Kernel {
     ChargeOnly(t, d, cat);
     return SpendAwaiter{this, &t, d};
   }
+  // As Spend, but bills the domain-time attribution to an explicit bucket
+  // instead of DomainKindFor(cat) — copy_{from,to}_user charges kKernel
+  // accounting time but attributes it as data-plane copy work.
+  SpendAwaiter Spend(Thread& t, sim::Duration d, TimeCat cat, obs::DomainTimeKind kind) {
+    ChargeOnly(t, d, cat, kind);
+    return SpendAwaiter{this, &t, d};
+  }
   // Accounting without time advancement; use only when combining several
   // categories into one SpendAwaiter (see SpendTagged).
   void ChargeOnly(Thread& t, sim::Duration d, TimeCat cat) {
+    ChargeOnly(t, d, cat, DomainKindFor(cat));
+  }
+  void ChargeOnly(Thread& t, sim::Duration d, TimeCat cat, obs::DomainTimeKind kind) {
     accounting_.Charge(t.last_cpu(), cat, d);
     t.process().ChargeCpu(d);
+    if (kind != obs::DomainTimeKind::kCount) {
+      obs::ChargeDomainTime(static_cast<uint32_t>(t.cap_ctx().current_domain), kind, d.picos());
+    }
   }
   // Charges each (cat, d) pair, suspending once for the summed duration.
   // Variadic rather than initializer_list: init-list temporaries in co_await
@@ -241,6 +274,9 @@ class Kernel {
   };
 
   hw::CpuId PickCpu(const Thread& t) const;
+  // Publishes `cpu`'s run-queue depth (gauge + trace instant) after a
+  // queue change — the chaos-forensics signal for "where work piled up".
+  void NoteRunqDepth(hw::CpuId cpu);
   // Called when the running thread on `cpu` stops running (block/exit).
   void CpuReleased(hw::CpuId cpu);
   // Dispatches `t` on `cpu` after `extra` cost; standard_path charges the
@@ -260,6 +296,10 @@ class Kernel {
   Tid next_tid_ = 1;
   uint64_t context_switches_ = 0;
   sim::Duration wake_latency_;
+  // Scheduler observability handles (registered in the ctor): cross-CPU
+  // dispatches of already-running threads, and per-CPU run-queue depth.
+  obs::Counter* m_migrations_ = nullptr;
+  std::vector<obs::Gauge*> m_runq_depth_;
 };
 
 // A FIFO wait queue of threads; the building block of every blocking

@@ -64,6 +64,10 @@ class Semaphore : public KernelObject {
       result = base::ErrorCode::kTimedOut;  // ETIMEDOUT without parking
     } else {
       m_futex_waits_->Add();
+      obs::Gauge* waiters_gauge = obs::Registry::Default().GetGauge("os/sched/futex_waiters");
+      waiters_gauge->Add(1);
+      obs::Trace().Record(env.self->last_cpu(), obs::EventType::kFutexQDepth, obs_id_,
+                          static_cast<uint64_t>(waiters_.size() + 1), k.now());
       const sim::Time park_start = k.now();
       // Deadline timer, same shape as chan::FutexBlockUntil: it only acts
       // while the thread is still parked (a same-instant Post wins by FIFO
@@ -82,6 +86,9 @@ class Semaphore : public KernelObject {
       }
       co_await waiters_.Wait(env);
       const sim::Duration parked = k.now() - park_start;
+      waiters_gauge->Sub(1);
+      obs::ChargeDomainTime(static_cast<uint32_t>(env.self->cap_ctx().current_domain),
+                            obs::DomainTimeKind::kFutexWait, parked.picos());
       m_park_ns_->Record(parked.nanos());
       obs::Trace().Record(env.self->last_cpu(), obs::EventType::kFutexPark, obs_id_, 0, k.now(),
                           parked);

@@ -57,7 +57,13 @@ TEST(BenchBounds, TracingOverheadAtBatch32StaysWithinFivePercent) {
   obs::Trace().Disable();
   double off = ChannelPerMessageNs(32);
   obs::Trace().Enable();
+  obs::Trace().Clear();
   double on = ChannelPerMessageNs(32);
+  // The measured window must fit the ring: a wraparound would silently
+  // discard the oldest events and the "traced" cost would be measured on a
+  // run whose trace is no longer reconstructible.
+  EXPECT_EQ(obs::Trace().total_dropped(), 0u)
+      << "trace ring wrapped during the overhead measurement";
   obs::Trace().Disable();
   EXPECT_LE(on, off * 1.05) << "untraced: " << off << " ns/msg, traced: " << on << " ns/msg";
 #ifndef DIPC_OBS_OFF

@@ -75,6 +75,55 @@ TEST(BenchEmitter, BeginSeriesIsolatesMetricsPerSeries) {
   std::remove(path.c_str());
 }
 
+// Extracts the integer value of `counter` from one series window of the
+// emitted JSON, or -1 when the counter is absent.
+long long CounterIn(const std::string& window, const std::string& counter) {
+  const std::string needle = "\"" + counter + "\": ";
+  const size_t pos = window.find(needle);
+  if (pos == std::string::npos) {
+    return -1;
+  }
+  return std::atoll(window.c_str() + pos + needle.size());
+}
+
+// Regression for the audited benches (fig1/2/5/7, table1, s531, s75): run a
+// real fig2-style measurement under two series windows and check the second
+// window reports only its own simulator counters. Before the audit those
+// benches never called BeginSeries, so every series silently carried the
+// binary's entire accumulated counter state.
+TEST(BenchEmitter, Fig2StyleSeriesWindowsIsolateSimulatorCounters) {
+#ifdef DIPC_OBS_OFF
+  GTEST_SKIP() << "observability compiled out (-DDIPC_OBS_OFF)";
+#endif
+  obs::Registry::Default().Reset();
+  const std::string path = "BENCH_emitter_fig2_test.json";
+  std::remove(path.c_str());
+  {
+    Argv av({"bench", "--json", "--metrics"});
+    JsonEmitter json("emitter_fig2_test", &av.argc, av.ptrs.data());
+    MicroConfig cfg{.arg_bytes = 1, .rounds = 40, .cross_cpu = false};
+    json.BeginSeries("sem_first");
+    json.Row("sem_first", 0, MeasureSemaphore(cfg).roundtrip_ns);
+    json.BeginSeries("sem_second");
+    json.Row("sem_second", 0, MeasureSemaphore(cfg).roundtrip_ns);
+  }
+  const std::string body = ReadFile(path);
+  ASSERT_FALSE(body.empty());
+  const size_t a = body.find("\"sem_first\": {");
+  const size_t b = body.find("\"sem_second\": {");
+  ASSERT_NE(a, std::string::npos) << body;
+  ASSERT_NE(b, std::string::npos) << body;
+  ASSERT_LT(a, b);
+  const long long waits_a = CounterIn(body.substr(a, b - a), "os/sem/futex_waits");
+  const long long waits_b = CounterIn(body.substr(b), "os/sem/futex_waits");
+  // Identical configs park a comparable number of times per window. A
+  // missing reset would make the second window cumulative (~2x the first).
+  ASSERT_GT(waits_a, 0);
+  ASSERT_GT(waits_b, 0);
+  EXPECT_LT(waits_b, waits_a * 2) << "second series inherited the first's counters";
+  std::remove(path.c_str());
+}
+
 TEST(BenchEmitter, NoBeginSeriesKeepsWholeRunSnapshot) {
 #ifdef DIPC_OBS_OFF
   GTEST_SKIP() << "observability compiled out (-DDIPC_OBS_OFF)";

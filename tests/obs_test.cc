@@ -10,16 +10,22 @@
 
 #include <atomic>
 #include <cstddef>
+#include <cstdlib>
+#include <memory>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "base/check.h"
 #include "chan/channel.h"
 #include "codoms/codoms.h"
 #include "dipc/dipc.h"
+#include "fabric/fabric.h"
 #include "hw/machine.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "os/accounting.h"
 #include "os/kernel.h"
 
 namespace dipc::obs {
@@ -347,6 +353,191 @@ TEST(ObsWiring, ChannelTrafficLandsInRegistryUnderItsObsId) {
   // getters above still worked — the public API does not depend on obs.
   EXPECT_EQ(reg.GetCounter(prefix + "/sends")->value(), 0u);
 #endif
+}
+
+// Shared scaffolding for the fabric tracing tests: one tenant, one worker,
+// per-test kernel so trace/accounting state is isolated.
+struct FabricRig {
+  hw::Machine machine{6};
+  codoms::Codoms codoms{machine};
+  os::Kernel kernel{machine, codoms};
+  core::Dipc dipc{kernel};
+  std::vector<os::Process*> clients;
+  std::vector<os::Process*> workers;
+  std::shared_ptr<fabric::ServiceFabric> fab;
+
+  explicit FabricRig(fabric::FabricConfig cfg = {.req_slots = 8,
+                                                 .req_bytes = 64,
+                                                 .resp_slots = 8,
+                                                 .resp_bytes = 64}) {
+    clients.push_back(&dipc.CreateDipcProcess("tenant"));
+    workers.push_back(&dipc.CreateDipcProcess("worker"));
+    auto f = fabric::ServiceFabric::Create(dipc, clients, workers, cfg);
+    DIPC_CHECK(f.ok());
+    fab = f.value();
+    fab->StartAllDispatchers();
+  }
+
+  void SpawnServe(fabric::ServiceFabric::Handler handler) {
+    auto f = fab;
+    kernel.Spawn(*workers[0], "serve", [f, handler](os::Env env) -> sim::Task<void> {
+      co_await f->Serve(env, 0, 0, handler);
+    });
+  }
+};
+
+// The tentpole's core property: a single fabric Call under tracing yields a
+// span for every hop — client acquire, request send, worker recv, handler,
+// response send, completion dispatch, plus the whole-operation span — all
+// tagged with the SAME opid carried through the descriptor trace word.
+TEST(ObsFabric, SingleCallHopSpansShareOneOpid) {
+  FabricRig rig;
+  Trace().Enable(1 << 14);
+  Trace().Clear();
+  rig.SpawnServe([](os::Env, const chan::Msg&) -> sim::Task<void> { co_return; });
+  bool ok = false;
+  auto fab = rig.fab;
+  rig.kernel.Spawn(*rig.clients[0], "web", [&ok, fab](os::Env env) -> sim::Task<void> {
+    ok = (co_await fab->Call(env, 0, 16)).ok();
+    fab->Close();
+  });
+  rig.kernel.Run();
+  Trace().Disable();
+  EXPECT_TRUE(ok);
+#ifndef DIPC_OBS_OFF
+  std::vector<TraceEvent> events = Trace().Snapshot();
+  uint64_t opid = 0;
+  for (const TraceEvent& e : events) {
+    if (e.type == EventType::kFabricDispatch && e.opid != 0) {
+      opid = e.opid;
+    }
+  }
+  ASSERT_NE(opid, 0u) << "no fabric_dispatch span recorded";
+  std::set<EventType> hops;
+  for (const TraceEvent& e : events) {
+    // Single operation: every opid-tagged event belongs to it.
+    if (e.opid != 0) {
+      EXPECT_EQ(e.opid, opid);
+      hops.insert(e.type);
+    }
+  }
+  for (EventType t : {EventType::kReqAcquire, EventType::kReqSend, EventType::kWorkerRecv,
+                      EventType::kHandler, EventType::kRespSend,
+                      EventType::kCompletionDispatch, EventType::kFabricDispatch}) {
+    EXPECT_TRUE(hops.count(t)) << "missing hop span: " << EventTypeName(t);
+  }
+  EXPECT_EQ(Trace().total_dropped(), 0u);
+#endif
+  Trace().Clear();
+}
+
+// Retries run under the SAME opid but with a distinct attempt byte, so the
+// assembled per-request trace shows them as sibling tracks.
+TEST(ObsFabric, RetriesAppearAsDistinctAttempts) {
+  FabricRig rig({.req_slots = 8,
+                 .req_bytes = 64,
+                 .resp_slots = 8,
+                 .resp_bytes = 64,
+                 .call_deadline = sim::Duration::Micros(100),
+                 .max_call_retries = 20});
+  Trace().Enable(1 << 14);
+  Trace().Clear();
+  // The first request wedges its worker past the call deadline; the client
+  // must retry (same opid, next attempt) until the late response lands.
+  auto slow_once = std::make_shared<bool>(true);
+  rig.SpawnServe([slow_once](os::Env env, const chan::Msg&) -> sim::Task<void> {
+    if (*slow_once) {
+      *slow_once = false;
+      co_await env.kernel->Sleep(env, sim::Duration::Millis(1));
+    }
+    co_return;
+  });
+  bool ok = false;
+  auto fab = rig.fab;
+  rig.kernel.Spawn(*rig.clients[0], "web", [&ok, fab](os::Env env) -> sim::Task<void> {
+    ok = (co_await fab->Call(env, 0, 16)).ok();
+    fab->Close();
+  });
+  rig.kernel.Run();
+  Trace().Disable();
+  EXPECT_TRUE(ok);
+#ifndef DIPC_OBS_OFF
+  std::vector<TraceEvent> events = Trace().Snapshot();
+  uint64_t opid = 0;
+  for (const TraceEvent& e : events) {
+    if (e.type == EventType::kFabricDispatch && e.opid != 0) {
+      opid = e.opid;
+    }
+  }
+  ASSERT_NE(opid, 0u);
+  std::set<uint64_t> attempts;
+  for (const TraceEvent& e : events) {
+    if (e.opid == opid && e.type == EventType::kReqSend) {
+      attempts.insert(e.arg & 0xff);  // attempt byte of the hop-span arg
+    }
+  }
+  EXPECT_GE(attempts.size(), 2u) << "expected at least one retry attempt";
+  EXPECT_TRUE(attempts.count(0));
+#endif
+  Trace().Clear();
+}
+
+// Sums the "domain/<tag>/time_ns/<kind>" counters out of a SnapshotJson for
+// the CPU-time kinds (futex_wait is blocked time, deliberately excluded).
+double SumDomainCpuTimeNs(const std::string& snap) {
+  double sum = 0;
+  size_t pos = 0;
+  while ((pos = snap.find("\"domain/", pos)) != std::string::npos) {
+    const size_t name_end = snap.find('"', pos + 1);
+    if (name_end == std::string::npos) {
+      break;
+    }
+    const std::string name = snap.substr(pos + 1, name_end - pos - 1);
+    pos = name_end + 1;
+    if (name.find("/time_ns/futex_wait") != std::string::npos ||
+        name.find("/time_ns/") == std::string::npos) {
+      continue;
+    }
+    const size_t colon = snap.find(':', name_end);
+    if (colon == std::string::npos) {
+      break;
+    }
+    sum += std::atof(snap.c_str() + colon + 1);
+  }
+  return sum;
+}
+
+// Per-domain time attribution must close the books: the user/kernel/copy/
+// proxy domain counters sum to the kernel's busy (non-idle) accounting for
+// the same window, within 5% (sub-ns residue stays in the charge carry).
+TEST(ObsDomainTime, DomainCpuTimeSumsMatchBusyAccounting) {
+#ifdef DIPC_OBS_OFF
+  GTEST_SKIP() << "observability compiled out (-DDIPC_OBS_OFF)";
+#endif
+  Registry::Default().Reset();
+  FabricRig rig;
+  rig.SpawnServe([](os::Env, const chan::Msg&) -> sim::Task<void> { co_return; });
+  auto fab = rig.fab;
+  rig.kernel.Spawn(*rig.clients[0], "web", [fab](os::Env env) -> sim::Task<void> {
+    for (int i = 0; i < 8; ++i) {
+      EXPECT_TRUE((co_await fab->Call(env, 0, 16)).ok());
+    }
+    fab->Close();
+  });
+  rig.kernel.Run();
+  rig.kernel.FlushIdleAccounting();
+  const os::TimeBreakdown total = rig.kernel.accounting().Summed();
+  const double busy_ns = (total.Total() - total[os::TimeCat::kIdle]).nanos();
+  ASSERT_GT(busy_ns, 0.0);
+  const std::string snap = Registry::Default().SnapshotJson();
+  const double domain_ns = SumDomainCpuTimeNs(snap);
+  EXPECT_GT(domain_ns, 0.0) << snap.substr(0, 400);
+  EXPECT_NEAR(domain_ns, busy_ns, busy_ns * 0.05)
+      << "per-domain attribution does not close against busy accounting";
+  // Scheduler observability rides the same registry: the migration counter
+  // and per-CPU run-queue gauges are registered at kernel construction.
+  EXPECT_NE(snap.find("\"os/sched/migrations\""), std::string::npos);
+  EXPECT_NE(snap.find("\"os/sched/cpu0/runq_depth\""), std::string::npos);
 }
 
 }  // namespace

@@ -20,9 +20,20 @@ starts with PREFIX; the longest matching prefix wins, so
 loosens all fig8 series to 30% except the worker sweep at 20%.
 
 New series (no baseline) and removed series are reported but never fail the
-gate: trajectory files are expected to grow. The "metrics" object optionally
-embedded by --metrics is ignored — counters are workload-sized, not
-regressions.
+gate: trajectory files are expected to grow.
+
+Counter deltas. The "metrics" object optionally embedded by --metrics holds
+per-series (or whole-run) counter snapshots. Counters are workload-sized, so
+they are NOT gated by default — but a drifting counter (retries, faults,
+migrations) often regresses long before latency does. --counter-threshold
+PREFIX=PCT opts specific counters into gating: every counter whose
+"bench/series/counter" name starts with PREFIX fails the gate when its value
+grew more than PCT percent over baseline (longest matching prefix wins;
+shrinking is never a failure). All-digit name components (object ids like
+fabric/17/calls) are normalized to '*' and summed, so ids that differ run to
+run still match:
+  --counter-threshold 'fabric_echo/fabric/*/retries=0'
+fails on ANY new retry in the fabric_echo bench.
 """
 
 import argparse
@@ -53,6 +64,75 @@ def load_dir(path):
             except (KeyError, TypeError, ValueError) as e:
                 print(f"warning: skipping malformed row in {f}: {e}", file=sys.stderr)
     return rows
+
+
+def normalize_counter(name):
+    """Replaces all-digit path components (per-object ids) with '*'."""
+    return "/".join("*" if part.isdigit() else part for part in name.split("/"))
+
+
+def load_counters(path):
+    """Returns {(bench, series_label, normalized_counter): summed value} from
+    the metrics maps embedded by --metrics. Whole-run snapshots (no
+    BeginSeries boundaries) use the empty series label. Counters whose ids
+    normalize to the same name are summed."""
+    counters = {}
+    for f in sorted(glob.glob(os.path.join(path, "BENCH_*.json"))):
+        if f.endswith(".trace.json"):
+            continue
+        try:
+            with open(f) as fh:
+                doc = json.load(fh)
+        except (OSError, json.JSONDecodeError):
+            continue  # load_dir already warned about this file
+        bench = doc.get("bench")
+        metrics = doc.get("metrics")
+        if not isinstance(metrics, dict):
+            continue
+        if isinstance(metrics.get("counters"), dict):
+            snapshots = {"": metrics}  # whole-run shape
+        else:
+            snapshots = {k: v for k, v in metrics.items() if isinstance(v, dict)}
+        for label, snap in snapshots.items():
+            for cname, val in (snap.get("counters") or {}).items():
+                key = (bench, label, normalize_counter(cname))
+                try:
+                    counters[key] = counters.get(key, 0.0) + float(val)
+                except (TypeError, ValueError):
+                    print(f"warning: non-numeric counter {cname} in {f}",
+                          file=sys.stderr)
+    return counters
+
+
+def counter_name(key):
+    """Flat name for prefix matching and display: bench/series/counter with
+    the empty whole-run label elided."""
+    return "/".join(part for part in key if part)
+
+
+def compare_counters(baseline, current, counter_thresholds):
+    """Returns [(key, base, cur, delta_pct, threshold_pct)] for every gated
+    counter that grew past its threshold. Only counters matching a
+    --counter-threshold prefix are gated; growth from a zero/small baseline
+    is measured against max(base, 1) so new noise cannot divide by zero."""
+    regressions = []
+    for key, cur in sorted(current.items()):
+        base = baseline.get(key)
+        if base is None:
+            continue  # new counters never fail
+        name = counter_name(key)
+        best_len = -1
+        thr = None
+        for prefix, pct in counter_thresholds:
+            if name.startswith(prefix) and len(prefix) > best_len:
+                best_len = len(prefix)
+                thr = pct
+        if thr is None:
+            continue  # not opted into gating
+        delta_pct = (cur - base) / max(base, 1.0) * 100.0
+        if delta_pct > thr:
+            regressions.append((key, base, cur, delta_pct, thr))
+    return regressions
 
 
 def threshold_for(key, default_pct, prefix_thresholds):
@@ -98,7 +178,8 @@ def fmt_key(key):
     return f"{bench}/{series}@{x}"
 
 
-def run(baseline_dir, current_dir, threshold_pct, warn_only, prefix_thresholds=()):
+def run(baseline_dir, current_dir, threshold_pct, warn_only, prefix_thresholds=(),
+        counter_thresholds=()):
     baseline = load_dir(baseline_dir)
     current = load_dir(current_dir)
     if not current:
@@ -110,6 +191,21 @@ def run(baseline_dir, current_dir, threshold_pct, warn_only, prefix_thresholds=(
     regressions, improvements, new_keys, removed_keys = compare(
         baseline, current, threshold_pct, prefix_thresholds
     )
+    counter_regressions = []
+    if counter_thresholds:
+        base_counters = load_counters(baseline_dir)
+        cur_counters = load_counters(current_dir)
+        counter_regressions = compare_counters(
+            base_counters, cur_counters, counter_thresholds
+        )
+        gated = sum(
+            1
+            for key in cur_counters
+            if key in base_counters
+            and any(counter_name(key).startswith(p) for p, _ in counter_thresholds)
+        )
+        print(f"gating {gated} counter(s) against {len(counter_thresholds)} "
+              "counter-threshold rule(s)")
     matched = len(set(baseline) & set(current))
     overrides = (
         ", ".join(f"{p}={t:.1f}%" for p, t in prefix_thresholds)
@@ -132,9 +228,16 @@ def run(baseline_dir, current_dir, threshold_pct, warn_only, prefix_thresholds=(
             f"  REGRESSED {fmt_key(key)}: {base:.1f} -> {cur:.1f} ns "
             f"({delta:+.1f}% > {thr:.1f}%)"
         )
-    if regressions:
+    for key, base, cur, delta, thr in counter_regressions:
+        print(
+            f"  COUNTER   {counter_name(key)}: {base:.0f} -> {cur:.0f} "
+            f"({delta:+.1f}% > {thr:.1f}%)"
+        )
+    failures = len(regressions) + len(counter_regressions)
+    if failures:
         verdict = "warning" if warn_only else "FAIL"
-        print(f"{verdict}: {len(regressions)} series regressed past their threshold")
+        print(f"{verdict}: {len(regressions)} series and "
+              f"{len(counter_regressions)} counter(s) regressed past their threshold")
         return 0 if warn_only else 1
     print("ok: no regressions")
     return 0
@@ -159,6 +262,10 @@ def self_test():
             {"series": "gone", "x": 1, "value": 50.0},
         ],
     }
+    base_doc["metrics"] = {
+        "warm": {"counters": {"chan/1/sends": 100, "fabric/9/retries": 0}},
+        "hot": {"counters": {"chan/1/sends": 50, "chan/2/sends": 50}},
+    }
     cur_doc = {
         "bench": "t",
         "unit": "ns",
@@ -167,7 +274,13 @@ def self_test():
             {"series": "a", "x": 2, "value": 260.0},  # +30%: regression
             {"series": "fresh", "x": 1, "value": 10.0},
         ],
-        "metrics": {"counters": {"chan/1/sends": 5}},
+        "metrics": {
+            # Same sends, but two retries appeared (zero baseline) and the
+            # hot series' per-object send counters merged under chan/*/sends
+            # grew 20%.
+            "warm": {"counters": {"chan/1/sends": 100, "fabric/9/retries": 2}},
+            "hot": {"counters": {"chan/3/sends": 70, "chan/4/sends": 50}},
+        },
     }
     with tempfile.TemporaryDirectory() as tmp:
         bdir = os.path.join(tmp, "base")
@@ -215,6 +328,37 @@ def self_test():
                 pass
             else:
                 raise AssertionError(f"{bad!r} should not parse")
+        # Counter deltas: id components normalize to '*' and sum; gating is
+        # opt-in per prefix; growth from a zero baseline divides by 1.
+        assert normalize_counter("fabric/17/calls") == "fabric/*/calls"
+        assert normalize_counter("os/sched/cpu3/runq_depth") == "os/sched/cpu3/runq_depth"
+        bc = load_counters(bdir)
+        cc = load_counters(cdir)
+        assert bc[("t", "hot", "chan/*/sends")] == 100.0, bc
+        assert cc[("t", "hot", "chan/*/sends")] == 120.0, cc
+        assert counter_name(("t", "", "chan/*/sends")) == "t/chan/*/sends"
+        # Ungated by default: no thresholds, no counter regressions.
+        assert compare_counters(bc, cc, []) == []
+        # Retries grew 0 -> 2 = +200% over max(base, 1).
+        regs_c = compare_counters(bc, cc, [("t/warm/fabric/*/retries", 0.0)])
+        assert len(regs_c) == 1 and abs(regs_c[0][3] - 200.0) < 1e-9, regs_c
+        # The merged sends counter grew 20%; a 25% gate passes, 15% fails,
+        # and the longest prefix wins.
+        assert compare_counters(bc, cc, [("t/hot/chan", 25.0)]) == []
+        regs_c = compare_counters(bc, cc, [("t/hot/chan", 15.0)])
+        assert [r[0] for r in regs_c] == [("t", "hot", "chan/*/sends")], regs_c
+        assert compare_counters(bc, cc, [("t/", 0.0), ("t/hot/chan", 25.0)]) != []
+        assert compare_counters(
+            bc, cc, [("t/warm", 500.0), ("t/hot/chan", 25.0)]) == []
+        # Shrinking counters and new counters never fail.
+        assert compare_counters(cc, bc, [("t/", 0.0)]) == []
+        # End-to-end: a counter gate alone flips the exit code.
+        assert run(bdir, cdir, 50.0, warn_only=False,
+                   counter_thresholds=[("t/warm/fabric", 0.0)]) == 1
+        assert run(bdir, cdir, 50.0, warn_only=True,
+                   counter_thresholds=[("t/warm/fabric", 0.0)]) == 0
+        assert run(bdir, cdir, 50.0, warn_only=False,
+                   counter_thresholds=[("t/warm/fabric", 300.0)]) == 0
         # Missing baseline never fails (first CI run on a branch).
         empty = os.path.join(tmp, "empty")
         os.mkdir(empty)
@@ -244,6 +388,15 @@ def main():
         "starts with PREFIX (repeatable; longest matching prefix wins)",
     )
     ap.add_argument(
+        "--counter-threshold",
+        action="append",
+        default=[],
+        metavar="PREFIX=PCT",
+        help="gate counters whose bench/series/counter name starts with PREFIX "
+        "when they grow more than PCT percent (repeatable; longest matching "
+        "prefix wins; all-digit name components match as '*')",
+    )
+    ap.add_argument(
         "--warn-only",
         action="store_true",
         help="report regressions but exit 0 (CI warm-up mode)",
@@ -256,10 +409,12 @@ def main():
         ap.error("baseline and current directories are required (or --self-test)")
     try:
         prefix_thresholds = [parse_prefix_threshold(s) for s in args.prefix_threshold]
+        counter_thresholds = [parse_prefix_threshold(s) for s in args.counter_threshold]
     except ValueError as e:
         ap.error(str(e))
     sys.exit(
-        run(args.baseline, args.current, args.threshold, args.warn_only, prefix_thresholds)
+        run(args.baseline, args.current, args.threshold, args.warn_only,
+            prefix_thresholds, counter_thresholds)
     )
 
 

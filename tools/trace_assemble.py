@@ -1,0 +1,233 @@
+#!/usr/bin/env python3
+"""Stitch a per-CPU dipc trace into per-request flame-style tracks.
+
+The simulator's --trace export (obs::TraceRing::ChromeTraceJson) lays events
+out by CPU: pid 0, tid = simulated cpu. That answers "what was each core
+doing", but a single fabric operation hops across cores (client acquire ->
+request send -> worker recv -> handler -> response send -> completion
+dispatch), so one request's story is shredded across tracks.
+
+This tool regroups the same events by operation id: every span or instant
+whose args.opid is non-zero lands in a process named "op <opid>", with one
+thread per retry *attempt* so retries render as sibling tracks under the
+operation. Hop ordering inside a track comes from the packed hop byte
+(args.arg bits 8..15), not from timestamps, so same-instant hops keep their
+causal order.
+
+Usage:
+  trace_assemble.py INPUT.trace.json [-o OUT.json] [--only-opid N]
+  trace_assemble.py --self-test
+
+Exit status is non-zero on malformed input or when --self-test fails. A
+non-zero droppedEvents count in the input produces a loud stderr warning
+(the assembled view may be missing hops) but is not fatal.
+"""
+
+import argparse
+import json
+import sys
+
+# Mirrors the hop numbering in src/fabric/fabric.cc.
+HOP_NAMES = {
+    0: "req_acquire",
+    1: "req_send",
+    2: "worker_recv",
+    3: "handler",
+    4: "resp_send",
+    5: "completion_dispatch",
+}
+
+
+def decode_arg(arg):
+    """Split the packed hop-span arg into (aux, hop, attempt)."""
+    return (arg >> 16) & 0xFFFFFFFF, (arg >> 8) & 0xFF, arg & 0xFF
+
+
+def load_trace(path):
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        raise ValueError(f"{path}: not a Chrome trace (no traceEvents key)")
+    return doc
+
+
+def assemble(doc, only_opid=None):
+    """Return (out_doc, stats) regrouping opid-tagged events by operation."""
+    ops = {}  # opid -> list of events
+    for ev in doc.get("traceEvents", []):
+        if ev.get("ph") not in ("X", "i"):
+            continue
+        opid = ev.get("args", {}).get("opid", 0)
+        if not opid or (only_opid is not None and opid != only_opid):
+            continue
+        ops.setdefault(opid, []).append(ev)
+
+    out_events = []
+    attempts_per_op = {}
+    for opid in sorted(ops):
+        out_events.append({
+            "ph": "M", "pid": opid, "name": "process_name",
+            "args": {"name": f"op {opid}"},
+        })
+        attempts = set()
+        events = []
+        for ev in ops[opid]:
+            aux, hop, attempt = decode_arg(ev.get("args", {}).get("arg", 0))
+            # The whole-operation span (fabric_dispatch) carries the opid in
+            # arg rather than a packed hop word; park it on attempt track 0
+            # spanning the full operation.
+            if ev.get("name") == "fabric_dispatch":
+                hop, attempt, aux = None, 0, 0
+            attempts.add(attempt)
+            new = dict(ev)
+            new["pid"] = opid
+            new["tid"] = attempt
+            args = dict(ev.get("args", {}))
+            args["cpu"] = ev.get("tid", 0)
+            if hop is not None:
+                args["hop"] = hop
+                args["hop_name"] = HOP_NAMES.get(hop, f"hop{hop}")
+                args["aux"] = aux
+            new["args"] = args
+            # Sort key: causal hop order wins over timestamp ties; the
+            # whole-op span sorts first so it renders as the enclosing frame.
+            events.append(((ev.get("ts", 0.0), -1 if hop is None else hop), new))
+        events.sort(key=lambda pair: pair[0])
+        out_events.extend(e for _, e in events)
+        for attempt in sorted(attempts):
+            out_events.append({
+                "ph": "M", "pid": opid, "tid": attempt, "name": "thread_name",
+                "args": {"name": f"attempt {attempt}"},
+            })
+        attempts_per_op[opid] = len(attempts)
+
+    out_doc = {
+        "traceEvents": out_events,
+        "displayTimeUnit": doc.get("displayTimeUnit", "ns"),
+        "droppedEvents": doc.get("droppedEvents", 0),
+    }
+    stats = {
+        "ops": len(ops),
+        "events": sum(len(v) for v in ops.values()),
+        "attempts_per_op": attempts_per_op,
+        "dropped": doc.get("droppedEvents", 0),
+    }
+    return out_doc, stats
+
+
+def span(name, ts, dur, cpu, obj, arg, opid, ph="X"):
+    ev = {"ph": ph, "pid": 0, "tid": cpu, "name": name, "ts": ts,
+          "args": {"obj": obj, "arg": arg, "opid": opid}}
+    if ph == "X":
+        ev["dur"] = dur
+    else:
+        ev["s"] = "t"
+    return ev
+
+
+def hop_arg(aux, hop, attempt):
+    return (aux << 16) | (hop << 8) | attempt
+
+
+def self_test():
+    # Two operations on interleaved CPUs; op 7 retried once (attempts 0+1);
+    # an untagged event (opid 0) that must be filtered out.
+    doc = {
+        "traceEvents": [
+            {"ph": "M", "pid": 0, "name": "process_name", "args": {"name": "dipc-sim"}},
+            span("req_acquire", 1.0, 0.5, 0, 11, hop_arg(0, 0, 0), 7),
+            span("req_send", 1.5, 0.2, 0, 11, hop_arg(2, 1, 0), 7),
+            span("worker_recv", 1.7, 0.1, 3, 11, hop_arg(2, 2, 0), 7),
+            # Retry: attempt 1 of the same opid.
+            span("req_acquire", 9.0, 0.5, 0, 11, hop_arg(0, 0, 1), 7),
+            span("handler", 9.7, 2.0, 3, 11, hop_arg(2, 3, 1), 7),
+            span("fabric_dispatch", 0.0, 12.0, 0, 11, 7, 7),
+            span("worker_recv", 2.0, 0.1, 1, 11, hop_arg(0, 2, 0), 8),
+            span("sched_migrate", 2.5, 0.0, 1, 42, (0 << 32) | 1, 0, ph="i"),
+        ],
+        "displayTimeUnit": "ns",
+        "droppedEvents": 0,
+    }
+    out, stats = assemble(doc)
+    assert stats["ops"] == 2, stats
+    assert stats["events"] == 7, stats
+    assert stats["attempts_per_op"][7] == 2, stats
+    assert stats["attempts_per_op"][8] == 1, stats
+    pids = {e["pid"] for e in out["traceEvents"] if e["ph"] != "M"}
+    assert pids == {7, 8}, pids
+    # Retry renders as a sibling track: attempt byte becomes the tid.
+    op7_tids = {e["tid"] for e in out["traceEvents"]
+                if e["ph"] == "X" and e["pid"] == 7}
+    assert op7_tids == {0, 1}, op7_tids
+    # Causal order survives timestamp ties; the whole-op span sorts first.
+    op7_names = [e["name"] for e in out["traceEvents"]
+                 if e["ph"] == "X" and e["pid"] == 7]
+    assert op7_names[0] == "fabric_dispatch", op7_names
+    # Hop decode round-trips.
+    recv = next(e for e in out["traceEvents"]
+                if e["ph"] == "X" and e["pid"] == 8)
+    assert recv["args"]["hop_name"] == "worker_recv", recv
+    assert recv["args"]["cpu"] == 1, recv
+    # The untagged scheduler instant is not assigned to any op.
+    assert not any(e["name"] == "sched_migrate" for e in out["traceEvents"])
+    # --only-opid narrows the output.
+    only, only_stats = assemble(doc, only_opid=8)
+    assert only_stats["ops"] == 1 and 8 in only_stats["attempts_per_op"], only_stats
+    # Dropped events propagate to the output doc.
+    doc["droppedEvents"] = 3
+    out2, stats2 = assemble(doc)
+    assert out2["droppedEvents"] == 3 and stats2["dropped"] == 3
+    print("self-test: OK")
+    return 0
+
+
+def main(argv):
+    ap = argparse.ArgumentParser(description=__doc__,
+                                 formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("input", nargs="?", help="Chrome trace JSON from --trace")
+    ap.add_argument("-o", "--output", help="output path "
+                    "(default: INPUT with .requests.json suffix)")
+    ap.add_argument("--only-opid", type=int, default=None,
+                    help="assemble a single operation id")
+    ap.add_argument("--self-test", action="store_true",
+                    help="run built-in checks on synthetic traces and exit")
+    args = ap.parse_args(argv)
+
+    if args.self_test:
+        return self_test()
+    if not args.input:
+        ap.error("INPUT is required unless --self-test is given")
+
+    try:
+        doc = load_trace(args.input)
+    except (OSError, ValueError, json.JSONDecodeError) as e:
+        print(f"trace_assemble: {e}", file=sys.stderr)
+        return 1
+
+    out_doc, stats = assemble(doc, only_opid=args.only_opid)
+    if stats["dropped"]:
+        print(f"trace_assemble: WARNING: input ring dropped {stats['dropped']} "
+              "events on wraparound; assembled requests may be missing hops "
+              "(raise the ring capacity or trace a shorter run)", file=sys.stderr)
+    if stats["ops"] == 0:
+        print("trace_assemble: no opid-tagged events found (was the run traced "
+              "through fabric::ServiceFabric::Call?)", file=sys.stderr)
+
+    out_path = args.output
+    if out_path is None:
+        base = args.input
+        if base.endswith(".trace.json"):
+            base = base[: -len(".trace.json")]
+        elif base.endswith(".json"):
+            base = base[: -len(".json")]
+        out_path = base + ".requests.json"
+    with open(out_path, "w", encoding="utf-8") as f:
+        json.dump(out_doc, f, indent=1)
+        f.write("\n")
+    print(f"trace_assemble: {stats['ops']} operation(s), {stats['events']} "
+          f"event(s) -> {out_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
