@@ -107,7 +107,8 @@ sim::Task<uint64_t> DbInteraction(os::Env env, Ctx& ctx, uint64_t arg) {
 }
 
 // One PHP request: interpret the script, issuing DB interactions over `db`.
-sim::Task<uint64_t> PhpRequest(os::Env env, Ctx& ctx, const Edge& db, uint64_t arg) {
+sim::Task<uint64_t> PhpRequest(os::Env env, [[maybe_unused]] Ctx& ctx, const Edge& db,
+                               uint64_t arg) {
   os::Kernel& k = *env.kernel;
   co_await k.Spend(*env.self, kPhpSetup, TimeCat::kUser);
   uint64_t acc = arg;
@@ -120,7 +121,7 @@ sim::Task<uint64_t> PhpRequest(os::Env env, Ctx& ctx, const Edge& db, uint64_t a
 }
 
 // One web operation: parse, call PHP, respond to the client.
-sim::Task<void> WebOp(os::Env env, Ctx& ctx, const Edge& php, uint64_t opid) {
+sim::Task<void> WebOp(os::Env env, [[maybe_unused]] Ctx& ctx, const Edge& php, uint64_t opid) {
   os::Kernel& k = *env.kernel;
   co_await k.Spend(*env.self, kWebParse, TimeCat::kUser);
   co_await k.SyscallEnter(env);
@@ -178,6 +179,9 @@ sim::Task<base::Status> DuplexCall(os::Env env, chan::DuplexEndpoint& ep, uint64
   }
   auto produced = co_await k.TouchUser(env, buf.value().va, req_bytes, hw::AccessType::kWrite);
   if (!produced.ok()) {
+    // The fill failed (caller being torn down): hand the slot back instead
+    // of leaking it — a leaked slot eventually wedges every producer.
+    (void)co_await ep.Abandon(env, buf.value());
     co_return produced;
   }
   auto sent = co_await ep.Send(env, buf.value(), req_bytes);

@@ -226,11 +226,10 @@ sim::Task<base::Status> Channel::SendBatch(os::Env env, std::span<const SendItem
   os::Kernel& k = *env.kernel;
   const hw::CostModel& cm = k.costs();
   sim::Duration fault_delay;
-  auto& injector = fault::Injector::Global();
-  if (injector.armed()) {
+  {
     // Probed before the broken_ check so a scripted "kill at the Nth send"
     // surfaces through the regular dead-peer path on this very call.
-    fault::Decision d = injector.Probe(fault::points::kChanSend, env.self->last_cpu());
+    fault::Decision d = DIPC_FAULT_POINT(kChanSend, env.self->last_cpu());
     if (d.fail()) {
       co_return base::ErrorCode::kFault;
     }
@@ -435,6 +434,51 @@ sim::Task<base::Result<std::vector<Msg>>> Channel::RecvBatch(os::Env env, uint32
   m_recvs_->Add(out.size());
   m_recv_batch_->Record(static_cast<double>(out.size()));
   co_return out;
+}
+
+sim::Task<base::Status> Channel::Abandon(os::Env env, const SendBuf& buf) {
+  co_return co_await AbandonBatch(env, std::span(&buf, 1));
+}
+
+sim::Task<base::Status> Channel::AbandonBatch(os::Env env, std::span<const SendBuf> bufs) {
+  os::Kernel& k = *env.kernel;
+  const hw::CostModel& cm = k.costs();
+  if (bufs.empty()) {
+    co_return base::ErrorCode::kInvalidArgument;
+  }
+  for (size_t j = 0; j < bufs.size(); ++j) {
+    if (bufs[j].index >= cfg_.slots || !sender_caps_[bufs[j].index].has_value()) {
+      co_return broken_ != base::ErrorCode::kOk ? broken_
+                                                : base::ErrorCode::kInvalidArgument;
+    }
+    for (size_t i = 0; i < j; ++i) {
+      if (bufs[i].index == bufs[j].index) {
+        co_return base::ErrorCode::kInvalidArgument;
+      }
+    }
+  }
+  sim::Duration cost = cm.chan_fast_path;
+  std::vector<uint64_t> indices;
+  indices.reserve(bufs.size());
+  for (const SendBuf& b : bufs) {
+    ClearRegIfHolds(*env.self, kSenderCapReg, *sender_caps_[b.index]);
+    DIPC_CHECK(k.codoms().CapRevoke(*sender_caps_[b.index]).ok());
+    cost += cm.cap_revoke;
+    sender_caps_[b.index].reset();
+    indices.push_back(b.index);
+  }
+  m_revokes_->Add(bufs.size());
+  co_await k.Spend(*env.self, cost, TimeCat::kUser);
+  if (broken_ != base::ErrorCode::kOk) {
+    co_return broken_;  // dead-peer teardown already retired the pool
+  }
+  auto pushed = co_await free_->PushN(env, std::span(indices));
+  if (!pushed.ok()) {
+    // After an orderly Close the free list is retired; the revocations
+    // above are all that matters. Only dead-peer errors surface.
+    co_return broken_ != base::ErrorCode::kOk ? base::Status(broken_) : base::Status::Ok();
+  }
+  co_return base::Status::Ok();
 }
 
 sim::Task<base::Status> Channel::Release(os::Env env, const Msg& msg) {

@@ -142,6 +142,15 @@ class Channel : public std::enable_shared_from_this<Channel> {
   sim::Task<base::Status> SendBatch(os::Env env, std::span<const SendItem> items,
                                     os::Deadline deadline = {});
 
+  // Gives up an acquired-but-unsent buffer: revokes the sender's write
+  // capability and returns the slot to the free pool, unblocking a waiting
+  // AcquireBuf. The escape hatch for producers that acquire first and only
+  // then discover they cannot fill the buffer (e.g. the payload source
+  // died) — dropping the SendBuf on the floor instead leaks the slot and
+  // eventually wedges every producer.
+  sim::Task<base::Status> Abandon(os::Env env, const SendBuf& buf);
+  sim::Task<base::Status> AbandonBatch(os::Env env, std::span<const SendBuf> bufs);
+
   // Re-loads `buf`'s write capability into kSenderCapReg (a capability
   // register move — no cost, no blocking). Needed when filling a batch of
   // acquired buffers, since the register holds one capability at a time.
@@ -281,6 +290,12 @@ class SenderEndpoint : public os::KernelObject {
                                     os::Deadline dl = {}) {
     return ch_->SendBatch(env, items, dl);
   }
+  sim::Task<base::Status> Abandon(os::Env env, const SendBuf& buf) {
+    return ch_->Abandon(env, buf);
+  }
+  sim::Task<base::Status> AbandonBatch(os::Env env, std::span<const SendBuf> bufs) {
+    return ch_->AbandonBatch(env, bufs);
+  }
   void BindSendCap(os::Thread& t, const SendBuf& buf) const { ch_->BindSendCap(t, buf); }
   void Close() { ch_->Close(); }
 
@@ -385,6 +400,12 @@ class DuplexEndpoint : public os::KernelObject {
   sim::Task<base::Status> Send(os::Env env, const SendBuf& buf, uint64_t len,
                                os::Deadline dl = {}) {
     return out_->Send(env, buf, len, dl);
+  }
+  sim::Task<base::Status> Abandon(os::Env env, const SendBuf& buf) {
+    return out_->Abandon(env, buf);
+  }
+  sim::Task<base::Status> AbandonBatch(os::Env env, std::span<const SendBuf> bufs) {
+    return out_->AbandonBatch(env, bufs);
   }
   sim::Task<base::Status> SendBatch(os::Env env, std::span<const SendItem> items,
                                     os::Deadline dl = {}) {

@@ -368,11 +368,10 @@ sim::Task<base::Status> FanInChannel::SendBatch(os::Env env, uint32_t producer,
     co_return base::ErrorCode::kInvalidArgument;
   }
   sim::Duration fault_delay;
-  auto& injector = fault::Injector::Global();
-  if (injector.armed()) {
+  {
     // Probed before the broken_ check so a scripted "kill at the Nth send"
     // surfaces through the regular dead-peer path on this very call.
-    fault::Decision d = injector.Probe(fault::points::kChanSend, env.self->last_cpu());
+    fault::Decision d = DIPC_FAULT_POINT(kChanSend, env.self->last_cpu());
     if (d.fail()) {
       co_return base::ErrorCode::kFault;
     }
@@ -657,18 +656,15 @@ sim::Task<base::Status> FanInChannel::ReleaseBatch(os::Env env, std::span<const 
   }
   // Returned credit may unblock a parked producer (wake-suppressed).
   if (credit_wait_count_ > 0) {
-    auto& injector = fault::Injector::Global();
-    if (injector.armed()) {
-      fault::Decision d = injector.Probe(fault::points::kFanInCreditGrant, env.self->last_cpu());
-      if (d.drop_wake()) {
-        // Injected lost credit wake: the credits are back (bookkeeping above
-        // is done) but no parked producer hears it — deadline-armed waiters
-        // recover, never-deadline waiters rely on the next release.
-        co_return base::Status::Ok();
-      }
-      if (d.action == fault::Action::kDelay) {
-        co_await k.Spend(*env.self, d.delay, TimeCat::kUser);
-      }
+    fault::Decision d = DIPC_FAULT_POINT(kFanInCreditGrant, env.self->last_cpu());
+    if (d.drop_wake()) {
+      // Injected lost credit wake: the credits are back (bookkeeping above
+      // is done) but no parked producer hears it — deadline-armed waiters
+      // recover, never-deadline waiters rely on the next release.
+      co_return base::Status::Ok();
+    }
+    if (d.action == fault::Action::kDelay) {
+      co_await k.Spend(*env.self, d.delay, TimeCat::kUser);
     }
     co_await FutexWakeCommitted(env, credit_waiters_);
   }

@@ -432,11 +432,10 @@ sim::Task<base::Status> FanOutChannel::SendCommon(os::Env env, std::span<const S
     co_return base::ErrorCode::kInvalidArgument;
   }
   sim::Duration fault_delay;
-  auto& injector = fault::Injector::Global();
-  if (injector.armed()) {
+  {
     // Probed before the broken_ check so a scripted "kill at the Nth send"
     // surfaces through the regular dead-peer path on this very call.
-    fault::Decision d = injector.Probe(fault::points::kChanSend, env.self->last_cpu());
+    fault::Decision d = DIPC_FAULT_POINT(kChanSend, env.self->last_cpu());
     if (d.fail()) {
       co_return base::ErrorCode::kFault;
     }
@@ -769,18 +768,15 @@ sim::Task<base::Status> FanOutChannel::ReleaseBatch(os::Env env, uint32_t receiv
   }
   // Returned credit may unblock the producer (wake-suppressed).
   if (credit_wait_count_ > 0) {
-    auto& injector = fault::Injector::Global();
-    if (injector.armed()) {
-      fault::Decision d = injector.Probe(fault::points::kCreditGrant, env.self->last_cpu());
-      if (d.drop_wake()) {
-        // Injected lost credit wake: the credits are back (bookkeeping above
-        // is done) but no parked producer hears it — deadline-armed waiters
-        // recover, never-deadline waiters rely on the next release.
-        co_return base::Status::Ok();
-      }
-      if (d.action == fault::Action::kDelay) {
-        co_await k.Spend(*env.self, d.delay, TimeCat::kUser);
-      }
+    fault::Decision d = DIPC_FAULT_POINT(kCreditGrant, env.self->last_cpu());
+    if (d.drop_wake()) {
+      // Injected lost credit wake: the credits are back (bookkeeping above
+      // is done) but no parked producer hears it — deadline-armed waiters
+      // recover, never-deadline waiters rely on the next release.
+      co_return base::Status::Ok();
+    }
+    if (d.action == fault::Action::kDelay) {
+      co_await k.Spend(*env.self, d.delay, TimeCat::kUser);
     }
     co_await FutexWakeCommitted(env, credit_waiters_);
   }

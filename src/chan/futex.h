@@ -35,9 +35,8 @@ inline sim::Task<bool> FutexBlockUntil(os::Env env, os::WaitQueue& q, os::Deadli
   os::Kernel& k = *env.kernel;
   co_await k.SyscallEnter(env);
   co_await k.Spend(*env.self, os::Semaphore::kFutexWaitKernel, os::TimeCat::kKernel);
-  auto& injector = fault::Injector::Global();
-  if (injector.armed()) {
-    fault::Decision d = injector.Probe(fault::points::kFutexPark, env.self->last_cpu());
+  {
+    fault::Decision d = DIPC_FAULT_POINT(kFutexPark, env.self->last_cpu());
     if (d.action == fault::Action::kDelay) {
       co_await k.Spend(*env.self, d.delay, os::TimeCat::kKernel);
     }
@@ -90,6 +89,8 @@ inline sim::Task<bool> FutexBlockUntil(os::Env env, os::WaitQueue& q, os::Deadli
 }
 
 // Untimed flavor: the historical API, now a never-deadline park.
+// NOLINT-DIPC(DEADLINE-THREAD): this IS the never-deadline adapter over
+// FutexBlockUntil; blocking APIs that want a bound take one and call that.
 template <typename Pred>
 inline sim::Task<void> FutexBlock(os::Env env, os::WaitQueue& q, Pred still_blocked) {
   (void)co_await FutexBlockUntil(env, q, os::Deadline::Never(), still_blocked);

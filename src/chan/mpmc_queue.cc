@@ -56,9 +56,7 @@ sim::Task<void> MpmcQueue::WakeIfWaiting(os::Env env, os::WaitQueue& q,
   if (live_waiters == 0) {
     co_return;  // suppressed: no syscall, no kernel work
   }
-  auto& injector = fault::Injector::Global();
-  if (injector.armed() &&
-      injector.Probe(fault::points::kFutexWake, env.self->last_cpu()).drop_wake()) {
+  if (DIPC_FAULT_POINT(kFutexWake, env.self->last_cpu()).drop_wake()) {
     co_return;  // injected lost wake; deadline-armed parks recover
   }
   ++futex_wakes_;
@@ -101,13 +99,13 @@ base::Status MpmcQueue::AccessSlots(os::Env env, uint64_t pos, std::span<const u
   return base::Status::Ok();
 }
 
-sim::Task<base::Status> MpmcQueue::Push(os::Env env, uint64_t value) {
-  co_return co_await PushN(env, std::span(&value, 1));
+sim::Task<base::Status> MpmcQueue::Push(os::Env env, uint64_t value, os::Deadline deadline) {
+  co_return co_await PushN(env, std::span(&value, 1), nullptr, deadline);
 }
 
-sim::Task<base::Result<uint64_t>> MpmcQueue::Pop(os::Env env) {
+sim::Task<base::Result<uint64_t>> MpmcQueue::Pop(os::Env env, os::Deadline deadline) {
   uint64_t value = 0;
-  auto n = co_await PopN(env, std::span(&value, 1));
+  auto n = co_await PopN(env, std::span(&value, 1), deadline);
   if (!n.ok()) {
     co_return n.code();
   }
@@ -127,11 +125,10 @@ sim::Task<base::Status> MpmcQueue::PushN(os::Env env, std::span<const uint64_t> 
   // The fixed fast-path toll (head/tail atomics + bookkeeping) is paid once
   // per batch — the O(1/batch) half of the batching argument.
   co_await k.Spend(self, k.costs().chan_fast_path, TimeCat::kUser);
-  auto& injector = fault::Injector::Global();
-  if (injector.armed()) {
+  {
     // Perturbs *timing* only, before the full/empty check — the claim itself
     // stays synchronous with the check, so the queue invariant holds.
-    fault::Decision d = injector.Probe(fault::points::kSlotClaim, self.last_cpu());
+    fault::Decision d = DIPC_FAULT_POINT(kSlotClaim, self.last_cpu());
     if (d.action == fault::Action::kDelay) {
       co_await k.Spend(self, d.delay, TimeCat::kUser);
     }
@@ -201,9 +198,8 @@ sim::Task<base::Result<uint64_t>> MpmcQueue::PopN(os::Env env, std::span<uint64_
     co_return base::ErrorCode::kInvalidArgument;
   }
   co_await k.Spend(self, k.costs().chan_fast_path, TimeCat::kUser);
-  auto& injector = fault::Injector::Global();
-  if (injector.armed()) {
-    fault::Decision d = injector.Probe(fault::points::kSlotClaim, self.last_cpu());
+  {
+    fault::Decision d = DIPC_FAULT_POINT(kSlotClaim, self.last_cpu());
     if (d.action == fault::Action::kDelay) {
       co_await k.Spend(self, d.delay, TimeCat::kUser);
     }

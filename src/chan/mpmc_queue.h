@@ -59,12 +59,14 @@ class MpmcQueue {
   // charged (the work happens inside the kill sweep, like Close/Fail wakes).
   void PushNoEnv(uint64_t value);
 
-  // Blocking push; fails with the close/fail code once closed.
-  sim::Task<base::Status> Push(os::Env env, uint64_t value);
+  // Blocking push; fails with the close/fail code once closed. A finite
+  // `deadline` bounds the full-queue park with kTimedOut.
+  sim::Task<base::Status> Push(os::Env env, uint64_t value, os::Deadline deadline = {});
 
   // Blocking pop. After Close() it drains remaining slots, then fails with
-  // the close code; after Fail() it fails immediately.
-  sim::Task<base::Result<uint64_t>> Pop(os::Env env);
+  // the close code; after Fail() it fails immediately. A finite `deadline`
+  // bounds the empty-queue park with kTimedOut.
+  sim::Task<base::Result<uint64_t>> Pop(os::Env env, os::Deadline deadline = {});
 
   // Batched push of all of `values` (blocking for space between chunks when
   // the batch exceeds the free room). One fast-path accounting charge and at

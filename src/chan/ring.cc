@@ -23,6 +23,7 @@ Ring::Ring(os::Kernel& kernel, os::Process& proc, uint64_t capacity, hw::DomainT
   m_bytes_read_ = reg.GetCounter(prefix + "/bytes_read");
   m_blocked_writes_ = reg.GetCounter(prefix + "/blocked_writes");
   m_blocked_reads_ = reg.GetCounter(prefix + "/blocked_reads");
+  m_timeouts_ = reg.GetCounter(prefix + "/timeouts");
   m_park_ns_ = reg.GetHistogram(prefix + "/park_ns");
 }
 
@@ -100,7 +101,8 @@ sim::Task<base::Status> Ring::CopyOut(os::Env env, hw::VirtAddr dst, uint64_t le
   co_return base::Status::Ok();
 }
 
-sim::Task<base::Result<uint64_t>> Ring::Write(os::Env env, hw::VirtAddr src, uint64_t len) {
+sim::Task<base::Result<uint64_t>> Ring::Write(os::Env env, hw::VirtAddr src, uint64_t len,
+                                              os::Deadline deadline) {
   os::Kernel& k = *env.kernel;
   co_await k.Spend(*env.self, k.costs().chan_fast_path, TimeCat::kUser);
   uint64_t done = 0;
@@ -112,7 +114,15 @@ sim::Task<base::Result<uint64_t>> Ring::Write(os::Env env, hw::VirtAddr src, uin
       m_blocked_writes_->Add();
       const sim::Time park_start = k.now();
       while (fill_ == capacity_ && !read_closed_) {
-        co_await FutexBlock(env, writers_, [&] { return fill_ == capacity_ && !read_closed_; });
+        const bool expired = co_await FutexBlockUntil(
+            env, writers_, deadline, [&] { return fill_ == capacity_ && !read_closed_; });
+        if (expired && fill_ == capacity_ && !read_closed_) {
+          // Deadline hit with the ring still full: fail (possibly after a
+          // partial transfer, like kBrokenChannel) without a park_ns sample
+          // — the histogram tracks waits that made progress.
+          m_timeouts_->Add();
+          co_return base::ErrorCode::kTimedOut;
+        }
       }
       const sim::Duration parked = k.now() - park_start;
       m_park_ns_->Record(parked.nanos());
@@ -134,7 +144,8 @@ sim::Task<base::Result<uint64_t>> Ring::Write(os::Env env, hw::VirtAddr src, uin
   co_return done;
 }
 
-sim::Task<base::Result<uint64_t>> Ring::Read(os::Env env, hw::VirtAddr dst, uint64_t len) {
+sim::Task<base::Result<uint64_t>> Ring::Read(os::Env env, hw::VirtAddr dst, uint64_t len,
+                                             os::Deadline deadline) {
   os::Kernel& k = *env.kernel;
   if (len == 0) {
     // A 0-byte read would be indistinguishable from the EOF return.
@@ -158,8 +169,15 @@ sim::Task<base::Result<uint64_t>> Ring::Read(os::Env env, hw::VirtAddr dst, uint
       m_blocked_reads_->Add();
       park_start = k.now();
     }
-    co_await FutexBlock(
-        env, readers_, [&] { return fill_ == 0 && !write_closed_ && !read_closed_; });
+    const bool expired = co_await FutexBlockUntil(
+        env, readers_, deadline,
+        [&] { return fill_ == 0 && !write_closed_ && !read_closed_; });
+    if (expired && fill_ == 0 && !write_closed_ && !read_closed_) {
+      // Like the EOF/broken-channel returns above, timeouts leave no
+      // park_ns sample; the histogram tracks waits that produced data.
+      m_timeouts_->Add();
+      co_return base::ErrorCode::kTimedOut;
+    }
   }
   if (parked) {
     // Parks ending in EOF/broken-channel return above without a sample; the

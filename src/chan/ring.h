@@ -17,6 +17,7 @@
 #include "dipc/dipc.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "os/deadline.h"
 #include "os/kernel.h"
 #include "sim/task.h"
 
@@ -31,14 +32,20 @@ class Ring {
   // Blocking write of the full `len` bytes from `src` (loops at the wrap
   // point and when the ring fills). Returns `len` on success, or
   // kBrokenChannel (EPIPE-style, possibly after a partial transfer) once
-  // the read end is closed — including while blocked on a full ring.
-  sim::Task<base::Result<uint64_t>> Write(os::Env env, hw::VirtAddr src, uint64_t len);
+  // the read end is closed — including while blocked on a full ring. A
+  // finite `deadline` bounds every full-ring park: expiry with the ring
+  // still full fails with kTimedOut (also possibly after a partial
+  // transfer) and bumps ring/<id>/timeouts.
+  sim::Task<base::Result<uint64_t>> Write(os::Env env, hw::VirtAddr src, uint64_t len,
+                                          os::Deadline deadline = {});
 
   // Blocking read of up to `len` bytes into `dst`; returns 0 at EOF
   // (producer closed and the ring drained). `len` must be nonzero (a
   // 0-byte read would alias the EOF return). Fails with kBrokenChannel
-  // after CloseReadEnd.
-  sim::Task<base::Result<uint64_t>> Read(os::Env env, hw::VirtAddr dst, uint64_t len);
+  // after CloseReadEnd. A finite `deadline` bounds the empty-ring park
+  // with kTimedOut.
+  sim::Task<base::Result<uint64_t>> Read(os::Env env, hw::VirtAddr dst, uint64_t len,
+                                         os::Deadline deadline = {});
 
   void CloseWriteEnd();
   // Closes the read end: blocked and future writers fail with
@@ -81,6 +88,7 @@ class Ring {
   obs::Counter* m_bytes_read_ = nullptr;     // ring/<id>/bytes_read
   obs::Counter* m_blocked_writes_ = nullptr; // ring/<id>/blocked_writes
   obs::Counter* m_blocked_reads_ = nullptr;  // ring/<id>/blocked_reads
+  obs::Counter* m_timeouts_ = nullptr;       // ring/<id>/timeouts (both sides)
   obs::Histogram* m_park_ns_ = nullptr;      // ring/<id>/park_ns (both sides)
 };
 

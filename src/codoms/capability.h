@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "base/check.h"
+#include "base/thread_annotations.h"
 #include "codoms/perm.h"
 #include "hw/types.h"
 
@@ -47,11 +48,16 @@ inline constexpr uint64_t kCapMemBytes = 32;
 // tagged with an opaque owner key (fan-out channels use one key per
 // receiver), so a dead receiver's whole grant set is revocable in one bulk
 // call and tests can assert per-receiver that nothing survived.
+// The table is shared mutable state between the simulated domains and
+// host-level tooling (tests poke it from real threads to model concurrent
+// revocation), so one mutex guards every field; the annotations let the
+// DIPC_THREAD_SAFETY clang build prove no path reads an epoch without it.
 class RevocationTable {
  public:
   static constexpr uint64_t kNoOwner = 0;
 
   uint64_t Allocate(hw::DomainTag creator = hw::kInvalidDomainTag) {
+    base::MutexLock lock(&mu_);
     counters_.push_back(0);
     creators_.push_back(creator);
     granted_epoch_.push_back(0);  // minted live at epoch 0
@@ -61,38 +67,35 @@ class RevocationTable {
   }
 
   uint64_t Epoch(uint64_t id) const {
+    base::MutexLock lock(&mu_);
     DIPC_CHECK(id < counters_.size());
     return counters_[id];
   }
 
   hw::DomainTag Creator(uint64_t id) const {
+    base::MutexLock lock(&mu_);
     DIPC_CHECK(id < creators_.size());
     return creators_[id];
   }
 
   void Revoke(uint64_t id) {
-    DIPC_CHECK(id < counters_.size());
-    if (Live(id)) {
-      --live_;
-      if (owners_[id] != kNoOwner) {
-        --owner_live_[owners_[id]];
-      }
-    }
-    ++counters_[id];
+    base::MutexLock lock(&mu_);
+    RevokeLocked(id);
   }
 
   // An unrevoked grant over this counter is outstanding (the last mint or
   // rebind snapshotted the current epoch).
   bool Live(uint64_t id) const {
-    DIPC_CHECK(id < counters_.size());
-    return granted_epoch_[id] == counters_[id];
+    base::MutexLock lock(&mu_);
+    return LiveLocked(id);
   }
 
   // Epoch rebind re-granted the counter at its current value (only
   // Codoms::CapRebind calls this, after the creator-domain check).
   void ReGrant(uint64_t id) {
+    base::MutexLock lock(&mu_);
     DIPC_CHECK(id < counters_.size());
-    if (!Live(id)) {
+    if (!LiveLocked(id)) {
       ++live_;
       if (owners_[id] != kNoOwner) {
         ++owner_live_[owners_[id]];
@@ -104,6 +107,7 @@ class RevocationTable {
   // Tags `id` with an owner key (once, at mint time). Owner keys partition
   // the grant space per trust principal — e.g. one key per fan-out receiver.
   void SetOwner(uint64_t id, uint64_t owner) {
+    base::MutexLock lock(&mu_);
     DIPC_CHECK(id < owners_.size());
     DIPC_CHECK(owner != kNoOwner);
     DIPC_CHECK(owners_[id] == kNoOwner || owners_[id] == owner);
@@ -112,7 +116,7 @@ class RevocationTable {
     }
     owners_[id] = owner;
     owner_ids_[owner].push_back(id);
-    if (Live(id)) {
+    if (LiveLocked(id)) {
       ++owner_live_[owner];
     }
   }
@@ -121,38 +125,63 @@ class RevocationTable {
   // of a dead receiver's entire grant set (templates included), leaving
   // every other owner's grants untouched.
   void RevokeAllForOwner(uint64_t owner) {
+    base::MutexLock lock(&mu_);
     auto it = owner_ids_.find(owner);
     if (it == owner_ids_.end()) {
       return;
     }
     for (uint64_t id : it->second) {
-      if (Live(id)) {
-        Revoke(id);
+      if (LiveLocked(id)) {
+        RevokeLocked(id);
       }
     }
   }
 
   // Number of ids handed out; lets tests assert "every async grant was
   // revoked" (an epoch still at 0 is a leaked capability).
-  uint64_t size() const { return counters_.size(); }
+  uint64_t size() const {
+    base::MutexLock lock(&mu_);
+    return counters_.size();
+  }
   // Counters with an outstanding unrevoked grant; 0 after a clean teardown
   // means no capability anywhere still authorizes an access.
-  uint64_t live_count() const { return live_; }
+  uint64_t live_count() const {
+    base::MutexLock lock(&mu_);
+    return live_;
+  }
   uint64_t LiveCountForOwner(uint64_t owner) const {
+    base::MutexLock lock(&mu_);
     auto it = owner_live_.find(owner);
     return it == owner_live_.end() ? 0 : it->second;
   }
 
  private:
-  std::vector<uint64_t> counters_;
-  std::vector<hw::DomainTag> creators_;
+  bool LiveLocked(uint64_t id) const DIPC_REQUIRES(mu_) {
+    DIPC_CHECK(id < counters_.size());
+    return granted_epoch_[id] == counters_[id];
+  }
+
+  void RevokeLocked(uint64_t id) DIPC_REQUIRES(mu_) {
+    DIPC_CHECK(id < counters_.size());
+    if (LiveLocked(id)) {
+      --live_;
+      if (owners_[id] != kNoOwner) {
+        --owner_live_[owners_[id]];
+      }
+    }
+    ++counters_[id];
+  }
+
+  mutable base::Mutex mu_;
+  std::vector<uint64_t> counters_ DIPC_GUARDED_BY(mu_);
+  std::vector<hw::DomainTag> creators_ DIPC_GUARDED_BY(mu_);
   // Epoch at which the counter was last granted (mint/rebind); live iff it
   // equals the current counter value.
-  std::vector<uint64_t> granted_epoch_;
-  std::vector<uint64_t> owners_;
-  std::unordered_map<uint64_t, std::vector<uint64_t>> owner_ids_;
-  std::unordered_map<uint64_t, uint64_t> owner_live_;
-  uint64_t live_ = 0;
+  std::vector<uint64_t> granted_epoch_ DIPC_GUARDED_BY(mu_);
+  std::vector<uint64_t> owners_ DIPC_GUARDED_BY(mu_);
+  std::unordered_map<uint64_t, std::vector<uint64_t>> owner_ids_ DIPC_GUARDED_BY(mu_);
+  std::unordered_map<uint64_t, uint64_t> owner_live_ DIPC_GUARDED_BY(mu_);
+  uint64_t live_ DIPC_GUARDED_BY(mu_) = 0;
 };
 
 struct Capability {

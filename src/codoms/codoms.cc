@@ -137,11 +137,10 @@ base::Result<Capability> Codoms::CapFromApl(hw::CpuId cpu, const hw::PageTable& 
                                             uint64_t size, Perm rights, CapType type,
                                             sim::Duration* cost) {
   *cost = machine_.costs().cap_setup;
-  auto& injector = fault::Injector::Global();
-  if (injector.armed()) {
+  {
     // Models an exhausted revocation table / failed privileged mint; callers
     // already carry an undo path for a denied grant, so kFault exercises it.
-    fault::Decision d = injector.Probe(fault::points::kCapMint, cpu);
+    fault::Decision d = DIPC_FAULT_POINT(kCapMint, cpu);
     if (d.fail()) {
       return base::ErrorCode::kFault;
     }
@@ -230,9 +229,8 @@ base::Status Codoms::CapRevoke(const Capability& cap) {
 base::Result<Capability> Codoms::CapRebind(const Capability& cap, const ThreadCapContext& ctx,
                                            sim::Duration* cost) {
   *cost = machine_.costs().cap_epoch_rebind;
-  auto& injector = fault::Injector::Global();
-  if (injector.armed()) {
-    fault::Decision d = injector.Probe(fault::points::kCapRebind);
+  {
+    fault::Decision d = DIPC_FAULT_POINT(kCapRebind);
     if (d.fail()) {
       return base::ErrorCode::kFault;
     }
@@ -257,9 +255,8 @@ base::Result<Capability> Codoms::CapRebind(const Capability& cap, const ThreadCa
 base::Status Codoms::CapStore(const hw::PageTable& pt, ThreadCapContext& ctx, hw::VirtAddr va,
                               const Capability& cap, sim::Duration* cost) {
   *cost = machine_.costs().cap_memory_op;
-  auto& injector = fault::Injector::Global();
-  if (injector.armed()) {
-    fault::Decision d = injector.Probe(fault::points::kCapStore);
+  {
+    fault::Decision d = DIPC_FAULT_POINT(kCapStore);
     if (d.fail()) {
       return base::ErrorCode::kFault;
     }

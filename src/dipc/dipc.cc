@@ -48,13 +48,10 @@ void Dipc::KillProcess(os::Process& proc) {
     m_death_hook_runs_->Add(hooks_run);
     obs::Trace().Record(0, obs::EventType::kDeathSweep, static_cast<uint32_t>(dead->pid()),
                         hooks_run, kernel_.now());
-    auto& injector = fault::Injector::Global();
-    if (injector.armed()) {
-      // A kill rule here scripts cascading failures ("when anything dies,
-      // kill Y too") — the nested kill lands on pending_kills_ and is swept
-      // by this same outermost call. Other actions only mark the log.
-      (void)injector.Probe(fault::points::kDeathSweep);
-    }
+    // A kill rule here scripts cascading failures ("when anything dies,
+    // kill Y too") — the nested kill lands on pending_kills_ and is swept
+    // by this same outermost call. Other actions only mark the log.
+    (void)DIPC_FAULT_POINT(kDeathSweep);
     size_t kept = 0;
     for (size_t i = 0; i < hooks.size(); ++i) {
       bool keep = true;

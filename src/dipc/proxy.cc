@@ -80,11 +80,10 @@ sim::Task<uint64_t> Proxy::Invoke(os::Env env, CallArgs args) {
   os::Process* caller_proc = &t.process();
 
   sim::Duration fault_delay;
-  auto& injector = fault::Injector::Global();
-  if (injector.armed()) {
+  {
     // Probed before the control transfer: a kill rule here murders the
     // callee mid-invoke, so this very call runs into the death machinery.
-    fault::Decision d = injector.Probe(fault::points::kProxyInvoke, cpu);
+    fault::Decision d = DIPC_FAULT_POINT(kProxyInvoke, cpu);
     if (d.fail()) {
       t.FlagError(base::ErrorCode::kFault);
       co_return 0;

@@ -164,12 +164,14 @@ sim::Task<base::Status> ServiceFabric::Call(os::Env env, uint32_t client, uint64
   const std::shared_ptr<chan::FanOutChannel>& req = req_[client];
   const uint64_t opid = ++next_opid_;
   auto sem = std::make_shared<os::Semaphore>(0);
-  completions_[opid] = sem;
+  {
+    base::MutexLock lock(&completions_mu_);
+    completions_[opid] = sem;
+  }
   ++calls_;
   m_calls_->Add();
   const sim::Time t0 = k.now();
   Duration backoff = cfg_.backoff_initial;
-  auto& injector = fault::Injector::Global();
   bool done = false;
   // Every blocking step of an attempt carries the per-attempt deadline; a
   // kTimedOut/kCalleeFailed/kFault attempt is retried under the SAME opid
@@ -190,8 +192,8 @@ sim::Task<base::Status> ServiceFabric::Call(os::Env env, uint32_t client, uint64
         backoff = cfg_.backoff_cap;
       }
     }
-    if (injector.armed()) {
-      fault::Decision d = injector.Probe(fault::points::kFabricDispatch, env.self->last_cpu());
+    {
+      fault::Decision d = DIPC_FAULT_POINT(kFabricDispatch, env.self->last_cpu());
       if (d.fail()) {
         continue;  // this attempt is lost before it starts; back off and retry
       }
@@ -264,7 +266,10 @@ sim::Task<base::Status> ServiceFabric::Call(os::Env env, uint32_t client, uint64
     duplicates_ += static_cast<uint64_t>(sem->count());
     m_duplicates_->Add(static_cast<uint64_t>(sem->count()));
   }
-  completions_.erase(opid);
+  {
+    base::MutexLock lock(&completions_mu_);
+    completions_.erase(opid);
+  }
   if (!done) {
     co_return base::ErrorCode::kCalleeFailed;
   }
@@ -360,9 +365,16 @@ void ServiceFabric::StartDispatcher(uint32_t client) {
                     if (!(co_await resp->Release(env, msg.value())).ok()) {
                       co_return;
                     }
-                    auto it = self->completions_.find(opid);
-                    if (it != self->completions_.end()) {
-                      co_await it->second->Post(env);
+                    std::shared_ptr<os::Semaphore> sem;
+                    {
+                      base::MutexLock lock(&self->completions_mu_);
+                      auto it = self->completions_.find(opid);
+                      if (it != self->completions_.end()) {
+                        sem = it->second;
+                      }
+                    }
+                    if (sem != nullptr) {
+                      co_await sem->Post(env);
                     } else {
                       // The client already retried and its retry won the
                       // race: this late completion of the earlier attempt is

@@ -42,6 +42,7 @@
 #include <vector>
 
 #include "base/result.h"
+#include "base/thread_annotations.h"
 #include "chan/fanin.h"
 #include "chan/fanout.h"
 #include "dipc/dipc.h"
@@ -86,6 +87,9 @@ class ServiceFabric : public std::enable_shared_from_this<ServiceFabric> {
   // of that client's process). `req_len` in [8, req_bytes]. Returns kOk once
   // the completion arrived; kCalleeFailed when every retry was exhausted or
   // the client's planes broke.
+  // NOLINT-DIPC(DEADLINE-THREAD): the per-attempt deadline is policy carried
+  // by FabricConfig::call_deadline, not a per-call parameter — retry/backoff
+  // needs one consistent bound across attempts.
   sim::Task<base::Status> Call(os::Env env, uint32_t client, uint64_t req_len);
 
   // Worker-side serve loop for one (client, worker) pair; spawn it on a
@@ -145,9 +149,14 @@ class ServiceFabric : public std::enable_shared_from_this<ServiceFabric> {
   std::vector<std::shared_ptr<chan::FanOutChannel>> req_;  // per client
   std::vector<std::shared_ptr<chan::FanInChannel>> resp_;  // per client
   bool stopped_ = false;
-  // Opid-matched completion delivery (fabric-wide unique opids).
+  // Opid-matched completion delivery (fabric-wide unique opids). The map is
+  // the one fabric structure shared between caller and dispatcher coroutine
+  // contexts; its mutex is held only across map lookups/updates — never
+  // across a co_await (Post happens on a handle copied out under the lock).
   uint64_t next_opid_ = 0;
-  std::unordered_map<uint64_t, std::shared_ptr<os::Semaphore>> completions_;
+  mutable base::Mutex completions_mu_;
+  std::unordered_map<uint64_t, std::shared_ptr<os::Semaphore>> completions_
+      DIPC_GUARDED_BY(completions_mu_);
   std::vector<uint64_t> progress_;  // per worker slot
   uint64_t calls_ = 0;
   uint64_t completed_ = 0;

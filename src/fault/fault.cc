@@ -112,6 +112,12 @@ base::Result<Plan> Plan::Parse(std::string_view text, std::string* error) {
     }
     Rule rule;
     rule.point = std::string(toks[1]);
+    if (!IsKnownPoint(rule.point)) {
+      return ParseError(error, lineno,
+                        "unknown probe point '" + rule.point +
+                            "' (not in src/fault/probes.def; a typo'd point "
+                            "would arm a rule no probe ever consults)");
+    }
     if (!ParseAction(toks[2], &rule.action)) {
       return ParseError(error, lineno, "unknown action '" + std::string(toks[2]) + "'");
     }

@@ -42,22 +42,33 @@ class EventQueue;
 
 namespace dipc::fault {
 
-// Canonical probe-point names. Free-form strings are accepted too; these
-// constants keep call sites and plans from drifting apart.
+// Canonical probe-point names, expanded from the X-macro manifest
+// src/fault/probes.def — the same file tools/dipclint reads, so a probe
+// site, a plan and the linter can never disagree about what exists.
 namespace points {
-inline constexpr std::string_view kCapMint = "codoms/mint";
-inline constexpr std::string_view kCapRebind = "codoms/rebind";
-inline constexpr std::string_view kCapStore = "codoms/store";
-inline constexpr std::string_view kSlotClaim = "chan/slot_claim";
-inline constexpr std::string_view kFutexPark = "chan/futex_park";
-inline constexpr std::string_view kFutexWake = "chan/futex_wake";
-inline constexpr std::string_view kChanSend = "chan/send";
-inline constexpr std::string_view kCreditGrant = "fanout/credit_grant";
-inline constexpr std::string_view kFanInCreditGrant = "fanin/credit_grant";
-inline constexpr std::string_view kFabricDispatch = "fabric/dispatch";
-inline constexpr std::string_view kProxyInvoke = "dipc/proxy_invoke";
-inline constexpr std::string_view kDeathSweep = "dipc/death_sweep";
+#define DIPC_FAULT_PROBE(ident, name) inline constexpr std::string_view ident = name;
+#include "fault/probes.def"
+#undef DIPC_FAULT_PROBE
 }  // namespace points
+
+// Every manifest point, for validation and iteration.
+inline constexpr std::string_view kAllPoints[] = {
+#define DIPC_FAULT_PROBE(ident, name) points::ident,
+#include "fault/probes.def"
+#undef DIPC_FAULT_PROBE
+};
+
+// True iff `point` is a manifest probe point. Plan::Parse rejects rules
+// targeting unknown points: a typo'd point would arm a rule that no probe
+// site ever consults, i.e. a fault plan that silently tests nothing.
+constexpr bool IsKnownPoint(std::string_view point) {
+  for (std::string_view p : kAllPoints) {
+    if (p == point) {
+      return true;
+    }
+  }
+  return false;
+}
 
 enum class Action : uint32_t {
   kNone = 0,
@@ -193,5 +204,18 @@ class Injector {
 inline Injector& Global() { return Injector::Global(); }
 
 }  // namespace dipc::fault
+
+// The one sanctioned probe-site spelling: consults the global injector at a
+// manifest point (a bare `points::` ident from probes.def), paying a single
+// branch when disarmed and vanishing entirely under -DDIPC_FAULT_OFF
+// (armed() is constexpr false, so the whole ternary folds to `Decision{}`).
+// Optional trailing argument: the probing CPU, for trace attribution.
+// tools/dipclint's PROBE-MANIFEST rule checks every use of this macro
+// against probes.def; raw Injector::Probe calls in src/ are lint findings.
+#define DIPC_FAULT_POINT(point, ...)                                        \
+  (::dipc::fault::Injector::Global().armed()                                \
+       ? ::dipc::fault::Injector::Global().Probe(                           \
+             ::dipc::fault::points::point __VA_OPT__(, ) __VA_ARGS__)       \
+       : ::dipc::fault::Decision{})
 
 #endif  // DIPC_FAULT_FAULT_H_

@@ -1,0 +1,67 @@
+#include "obs/metric_schema.h"
+
+namespace dipc::obs {
+
+const char* MetricKindName(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter:
+      return "counter";
+    case MetricKind::kGauge:
+      return "gauge";
+    case MetricKind::kHistogram:
+      return "histogram";
+  }
+  return "unknown";
+}
+
+namespace {
+
+// Pops the leading '/'-separated component off `s`.
+std::string_view NextComponent(std::string_view& s) {
+  size_t slash = s.find('/');
+  std::string_view head = s.substr(0, slash);
+  s = slash == std::string_view::npos ? std::string_view() : s.substr(slash + 1);
+  return head;
+}
+
+}  // namespace
+
+bool MetricPatternMatches(std::string_view pattern, std::string_view name) {
+  while (!pattern.empty()) {
+    std::string_view pc = NextComponent(pattern);
+    if (pc == "**") {
+      // Must be the final pattern component; eats one or more remaining name
+      // components.
+      return pattern.empty() && !name.empty();
+    }
+    if (name.empty()) {
+      return false;  // pattern has components left, name does not
+    }
+    std::string_view nc = NextComponent(name);
+    if (pc == "*") {
+      continue;  // any single component
+    }
+    if (!pc.empty() && pc.back() == '*') {
+      std::string_view prefix = pc.substr(0, pc.size() - 1);
+      if (nc.substr(0, prefix.size()) != prefix) {
+        return false;
+      }
+      continue;
+    }
+    if (pc != nc) {
+      return false;
+    }
+  }
+  return name.empty();
+}
+
+bool NameMatchesSchema(std::string_view name, MetricKind kind) {
+  for (const MetricSchemaEntry& e : kMetricSchema) {
+    if (e.kind == kind && MetricPatternMatches(e.pattern, name)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace dipc::obs

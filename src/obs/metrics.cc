@@ -6,6 +6,9 @@
 #include <mutex>
 #include <sstream>
 
+#include "base/thread_annotations.h"
+#include "obs/metric_schema.h"
+
 namespace dipc::obs {
 
 #ifndef DIPC_OBS_OFF
@@ -90,15 +93,25 @@ std::string FormatDouble(double v) {
 }  // namespace
 
 struct Registry::Impl {
-  mutable std::mutex mu;
+  mutable base::Mutex mu;
   // std::map keeps names sorted so SnapshotJson() is deterministic; Entry
   // values hold unique_ptrs, so handle pointers survive rehash/rebalance.
-  std::map<std::string, Entry, std::less<>> entries;
-  uint64_t kind_collisions = 0;
+  std::map<std::string, Entry, std::less<>> entries DIPC_GUARDED_BY(mu);
+  uint64_t kind_collisions DIPC_GUARDED_BY(mu) = 0;
+  // First registrations whose name no manifest pattern covers ("<kind>
+  // <name>"); drained by Registry::TakeSchemaViolations.
+  std::vector<std::string> schema_violations DIPC_GUARDED_BY(mu);
 
-  Entry& GetOrCreate(std::string_view name, Kind kind) {
+  Entry& GetOrCreate(std::string_view name, Kind kind) DIPC_REQUIRES(mu) {
     auto it = entries.find(name);
     if (it == entries.end()) {
+      static constexpr MetricKind kSchemaKind[] = {
+          MetricKind::kCounter, MetricKind::kGauge, MetricKind::kHistogram};
+      MetricKind schema_kind = kSchemaKind[static_cast<int>(kind)];
+      if (!NameMatchesSchema(name, schema_kind)) {
+        schema_violations.push_back(std::string(MetricKindName(schema_kind)) + " " +
+                                    std::string(name));
+      }
       Entry e;
       e.kind = kind;
       switch (kind) {
@@ -130,7 +143,7 @@ Registry& Registry::Default() {
 
 Counter* Registry::GetCounter(std::string_view name) {
   Impl& im = impl();
-  std::lock_guard<std::mutex> lock(im.mu);
+  base::MutexLock lock(&im.mu);
   Entry& e = im.GetOrCreate(name, Kind::kCounter);
   if (e.kind != Kind::kCounter) {
     // Name already taken by a different kind: hand back a detached dummy so
@@ -144,7 +157,7 @@ Counter* Registry::GetCounter(std::string_view name) {
 
 Gauge* Registry::GetGauge(std::string_view name) {
   Impl& im = impl();
-  std::lock_guard<std::mutex> lock(im.mu);
+  base::MutexLock lock(&im.mu);
   Entry& e = im.GetOrCreate(name, Kind::kGauge);
   if (e.kind != Kind::kGauge) {
     ++im.kind_collisions;
@@ -156,7 +169,7 @@ Gauge* Registry::GetGauge(std::string_view name) {
 
 Histogram* Registry::GetHistogram(std::string_view name) {
   Impl& im = impl();
-  std::lock_guard<std::mutex> lock(im.mu);
+  base::MutexLock lock(&im.mu);
   Entry& e = im.GetOrCreate(name, Kind::kHistogram);
   if (e.kind != Kind::kHistogram) {
     ++im.kind_collisions;
@@ -168,7 +181,7 @@ Histogram* Registry::GetHistogram(std::string_view name) {
 
 std::string Registry::SnapshotJson() const {
   Impl& im = impl();
-  std::lock_guard<std::mutex> lock(im.mu);
+  base::MutexLock lock(&im.mu);
   std::string out = "{";
   auto section = [&](const char* title, Kind kind, auto&& emit) {
     AppendJsonString(out, title);
@@ -214,7 +227,7 @@ std::string Registry::SnapshotJson() const {
 
 void Registry::Reset() {
   Impl& im = impl();
-  std::lock_guard<std::mutex> lock(im.mu);
+  base::MutexLock lock(&im.mu);
   for (auto& [name, e] : im.entries) {
     switch (e.kind) {
       case Kind::kCounter:
@@ -232,8 +245,16 @@ void Registry::Reset() {
 
 size_t Registry::size() const {
   Impl& im = impl();
-  std::lock_guard<std::mutex> lock(im.mu);
+  base::MutexLock lock(&im.mu);
   return im.entries.size();
+}
+
+std::vector<std::string> Registry::TakeSchemaViolations() {
+  Impl& im = impl();
+  base::MutexLock lock(&im.mu);
+  std::vector<std::string> out;
+  out.swap(im.schema_violations);
+  return out;
 }
 
 #else  // DIPC_OBS_OFF
@@ -267,6 +288,7 @@ Histogram* Registry::GetHistogram(std::string_view) {
 std::string Registry::SnapshotJson() const { return "{}"; }
 void Registry::Reset() {}
 size_t Registry::size() const { return 0; }
+std::vector<std::string> Registry::TakeSchemaViolations() { return {}; }
 
 #endif  // DIPC_OBS_OFF
 

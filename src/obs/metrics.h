@@ -32,6 +32,7 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <vector>
 
 namespace dipc::obs {
 
@@ -185,6 +186,14 @@ class Registry {
   void Reset();
 
   size_t size() const;
+
+  // Every first registration is validated against the manifest schema
+  // (src/obs/metric_schema.def); names no pattern covers accumulate here as
+  // "<kind> <name>" strings. Draining returns what accrued since the last
+  // drain — tests drain before exercising a subsystem, then assert the
+  // second drain is empty (name drift is a test failure, not silent
+  // dashboard rot). Always empty under DIPC_OBS_OFF.
+  std::vector<std::string> TakeSchemaViolations();
 
  private:
   struct Impl;

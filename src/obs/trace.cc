@@ -71,6 +71,8 @@ TraceRing& TraceRing::Global() {
 
 uint32_t NewObjectId() {
   static std::atomic<uint32_t> next{1};
+  // relaxed: unique-id allocation needs atomicity only; ids carry no
+  // happens-before obligation to any other memory.
   return next.fetch_add(1, std::memory_order_relaxed);
 }
 
@@ -84,19 +86,28 @@ void TraceRing::Enable(uint32_t capacity_per_cpu) {
     capacity_ = capacity_per_cpu;
     for (auto& r : rings_) {
       r.slots.assign(capacity_, TraceEvent{});
+      // relaxed: setup-time reset; no recorder runs concurrently with
+      // Enable (callers toggle tracing between, not during, workloads).
       r.next.store(0, std::memory_order_relaxed);
     }
   } else {
     Clear();
   }
+  // relaxed: recorders poll this flag; a stale read costs or saves one
+  // event at the toggle edge, it cannot tear or reorder recorded data.
   enabled_.store(true, std::memory_order_relaxed);
 }
 
-void TraceRing::Disable() { enabled_.store(false, std::memory_order_relaxed); }
+void TraceRing::Disable() {
+  // relaxed: same flag-poll contract as Enable.
+  enabled_.store(false, std::memory_order_relaxed);
+}
 
 void TraceRing::RecordSlow(uint32_t cpu, EventType type, uint32_t obj, uint64_t arg,
                            sim::Time ts, sim::Duration dur, uint64_t opid) {
   CpuRing& r = rings_[cpu % kMaxCpus];
+  // relaxed: per-CPU slot claim; the ring is single-writer per CPU in the
+  // simulation and readers (Snapshot) tolerate torn-in-flight tail slots.
   uint64_t i = r.next.fetch_add(1, std::memory_order_relaxed);
   TraceEvent& e = r.slots[i % capacity_];
   e.ts_ps = ts.picos();
@@ -110,11 +121,14 @@ void TraceRing::RecordSlow(uint32_t cpu, EventType type, uint32_t obj, uint64_t 
 
 void TraceRing::Clear() {
   for (auto& r : rings_) {
+    // relaxed: reset between measurement windows, not during recording.
     r.next.store(0, std::memory_order_relaxed);
   }
 }
 
 uint64_t TraceRing::recorded(uint32_t cpu) const {
+  // relaxed: statistics read; a count one event stale is still a valid
+  // answer and no payload is read through it.
   return rings_[cpu % kMaxCpus].next.load(std::memory_order_relaxed);
 }
 
@@ -141,6 +155,8 @@ std::vector<TraceEvent> TraceRing::Snapshot() const {
     return out;
   }
   for (const auto& r : rings_) {
+    // relaxed: snapshots run quiesced (after Disable or between windows);
+    // during recording the tail slot may be mid-write either way.
     uint64_t n = r.next.load(std::memory_order_relaxed);
     uint64_t held = std::min<uint64_t>(n, capacity_);
     // Oldest surviving event sits at index n - held in the logical stream.

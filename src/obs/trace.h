@@ -104,7 +104,11 @@ class TraceRing {
   // same capacity keeps existing buffers but clears them.
   void Enable(uint32_t capacity_per_cpu = kDefaultCapacityPerCpu);
   void Disable();
-  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  bool enabled() const {
+    // relaxed: hot-path on/off poll; a stale read at the toggle edge only
+    // gains or loses one event, it publishes no data.
+    return enabled_.load(std::memory_order_relaxed);
+  }
 
   sim::Duration event_cost() const {
     return enabled() ? kEventCost : sim::Duration::Zero();

@@ -110,6 +110,8 @@ class Semaphore : public KernelObject {
 
   // Untimed legacy flavor. After Fail() it returns (with the error dropped)
   // instead of hanging; callers that need the code use WaitUntil.
+  // NOLINT-DIPC(DEADLINE-THREAD): deliberate never-deadline convenience
+  // wrapper over WaitUntil; deadline-aware callers use WaitUntil directly.
   sim::Task<void> Wait(Env env) { (void)co_await WaitUntil(env, Deadline::Never()); }
 
   sim::Task<void> Post(Env env) {

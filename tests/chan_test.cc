@@ -11,6 +11,7 @@
 #include "chan/channel.h"
 #include "chan/mpmc_queue.h"
 #include "chan/ring.h"
+#include "os/deadline.h"
 #include "codoms/codoms.h"
 #include "dipc/dipc.h"
 #include "hw/machine.h"
@@ -1266,6 +1267,119 @@ TEST_F(ChanTest, EndpointsExchangeThroughEntryRequest) {
   });
   kernel_.Run();
   EXPECT_EQ(received, "hello over entry_request");
+}
+
+// --- Abandon (give back an acquired-but-unsent buffer) ---
+
+TEST_F(ChanTest, AbandonReturnsSlotToPoolAndRevokesGrant) {
+  os::Process& prod = dipc_.CreateDipcProcess("producer");
+  os::Process& cons = dipc_.CreateDipcProcess("consumer");
+  auto ch = Channel::Create(dipc_, prod, cons, {.slots = 2, .buf_bytes = 4096});
+  EXPECT_TRUE(ch.ok());
+  Channel& chan = *ch.value();
+  kernel_.Spawn(prod, "producer", [&](os::Env env) -> sim::Task<void> {
+    auto a = co_await chan.AcquireBuf(env);
+    auto b = co_await chan.AcquireBuf(env);
+    EXPECT_TRUE(a.ok());
+    EXPECT_TRUE(b.ok());
+    EXPECT_EQ(chan.LiveGrantCount(), 2u);
+    // Abandoning kills the write grant and recycles the slot: the next
+    // acquire succeeds with zero receiver involvement. Without Abandon
+    // this acquire would deadlock (both slots held, nothing in flight).
+    EXPECT_TRUE((co_await chan.Abandon(env, a.value())).ok());
+    EXPECT_EQ(chan.LiveGrantCount(), 1u);
+    // Abandoning a buffer the caller no longer owns is a caller bug. (Like
+    // Send, Abandon identifies the buffer by slot index — once the slot is
+    // re-acquired, the stale SendBuf aliases the new grant again.)
+    EXPECT_EQ((co_await chan.Abandon(env, a.value())).code(), ErrorCode::kInvalidArgument);
+    auto c = co_await chan.AcquireBuf(env);
+    EXPECT_TRUE(c.ok());
+    EXPECT_EQ(chan.LiveGrantCount(), 2u);
+    std::vector<SendBuf> rest{b.value(), c.value()};
+    EXPECT_TRUE((co_await chan.AbandonBatch(env, rest)).ok());
+    EXPECT_EQ(chan.LiveGrantCount(), 0u);
+  });
+  kernel_.Run();
+}
+
+TEST_F(ChanTest, AbandonedBufferIsSendableAfterReacquire) {
+  os::Process& prod = dipc_.CreateDipcProcess("producer");
+  os::Process& cons = dipc_.CreateDipcProcess("consumer");
+  auto ch = Channel::Create(dipc_, prod, cons, {.slots = 1, .buf_bytes = 4096});
+  EXPECT_TRUE(ch.ok());
+  Channel& chan = *ch.value();
+  std::string received;
+  kernel_.Spawn(prod, "producer", [&](os::Env env) -> sim::Task<void> {
+    auto first = co_await chan.AcquireBuf(env);
+    EXPECT_TRUE(first.ok());
+    EXPECT_TRUE((co_await chan.Abandon(env, first.value())).ok());
+    // The recycled slot re-grants cleanly (epoch rebind) and the full
+    // send/recv path still works on it.
+    auto again = co_await chan.AcquireBuf(env);
+    EXPECT_TRUE(again.ok());
+    const std::string payload = "recycled slot";
+    EXPECT_TRUE(
+        env.kernel->UserWrite(*env.self, again.value().va, std::as_bytes(std::span(payload)))
+            .ok());
+    EXPECT_TRUE((co_await chan.Send(env, again.value(), payload.size())).ok());
+  });
+  kernel_.Spawn(cons, "consumer", [&](os::Env env) -> sim::Task<void> {
+    auto msg = co_await chan.Recv(env);
+    EXPECT_TRUE(msg.ok());
+    std::vector<char> buf(msg.value().len);
+    EXPECT_TRUE(
+        env.kernel->UserRead(*env.self, msg.value().va, std::as_writable_bytes(std::span(buf)))
+            .ok());
+    received.assign(buf.begin(), buf.end());
+    EXPECT_TRUE((co_await chan.Release(env, msg.value())).ok());
+  });
+  kernel_.Run();
+  EXPECT_EQ(received, "recycled slot");
+}
+
+// --- Deadlines on the blocking primitives ---
+
+TEST_F(ChanTest, RingWriteAndReadHonorDeadlines) {
+  os::Process& proc = dipc_.CreateDipcProcess("p");
+  Ring ring(kernel_, proc, 256, proc.default_domain());
+  hw::VirtAddr src = MapBuf(proc, hw::kPageSize);
+  hw::VirtAddr dst = MapBuf(proc, hw::kPageSize);
+  kernel_.Spawn(proc, "solo", [&](os::Env env) -> sim::Task<void> {
+    auto fill = co_await ring.Write(env, src, 256);  // fills exactly; no park
+    EXPECT_TRUE(fill.ok());
+    // Full ring + nobody draining: a bounded write must come back instead
+    // of parking forever.
+    auto blocked = co_await ring.Write(
+        env, src, 64, os::Deadline::After(env.kernel->now(), Duration::Micros(5)));
+    EXPECT_EQ(blocked.code(), ErrorCode::kTimedOut);
+    auto drained = co_await ring.Read(env, dst, 256);
+    EXPECT_TRUE(drained.ok());
+    EXPECT_EQ(drained.value(), 256u);
+    // Empty ring + nobody writing: same deal on the read side.
+    auto empty = co_await ring.Read(
+        env, dst, 64, os::Deadline::After(env.kernel->now(), Duration::Micros(5)));
+    EXPECT_EQ(empty.code(), ErrorCode::kTimedOut);
+  });
+  kernel_.Run();
+}
+
+TEST_F(ChanTest, MpmcPushAndPopHonorDeadlines) {
+  os::Process& proc = dipc_.CreateDipcProcess("p");
+  MpmcQueue q(kernel_, proc, 1, proc.default_domain());
+  kernel_.Spawn(proc, "solo", [&](os::Env env) -> sim::Task<void> {
+    EXPECT_TRUE((co_await q.Push(env, 7)).ok());
+    auto full = co_await q.Push(
+        env, 8, os::Deadline::After(env.kernel->now(), Duration::Micros(5)));
+    EXPECT_EQ(full.code(), ErrorCode::kTimedOut);
+    auto v = co_await q.Pop(env);
+    EXPECT_TRUE(v.ok());
+    EXPECT_EQ(v.value(), 7u);
+    auto empty =
+        co_await q.Pop(env, os::Deadline::After(env.kernel->now(), Duration::Micros(5)));
+    EXPECT_EQ(empty.code(), ErrorCode::kTimedOut);
+  });
+  kernel_.Run();
+  EXPECT_EQ(q.timeouts(), 2u);
 }
 
 }  // namespace

@@ -71,6 +71,17 @@ TEST_F(FaultTest, ParseRejectsMalformedPlans) {
   }
 }
 
+TEST_F(FaultTest, ParseRejectsUnknownProbePoints) {
+  // The probe manifest (src/fault/probes.def) is the source of truth: a
+  // typo'd point must be a parse error, not a rule that silently never
+  // fires.
+  std::string error;
+  auto plan = Plan::Parse("rule chan/nonexistent fail at=1\n", &error);
+  EXPECT_FALSE(plan.ok());
+  EXPECT_NE(error.find("unknown probe point"), std::string::npos) << error;
+  EXPECT_NE(error.find("chan/nonexistent"), std::string::npos) << error;
+}
+
 TEST_F(FaultTest, ScriptedTriggersFireAtExactProbes) {
   auto plan = Plan::Parse("rule chan/send fail at=3\n");
   ASSERT_TRUE(plan.ok());

@@ -23,6 +23,7 @@
 #include "dipc/dipc.h"
 #include "fabric/fabric.h"
 #include "hw/machine.h"
+#include "obs/metric_schema.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "os/accounting.h"
@@ -95,6 +96,50 @@ TEST(ObsJsonValidator, CatchesMalformedJson) {
   EXPECT_FALSE(JsonIsWellFormed("{\"a\": 1,}"));
   EXPECT_FALSE(JsonIsWellFormed("{\"a\": [1, 2}"));
   EXPECT_FALSE(JsonIsWellFormed("{\"a"));
+}
+
+TEST(ObsSchema, MetricPatternMatchesComponentRules) {
+  // Exact names.
+  EXPECT_TRUE(MetricPatternMatches("fault/injected", "fault/injected"));
+  EXPECT_FALSE(MetricPatternMatches("fault/injected", "fault/injected/extra"));
+  EXPECT_FALSE(MetricPatternMatches("fault/injected", "fault"));
+  // '*' matches exactly one component.
+  EXPECT_TRUE(MetricPatternMatches("chan/*/sends", "chan/42/sends"));
+  EXPECT_FALSE(MetricPatternMatches("chan/*/sends", "chan/42/43/sends"));
+  EXPECT_FALSE(MetricPatternMatches("chan/*/sends", "chan/sends"));
+  // A trailing-'*' component matches by prefix.
+  EXPECT_TRUE(MetricPatternMatches("os/sched/cpu*/runq_depth", "os/sched/cpu3/runq_depth"));
+  EXPECT_TRUE(MetricPatternMatches("os/sched/cpu*/runq_depth", "os/sched/cpu/runq_depth"));
+  EXPECT_FALSE(MetricPatternMatches("os/sched/cpu*/runq_depth", "os/sched/gpu3/runq_depth"));
+  // A final '**' eats one or more remaining components.
+  EXPECT_TRUE(MetricPatternMatches("fault/point/**", "fault/point/chan/send"));
+  EXPECT_TRUE(MetricPatternMatches("fault/point/**", "fault/point/x"));
+  EXPECT_FALSE(MetricPatternMatches("fault/point/**", "fault/point"));
+  // Kind-aware schema lookup: the same name is only valid for its kind.
+  EXPECT_TRUE(NameMatchesSchema("chan/7/desc/park_ns", MetricKind::kHistogram));
+  EXPECT_FALSE(NameMatchesSchema("chan/7/desc/park_ns", MetricKind::kCounter));
+  EXPECT_FALSE(NameMatchesSchema("definitely/not/in/schema", MetricKind::kCounter));
+}
+
+TEST(ObsSchema, OffSchemaRegistrationIsRecordedAndDrained) {
+#ifdef DIPC_OBS_OFF
+  GTEST_SKIP() << "observability compiled out (-DDIPC_OBS_OFF)";
+#else
+  Registry& reg = Registry::Default();
+  // Other suites in this binary register test-local names; flush theirs so
+  // this test only sees its own violation.
+  (void)reg.TakeSchemaViolations();
+  (void)reg.GetCounter("fault/injected");  // schema-conformant: no violation
+  (void)reg.GetCounter("obs_schema_test/definitely/off/schema");
+  std::vector<std::string> v = reg.TakeSchemaViolations();
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_NE(v[0].find("obs_schema_test/definitely/off/schema"), std::string::npos);
+  EXPECT_NE(v[0].find("counter"), std::string::npos);  // says which kind
+  // Drain-on-read: a second take is empty, and re-Get of an
+  // already-registered name does not re-validate.
+  (void)reg.GetCounter("obs_schema_test/definitely/off/schema");
+  EXPECT_TRUE(reg.TakeSchemaViolations().empty());
+#endif
 }
 
 TEST(ObsRegistry, SameNameReturnsSameHandle) {

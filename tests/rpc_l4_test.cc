@@ -81,7 +81,7 @@ TEST_F(IpcStackTest, RpcEchoRoundTrip) {
     EXPECT_TRUE(reply.ok());
     reply_size = reply->size();
     last = reply->back();
-    client.value()->Call(env, 1, args);  // destroyed unawaited: must be safe
+    (void)client.value()->Call(env, 1, args);  // destroyed unawaited: must be safe
   });
   kernel_.Run();
   EXPECT_EQ(reply_size, 4u);

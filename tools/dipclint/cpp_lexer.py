@@ -1,0 +1,158 @@
+"""Lightweight C++ tokenizer for dipclint.
+
+Not a real C++ lexer: just enough to walk this repository's sources —
+comments and string/char literals are isolated (so rule logic never
+pattern-matches inside them), identifiers/numbers/punctuation carry line
+numbers, and raw strings / line continuations are handled. Preprocessor
+lines are kept as tokens too (the manifest rules read #include targets).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+# Token kinds.
+COMMENT = "comment"
+STRING = "string"
+CHAR = "char"
+IDENT = "ident"
+NUMBER = "number"
+PUNCT = "punct"
+PREPROC = "preproc"
+
+
+@dataclass
+class Tok:
+    kind: str
+    text: str
+    line: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"{self.kind}:{self.line}:{self.text!r}"
+
+
+_PUNCT3 = ("<<=", ">>=", "...", "->*")
+_PUNCT2 = (
+    "::", "->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+)
+
+
+def _is_ident_start(c: str) -> bool:
+    return c.isalpha() or c == "_"
+
+
+def _is_ident(c: str) -> bool:
+    return c.isalnum() or c == "_"
+
+
+def lex(text: str) -> list[Tok]:
+    toks: list[Tok] = []
+    i = 0
+    line = 1
+    n = len(text)
+    at_line_start = True
+    while i < n:
+        c = text[i]
+        if c == "\n":
+            line += 1
+            i += 1
+            at_line_start = True
+            continue
+        if c in " \t\r":
+            i += 1
+            continue
+        # Preprocessor directive: consume to end of line (with continuations).
+        if c == "#" and at_line_start:
+            start = i
+            start_line = line
+            while i < n and text[i] != "\n":
+                if text[i] == "\\" and i + 1 < n and text[i + 1] == "\n":
+                    i += 2
+                    line += 1
+                    continue
+                i += 1
+            toks.append(Tok(PREPROC, text[start:i], start_line))
+            continue
+        at_line_start = False
+        # Line comment.
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            start = i
+            while i < n and text[i] != "\n":
+                i += 1
+            toks.append(Tok(COMMENT, text[start:i], line))
+            continue
+        # Block comment.
+        if c == "/" and i + 1 < n and text[i + 1] == "*":
+            start = i
+            start_line = line
+            i += 2
+            while i + 1 < n and not (text[i] == "*" and text[i + 1] == "/"):
+                if text[i] == "\n":
+                    line += 1
+                i += 1
+            i = min(i + 2, n)
+            toks.append(Tok(COMMENT, text[start:i], start_line))
+            continue
+        # Raw string literal R"delim(...)delim".
+        if c == "R" and i + 1 < n and text[i + 1] == '"':
+            j = text.find("(", i + 2)
+            if j != -1:
+                delim = text[i + 2 : j]
+                close = ")" + delim + '"'
+                k = text.find(close, j + 1)
+                if k != -1:
+                    start_line = line
+                    seg = text[i : k + len(close)]
+                    line += seg.count("\n")
+                    toks.append(Tok(STRING, seg, start_line))
+                    i = k + len(close)
+                    continue
+        # String / char literal.
+        if c in "\"'":
+            quote = c
+            start = i
+            start_line = line
+            i += 1
+            while i < n and text[i] != quote:
+                if text[i] == "\\":
+                    i += 1
+                elif text[i] == "\n":
+                    line += 1  # unterminated; tolerate
+                i += 1
+            i = min(i + 1, n)
+            toks.append(Tok(STRING if quote == '"' else CHAR, text[start:i], start_line))
+            continue
+        if _is_ident_start(c):
+            start = i
+            while i < n and _is_ident(text[i]):
+                i += 1
+            toks.append(Tok(IDENT, text[start:i], line))
+            continue
+        if c.isdigit() or (c == "." and i + 1 < n and text[i + 1].isdigit()):
+            start = i
+            while i < n and (text[i].isalnum() or text[i] in "._'" or
+                             (text[i] in "+-" and text[i - 1] in "eEpP")):
+                i += 1
+            toks.append(Tok(NUMBER, text[start:i], line))
+            continue
+        for p in _PUNCT3:
+            if text.startswith(p, i):
+                toks.append(Tok(PUNCT, p, line))
+                i += len(p)
+                break
+        else:
+            for p in _PUNCT2:
+                if text.startswith(p, i):
+                    toks.append(Tok(PUNCT, p, line))
+                    i += len(p)
+                    break
+            else:
+                toks.append(Tok(PUNCT, c, line))
+                i += 1
+    return toks
+
+
+def code_toks(toks: list[Tok]) -> list[Tok]:
+    """Tokens with comments and preprocessor lines stripped."""
+    return [t for t in toks if t.kind not in (COMMENT, PREPROC)]

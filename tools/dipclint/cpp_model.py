@@ -1,0 +1,338 @@
+"""Structural model over the token stream: function extraction, a
+statement tree for flow-aware rules, and call-argument splitting.
+
+The model is deliberately approximate — it understands the subset of C++
+this repository writes (namespaces, classes, free/member functions,
+coroutines, lambdas-in-statements) rather than the language. Rules that
+need flow (CAP-LEAK) walk the statement tree; token-local rules scan the
+flat stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from cpp_lexer import IDENT, PUNCT, Tok
+
+_OPEN = {"(": ")", "[": "]", "{": "}"}
+_CLOSE = {")": "(", "]": "[", "}": "{"}
+
+# Tokens allowed between a parameter list's ')' and a function body's '{'
+# (plus a ':' ctor-initializer region and a '->' trailing return, which are
+# handled separately).
+_SPECIFIERS = {"const", "noexcept", "override", "final", "mutable", "try", "&", "&&"}
+
+
+def match_forward(toks: list[Tok], i: int) -> int:
+    """Index of the token matching the bracket at toks[i] (or len(toks))."""
+    want = _OPEN[toks[i].text]
+    depth = 0
+    for j in range(i, len(toks)):
+        t = toks[j].text
+        if toks[j].kind != PUNCT:
+            continue
+        if t == toks[i].text:
+            depth += 1
+        elif t == want:
+            depth -= 1
+            if depth == 0:
+                return j
+        # Other bracket kinds nest independently; plain counting of the one
+        # bracket char is enough for well-formed code.
+    return len(toks)
+
+
+def split_args(toks: list[Tok]) -> list[list[Tok]]:
+    """Splits the tokens BETWEEN a call's parens into top-level arguments."""
+    args: list[list[Tok]] = []
+    cur: list[Tok] = []
+    depth = 0
+    angle = 0
+    for t in toks:
+        if t.kind == PUNCT:
+            if t.text in _OPEN:
+                depth += 1
+            elif t.text in _CLOSE:
+                depth -= 1
+            elif t.text == "<":
+                angle += 1
+            elif t.text == ">" and angle > 0:
+                angle -= 1
+            elif t.text == "," and depth == 0 and angle == 0:
+                args.append(cur)
+                cur = []
+                continue
+        cur.append(t)
+    if cur or args:
+        args.append(cur)
+    return args
+
+
+@dataclass
+class Func:
+    name: str            # unqualified ("AcquireBuf")
+    qualname: str        # as written ("Channel::AcquireBuf" when qualified)
+    line: int            # line of the name token
+    lead: list[Tok]      # tokens from the previous boundary to the name
+    params: list[Tok]    # tokens between the parameter parens
+    body: list[Tok]      # tokens between the body braces (exclusive)
+    lead_line: int = 0   # first line of `lead` (for suppression lookups)
+
+
+@dataclass
+class Decl:
+    """A parameter-list declaration without a body we scanned over (pure
+    declarations in headers end in ';')."""
+    name: str
+    qualname: str
+    line: int
+    lead: list[Tok]
+    params: list[Tok]
+    lead_line: int = 0
+
+
+def _walk_name(toks: list[Tok], open_paren: int) -> tuple[str, str, int]:
+    """(name, qualname, name_index) for the '(' at open_paren."""
+    i = open_paren - 1
+    if i < 0 or toks[i].kind != IDENT:
+        return "", "", -1
+    name = toks[i].text
+    qual = [name]
+    j = i
+    while j >= 2 and toks[j - 1].kind == PUNCT and toks[j - 1].text == "::" \
+            and toks[j - 2].kind == IDENT:
+        qual.insert(0, toks[j - 2].text)
+        j -= 2
+    return name, "::".join(qual), i
+
+
+_NOT_FUNC_NAMES = {
+    "if", "while", "for", "switch", "catch", "return", "co_return", "co_await",
+    "sizeof", "alignof", "decltype", "static_assert", "co_yield", "new", "delete",
+}
+
+
+def extract_functions(toks: list[Tok]) -> tuple[list[Func], list[Decl]]:
+    """Finds function definitions (and bodiless declarations) in a token
+    stream with comments/preprocessor already stripped.
+
+    Strategy: scan at "declaration scope" (outside any function body). A
+    '{' is a function body iff the tokens since the last top-level paren
+    group are an allowed specifier run (or a ctor-init / trailing-return
+    region) and the group is named by a plain identifier. Everything else
+    ('namespace x {', 'class Y {', '= {...}') just nests.
+    """
+    funcs: list[Func] = []
+    decls: list[Decl] = []
+    n = len(toks)
+    i = 0
+    boundary = 0          # index just after the last ';' '}' '{' at decl scope
+    group: tuple[int, int] | None = None  # (open_idx, close_idx) of last paren group
+
+    def lead_for(name_idx: int) -> list[Tok]:
+        lead = toks[boundary:name_idx]
+        # Drop access specifiers etc. at the front ("public :").
+        while lead and lead[0].kind == IDENT and lead[0].text in ("public", "private", "protected"):
+            lead = lead[1:]
+            if lead and lead[0].text == ":":
+                lead = lead[1:]
+        return lead
+
+    while i < n:
+        t = toks[i]
+        if t.kind == PUNCT and t.text == "(":
+            j = match_forward(toks, i)
+            name, qualname, name_idx = _walk_name(toks, i)
+            if name and name not in _NOT_FUNC_NAMES:
+                group = (i, j)
+                # Pure declaration: group followed by specifier run then ';'
+                # (or '= 0 ;' / '= default ;' etc.).
+                k = j + 1
+                while k < n and ((toks[k].kind == IDENT and toks[k].text in _SPECIFIERS)
+                                 or (toks[k].kind == PUNCT and toks[k].text in ("&", "&&"))):
+                    k += 1
+                if k < n and toks[k].kind == PUNCT and toks[k].text in (";", "="):
+                    lead = lead_for(name_idx)
+                    decls.append(Decl(name, qualname, toks[name_idx].line, lead,
+                                      toks[i + 1 : j],
+                                      lead[0].line if lead else toks[name_idx].line))
+            else:
+                group = None
+            i = j + 1
+            continue
+        if t.kind == PUNCT and t.text == "{":
+            body_open = i
+            close = match_forward(toks, i)
+            is_func = False
+            if group is not None:
+                gopen, gclose = group
+                between = toks[gclose + 1 : body_open]
+                ok = True
+                k = 0
+                while k < len(between):
+                    b = between[k]
+                    if b.kind == IDENT and b.text in _SPECIFIERS:
+                        k += 1
+                        continue
+                    if b.kind == PUNCT and b.text in ("&", "&&"):
+                        k += 1
+                        continue
+                    if b.kind == PUNCT and b.text in (":", "->"):
+                        k = len(between)  # ctor-init / trailing return: accept rest
+                        continue
+                    ok = False
+                    break
+                if ok:
+                    name, qualname, name_idx = _walk_name(toks, gopen)
+                    if name and name not in _NOT_FUNC_NAMES:
+                        lead = lead_for(name_idx)
+                        funcs.append(Func(name, qualname, toks[name_idx].line, lead,
+                                          toks[gopen + 1 : gclose],
+                                          toks[body_open + 1 : close],
+                                          lead[0].line if lead else toks[name_idx].line))
+                        is_func = True
+            if is_func:
+                i = close + 1
+                boundary = i
+                group = None
+                continue
+            # Not a function body: descend (namespace/class) or skip
+            # (initializer). Initializers are brace groups preceded by '='
+            # or a type-ish context; descending into them is harmless for
+            # namespaces/classes and wrong for init-lists, so: skip when
+            # preceded by '=' or ',' or '(' or 'return', descend otherwise.
+            prev = toks[i - 1] if i > 0 else None
+            if prev is not None and prev.kind == PUNCT and prev.text in ("=", ",", "(", "["):
+                i = close + 1
+            else:
+                i += 1
+            boundary = i
+            group = None
+            continue
+        if t.kind == PUNCT and t.text in (";", "}"):
+            boundary = i + 1
+            group = None
+        i += 1
+    return funcs, decls
+
+
+_LAMBDA_LINK = {"::", "<", ">", "->", "&", "&&", "*"}
+
+
+def extract_lambda_bodies(toks: list[Tok]) -> list[tuple[list[Tok], int]]:
+    """(body_tokens, line) for every lambda literal in a token run.
+
+    The scan is linear and resumes just past each capture list, so lambdas
+    nested inside other lambdas' bodies are found too. Flow rules walk these
+    bodies as pseudo-functions; the enclosing function's walk sees the
+    lambda only as opaque tokens inside one plain statement.
+    """
+    out: list[tuple[list[Tok], int]] = []
+    n = len(toks)
+    i = 0
+    while i < n:
+        t = toks[i]
+        if t.kind != PUNCT or t.text != "[":
+            i += 1
+            continue
+        j = match_forward(toks, i)
+        k = j + 1
+        if k < n and toks[k].kind == PUNCT and toks[k].text == "(":
+            k = match_forward(toks, k) + 1
+        # Skim specifiers / trailing-return tokens up to the body brace.
+        while k < n and (toks[k].kind == IDENT or
+                         (toks[k].kind == PUNCT and toks[k].text in _LAMBDA_LINK)):
+            k += 1
+        if k < n and toks[k].kind == PUNCT and toks[k].text == "{":
+            close = match_forward(toks, k)
+            out.append((toks[k + 1 : close], t.line))
+        i = j + 1
+    return out
+
+
+# ---- Statement tree -------------------------------------------------------
+
+@dataclass
+class Stmt:
+    kind: str                       # "plain" | "block" | "if" | "loop" | "switch" | "do"
+    toks: list[Tok] = field(default_factory=list)   # plain: the statement tokens
+    header: list[Tok] = field(default_factory=list)  # if/loop/switch: the (...) tokens
+    children: list["Stmt"] = field(default_factory=list)  # block body
+    orelse: list["Stmt"] = field(default_factory=list)    # if: else branch
+    line: int = 0
+
+
+def _parse_stmt_run(toks: list[Tok], i: int) -> tuple[Stmt, int]:
+    """Parses one statement starting at toks[i]; returns (stmt, next_i)."""
+    n = len(toks)
+    t = toks[i]
+    if t.kind == PUNCT and t.text == "{":
+        close = match_forward(toks, i)
+        return Stmt("block", children=parse_statements(toks[i + 1 : close]), line=t.line), close + 1
+    if t.kind == IDENT and t.text in ("if", "while", "for", "switch"):
+        j = i + 1
+        if j < n and toks[j].kind == IDENT and toks[j].text == "constexpr":
+            j += 1
+        if j >= n or toks[j].text != "(":
+            return _parse_plain(toks, i)
+        hclose = match_forward(toks, j)
+        header = toks[j + 1 : hclose]
+        body, k = _parse_stmt_run(toks, hclose + 1) if hclose + 1 < n else (Stmt("block"), n)
+        if t.text == "if":
+            orelse: list[Stmt] = []
+            if k < n and toks[k].kind == IDENT and toks[k].text == "else":
+                els, k = _parse_stmt_run(toks, k + 1)
+                orelse = [els]
+            return Stmt("if", header=header, children=[body], orelse=orelse, line=t.line), k
+        kind = "switch" if t.text == "switch" else "loop"
+        return Stmt(kind, header=header, children=[body], line=t.line), k
+    if t.kind == IDENT and t.text == "do":
+        body, k = _parse_stmt_run(toks, i + 1) if i + 1 < n else (Stmt("block"), n)
+        # consume "while ( ... ) ;"
+        if k < n and toks[k].kind == IDENT and toks[k].text == "while":
+            j = k + 1
+            if j < n and toks[j].text == "(":
+                hclose = match_forward(toks, j)
+                k = hclose + 1
+                if k < n and toks[k].text == ";":
+                    k += 1
+        return Stmt("do", children=[body], line=t.line), k
+    if t.kind == IDENT and t.text in ("case", "default"):
+        # consume "case X :" / "default :" as a no-op plain statement
+        j = i
+        while j < n and not (toks[j].kind == PUNCT and toks[j].text == ":"):
+            j += 1
+        return Stmt("plain", toks=toks[i : j + 1], line=t.line), j + 1
+    return _parse_plain(toks, i)
+
+
+def _parse_plain(toks: list[Tok], i: int) -> tuple[Stmt, int]:
+    n = len(toks)
+    j = i
+    depth = 0
+    while j < n:
+        t = toks[j]
+        if t.kind == PUNCT:
+            if t.text in _OPEN:
+                depth += 1
+            elif t.text in _CLOSE:
+                depth -= 1
+            elif t.text == ";" and depth == 0:
+                j += 1
+                break
+        j += 1
+    return Stmt("plain", toks=toks[i:j], line=toks[i].line), j
+
+
+def parse_statements(toks: list[Tok]) -> list[Stmt]:
+    out: list[Stmt] = []
+    i = 0
+    n = len(toks)
+    while i < n:
+        # Skip labels like "done:" rarely used; treat as plain content.
+        stmt, i2 = _parse_stmt_run(toks, i)
+        if i2 <= i:  # safety against non-progress
+            i2 = i + 1
+        out.append(stmt)
+        i = i2
+    return out

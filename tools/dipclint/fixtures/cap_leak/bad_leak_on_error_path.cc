@@ -1,0 +1,20 @@
+// dipclint-path: src/apps/fix/bad_leak_on_error_path.cc
+// An acquired send buffer escapes on the error path of a LATER operation:
+// the early return checks `produced`, not the buffer, so the grant leaks.
+#include "chan/channel.h"
+
+namespace dipc {
+
+sim::Task<base::Status> ProduceOne(os::Env env, chan::Endpoint& ep, os::Kernel& k) {
+  auto buf = co_await ep.AcquireBuf(env);
+  if (!buf.ok()) {
+    co_return buf.code();
+  }
+  auto produced = co_await k.TouchUser(env, buf.value().va, 64, hw::AccessType::kWrite);
+  if (!produced.ok()) {
+    co_return produced.code();  // leaks buf: no Abandon before bailing
+  }
+  co_return co_await ep.Send(env, buf.value(), 64);
+}
+
+}  // namespace dipc

@@ -1,0 +1,18 @@
+// dipclint-path: src/apps/fix/bad_scope_end.cc
+// The buffer goes out of scope without ever reaching a consuming call.
+#include "chan/channel.h"
+
+namespace dipc {
+
+sim::Task<void> ProduceNothing(os::Env env, chan::Endpoint& ep) {
+  {
+    auto buf = co_await ep.AcquireBuf(env);
+    if (!buf.ok()) {
+      co_return;
+    }
+    // ... forgot to Send or Abandon ...
+  }
+  co_return;
+}
+
+}  // namespace dipc

@@ -1,0 +1,20 @@
+// dipclint-path: src/apps/fix/good_alias_batch.cc
+// Batch acquire consumed through aliases: a range-for binding and a
+// container that absorbs the handles before a batched send.
+#include "chan/channel.h"
+
+namespace dipc {
+
+sim::Task<base::Status> ProduceBurst(os::Env env, chan::Endpoint& ep) {
+  auto batch = co_await ep.AcquireBufBatch(env, 4);
+  if (!batch.ok()) {
+    co_return batch.code();
+  }
+  std::vector<chan::SendItem> items;
+  for (const chan::SendBuf& b : batch.value()) {
+    items.push_back(chan::SendItem{b, 64});
+  }
+  co_return co_await ep.SendBatch(env, items);
+}
+
+}  // namespace dipc

@@ -1,0 +1,13 @@
+// A blocking channel API (coroutine, takes Env) with no way to bound the
+// park. Fixture path defaults to src/chan/, which is in rule scope.
+#include "os/deadline.h"
+#include "sim/task.h"
+
+namespace dipc::chan {
+
+class Pipe {
+ public:
+  sim::Task<base::Status> Write(os::Env env, uint64_t value);
+};
+
+}  // namespace dipc::chan

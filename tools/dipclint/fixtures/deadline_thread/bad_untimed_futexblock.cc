@@ -1,0 +1,11 @@
+// An untimed FutexBlock call inside the channel layer: the caller's
+// deadline (if any) cannot reach the park.
+#include "chan/futex.h"
+
+namespace dipc::chan {
+
+sim::Task<void> DrainPark(os::Env env, os::WaitQueue& q, const size_t& fill) {
+  co_await FutexBlock(env, q, [&] { return fill > 0; });
+}
+
+}  // namespace dipc::chan

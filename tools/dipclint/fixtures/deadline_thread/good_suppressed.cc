@@ -1,0 +1,13 @@
+// A deliberate never-deadline wrapper, suppressed with a reason.
+#include "sim/task.h"
+
+namespace dipc::chan {
+
+class Pipe {
+ public:
+  // NOLINT-DIPC(DEADLINE-THREAD): convenience wrapper over WriteUntil for
+  // tests; production callers thread a deadline through WriteUntil.
+  sim::Task<base::Status> Write(os::Env env, uint64_t value);
+};
+
+}  // namespace dipc::chan

@@ -1,0 +1,17 @@
+// dipclint-path: src/apps/fix/good_predicate.cc
+// Real still-blocked predicates: a capturing lambda re-checking state.
+#include "chan/futex.h"
+
+namespace dipc {
+
+sim::Task<void> ParkUntilDrained(os::Env env, os::WaitQueue& q, const size_t& fill) {
+  co_await chan::FutexBlock(env, q, [&] { return fill > 0; });
+}
+
+sim::Task<bool> ParkBounded(os::Env env, os::WaitQueue& q, os::Deadline d,
+                            const bool& closed, const size_t& fill) {
+  co_return co_await chan::FutexBlockUntil(env, q, d,
+                                           [&] { return fill == 0 && !closed; });
+}
+
+}  // namespace dipc

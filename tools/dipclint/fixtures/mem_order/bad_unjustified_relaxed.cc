@@ -1,0 +1,12 @@
+// dipclint-path: src/apps/fix/bad_unjustified_relaxed.cc
+// memory_order_relaxed outside the metrics counter classes with no
+// adjacent justification comment.
+#include <atomic>
+
+namespace dipc {
+
+int Sample(const std::atomic<int>& gen) {
+  return gen.load(std::memory_order_relaxed);
+}
+
+}  // namespace dipc

@@ -1,0 +1,18 @@
+// dipclint-path: src/apps/fix/good_justified_relaxed.cc
+// The justification comment makes the site pass: same line or up to three
+// lines above.
+#include <atomic>
+
+namespace dipc {
+
+int Sample(const std::atomic<int>& gen) {
+  // relaxed: generation counter is monotonic and only compared for
+  // equality; no other data is published under it.
+  return gen.load(std::memory_order_relaxed);
+}
+
+int SampleInline(const std::atomic<int>& gen) {
+  return gen.load(std::memory_order_relaxed);  // relaxed: stats-only read
+}
+
+}  // namespace dipc

@@ -1,0 +1,16 @@
+// dipclint-path: src/apps/fix/bad_off_schema_name.cc
+// Metric registrations the schema rejects: a fully literal name that is in
+// no pattern, and a kind mismatch (chan/*/sends is a Counter series, but
+// the site registers a Histogram).
+#include "obs/metrics.h"
+
+namespace dipc {
+
+void Register(const std::string& id) {
+  obs::Counter* a = obs::Registry::Default().GetCounter("definitely/not/in/schema");
+  obs::Histogram* b = obs::Registry::Default().GetHistogram("chan/" + id + "/sends");
+  (void)a;
+  (void)b;
+}
+
+}  // namespace dipc

@@ -1,0 +1,8 @@
+// dipclint-path: src/apps/fix/bad_reasonless_nolint.cc
+// A suppression with no ': reason' — it neither suppresses nor explains.
+namespace dipc {
+
+// NOLINT-DIPC(MEM-ORDER)
+int kNothingHere = 0;
+
+}  // namespace dipc

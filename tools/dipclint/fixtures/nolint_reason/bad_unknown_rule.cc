@@ -1,0 +1,9 @@
+// dipclint-path: src/apps/fix/bad_unknown_rule.cc
+// A suppression naming a rule that does not exist (typo'd suppressions
+// otherwise rot silently).
+namespace dipc {
+
+// NOLINT-DIPC(CAP-LEEK): the rule name is misspelled
+int kNothingHere = 0;
+
+}  // namespace dipc

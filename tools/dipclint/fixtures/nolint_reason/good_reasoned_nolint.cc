@@ -1,0 +1,13 @@
+// dipclint-path: src/apps/fix/good_reasoned_nolint.cc
+// A well-formed suppression: known rule, mandatory reason, and it actually
+// suppresses the finding on the next code line.
+#include <atomic>
+
+namespace dipc {
+
+int Sample(const std::atomic<int>& gen) {
+  // NOLINT-DIPC(MEM-ORDER): fixture exercising the suppression syntax.
+  return gen.load(std::memory_order_relaxed);
+}
+
+}  // namespace dipc

@@ -1,0 +1,14 @@
+// dipclint-path: src/apps/fix/bad_raw_probe.cc
+// Raw Injector access outside src/fault/: bypasses the manifest macro, so
+// the site neither compiles out under DIPC_FAULT_OFF nor stays listed.
+#include "fault/fault.h"
+
+namespace dipc {
+
+void Frob(fault::Injector& injector) {
+  if (injector.Probe("chan/send")) {
+    return;
+  }
+}
+
+}  // namespace dipc

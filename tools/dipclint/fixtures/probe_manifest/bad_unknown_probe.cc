@@ -1,0 +1,12 @@
+// dipclint-path: src/apps/fix/bad_unknown_probe.cc
+// A probe ident missing from src/fault/probes.def: no plan could ever arm
+// it, so the site is dead weight that looks covered.
+#include "fault/fault.h"
+
+namespace dipc {
+
+void Frob(os::Env env) {
+  DIPC_FAULT_POINT(kTotallyUnknownProbe, env);
+}
+
+}  // namespace dipc

@@ -1,0 +1,11 @@
+// dipclint-path: src/apps/fix/good_probe.cc
+// A probe site naming a manifest ident (src/fault/probes.def).
+#include "fault/fault.h"
+
+namespace dipc {
+
+void Frob(os::Env env) {
+  DIPC_FAULT_POINT(kChanSend, env);
+}
+
+}  // namespace dipc
